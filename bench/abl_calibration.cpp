@@ -1,0 +1,98 @@
+// Ablation of a DESIGN.md design choice: the calibrated latent-trait
+// cohort model vs a naive generator (independent Likert draws with the
+// right means only). Shows why calibration is necessary to reproduce the
+// paper's dispersion and correlation structure.
+
+#include <cmath>
+#include <cstdio>
+
+#include "classroom/analysis.hpp"
+#include "classroom/calibrate.hpp"
+#include "classroom/targets.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pblpar;
+
+/// Naive baseline: keep the calibrated means but zero the student trait
+/// and element factors (pure item noise) and zero latent correlation.
+classroom::ModelParams naive_params() {
+  classroom::ModelParams params = classroom::calibrated_paper_params();
+  params.w_student = {{{0.0, 0.0}, {0.0, 0.0}}};
+  params.w_element = 0.0;
+  for (auto& half : params.rho_latent) {
+    half.fill(0.0);
+  }
+  return params;
+}
+
+struct Fit {
+  double mean_error = 0.0;   // max |element mean - target|
+  double sd_error = 0.0;     // max |overall sd - target| / target
+  double r_error = 0.0;      // max |element r - target|
+};
+
+Fit evaluate(const classroom::ModelParams& params) {
+  classroom::CohortConfig config;
+  config.cohort_size = 8000;
+  config.seed = 4242;
+  const auto study = classroom::generate_cohort(params, config);
+  const auto analysis =
+      classroom::analyze(study.first_half, study.second_half);
+  const auto& targets = classroom::PaperTargets::published();
+
+  Fit fit;
+  for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+    const survey::Element element = survey::kAllElements[e];
+    fit.mean_error = std::max(
+        fit.mean_error,
+        std::fabs(study.first_half.cohort_element_mean(
+                      survey::Category::ClassEmphasis, element) -
+                  targets.elements[e].emphasis_mean[0]));
+    fit.r_error = std::max(
+        fit.r_error, std::fabs(analysis.correlations[e].first_half.r -
+                               targets.elements[e].correlation[0]));
+    fit.r_error = std::max(
+        fit.r_error, std::fabs(analysis.correlations[e].second_half.r -
+                               targets.elements[e].correlation[1]));
+  }
+  fit.sd_error = std::max(
+      std::fabs(analysis.emphasis_effect.sd_first -
+                targets.emphasis_overall_sd[0]) /
+          targets.emphasis_overall_sd[0],
+      std::fabs(analysis.growth_effect.sd_second -
+                targets.growth_overall_sd[1]) /
+          targets.growth_overall_sd[1]);
+  return fit;
+}
+
+}  // namespace
+
+int main() {
+  const Fit calibrated = evaluate(classroom::calibrated_paper_params());
+  const Fit naive = evaluate(naive_params());
+
+  util::Table table(
+      "Calibration ablation (8000-student cohorts, worst-case errors vs "
+      "the paper's statistics)");
+  table.columns({"error metric", "calibrated model", "naive (means only)"},
+                {util::Align::Left, util::Align::Right, util::Align::Right});
+  table.row({"max |element mean - paper|",
+             util::Table::num(calibrated.mean_error, 3),
+             util::Table::num(naive.mean_error, 3)});
+  table.row({"max relative overall-SD error",
+             util::Table::num(calibrated.sd_error * 100.0, 1) + "%",
+             util::Table::num(naive.sd_error * 100.0, 1) + "%"});
+  table.row({"max |emphasis-growth r - paper|",
+             util::Table::num(calibrated.r_error, 3),
+             util::Table::num(naive.r_error, 3)});
+  table.note(
+      "Matching the means is easy; without the latent student/element "
+      "factors the naive model collapses the overall SDs (independent "
+      "items average out) and produces ~zero correlations, so Tables "
+      "1-4 cannot be reproduced. The calibrated model is necessary, "
+      "not decorative.");
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}

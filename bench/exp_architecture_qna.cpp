@@ -1,0 +1,68 @@
+// The architecture study questions of Assignments 2 and 3, answered from
+// the sbc knowledge module: board inventory, Flynn taxonomy, memory
+// architectures, SoC advantages, and the ARM-vs-x86 comparison the course
+// uses to bridge from its Intel x86 lectures.
+
+#include <cstdio>
+
+#include "sbc/architecture.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pblpar;
+
+  const sbc::BoardDescription& pi = sbc::raspberry_pi_3bplus();
+  std::printf("Q (A2): Identify the components on the Raspberry Pi B+.\n");
+  util::Table components(pi.name + " (" + pi.soc + ")");
+  components.columns({"component", "detail", "on SoC"},
+                     {util::Align::Left, util::Align::Left,
+                      util::Align::Left});
+  for (const sbc::Component& component : pi.components) {
+    components.row(
+        {component.name, component.detail, component.on_soc ? "yes" : "no"});
+  }
+  std::printf("%s\n", components.to_ascii().c_str());
+
+  std::printf("Q (A2): How many cores does the Pi's CPU have?  A: %d @ %.1f "
+              "GHz (%s)\n\n",
+              pi.cores, pi.clock_ghz, pi.isa.c_str());
+
+  std::printf("Q (A3): Classify parallel computers by Flynn's taxonomy.\n");
+  for (const sbc::FlynnClass f :
+       {sbc::FlynnClass::SISD, sbc::FlynnClass::SIMD, sbc::FlynnClass::MISD,
+        sbc::FlynnClass::MIMD}) {
+    std::printf("  %-4s — %s\n", sbc::to_string(f).c_str(),
+                sbc::describe(f).c_str());
+  }
+  std::printf("  The Pi itself: %s.\n\n",
+              sbc::to_string(pi.flynn()).c_str());
+
+  std::printf(
+      "Q (A3): Memory architectures; which does OpenMP use and why?\n");
+  for (const sbc::MemoryArchitecture a :
+       {sbc::MemoryArchitecture::SharedUMA,
+        sbc::MemoryArchitecture::SharedNUMA,
+        sbc::MemoryArchitecture::Distributed,
+        sbc::MemoryArchitecture::Hybrid}) {
+    std::printf("  %-26s %s\n", sbc::to_string(a).c_str(),
+                sbc::describe(a).c_str());
+  }
+  std::printf("  OpenMP: %s.\n\n",
+              sbc::to_string(sbc::openmp_architecture()).c_str());
+
+  std::printf("Q (A3): Advantages of a System-on-Chip?\n");
+  for (const std::string& advantage : sbc::soc_advantages()) {
+    std::printf("  - %s\n", advantage.c_str());
+  }
+
+  std::printf("\nQ (intro): ARM (RISC, the Pi) vs Intel x86 (CISC, the "
+              "lectures):\n");
+  util::Table isa("ISA comparison");
+  isa.columns({"aspect", "ARM (Pi)", "x86 (lecture)"},
+              {util::Align::Left, util::Align::Left, util::Align::Left});
+  for (const sbc::IsaComparisonRow& row : sbc::isa_comparison()) {
+    isa.row({row.aspect, row.arm, row.x86});
+  }
+  std::printf("%s", isa.to_ascii().c_str());
+  return 0;
+}

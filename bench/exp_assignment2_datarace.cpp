@@ -1,0 +1,35 @@
+// Assignment 2 learning artifact: the data race on a shared counter —
+// why it is "difficult to reproduce and debug", and how scope fixes it.
+// Sweeps thread counts and shows the detector's verdicts.
+
+#include <cstdio>
+
+#include "patternlets/patternlets.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pblpar;
+
+  util::Table table(
+      "Assignment 2: shared counter, racy vs scoped-private versions");
+  table.columns({"threads", "increments/thread", "racy final",
+                 "races (racy)", "fixed final", "races (fixed)"},
+                {util::Align::Right, util::Align::Right, util::Align::Right,
+                 util::Align::Right, util::Align::Right,
+                 util::Align::Right});
+  for (const int threads : {2, 3, 4, 8}) {
+    const auto demo = patternlets::shared_memory_race_demo(threads, 50);
+    table.row({std::to_string(threads), "50",
+               std::to_string(demo.racy_final),
+               std::to_string(demo.races_in_racy_version),
+               std::to_string(demo.fixed_final),
+               std::to_string(demo.races_in_fixed_version)});
+  }
+  table.note(
+      "The simulator serializes real code, so even the racy version's "
+      "value is correct here — exactly why races are hard to catch by "
+      "testing. The happens-before detector flags them anyway; making "
+      "the accumulator thread-private (scope matters) silences it.");
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}

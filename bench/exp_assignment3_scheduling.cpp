@@ -1,0 +1,64 @@
+// Assignment 3 learning artifact: loop scheduling. Uniform vs imbalanced
+// iterations under static/dynamic/guided schedules with chunks 1, 2, 3 —
+// who wins where, in deterministic virtual time on the simulated Pi.
+
+#include <cstdio>
+
+#include "rt/parallel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double time_loop(pblpar::rt::Schedule schedule,
+                 const pblpar::rt::CostModel& cost, std::int64_t n) {
+  using namespace pblpar;
+  return rt::parallel_for(rt::ParallelConfig::sim_pi(4),
+                          rt::Range::upto(n), schedule,
+                          [](std::int64_t) {}, cost)
+      .elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pblpar;
+  constexpr std::int64_t kN = 1024;
+
+  const rt::CostModel uniform = rt::CostModel::uniform(2e5);
+  rt::CostModel triangular;  // cost grows with the index: imbalanced
+  triangular.ops_fn = [](std::int64_t i) {
+    return 4e2 * static_cast<double>(i);
+  };
+
+  const std::vector<std::pair<std::string, rt::Schedule>> schedules = {
+      {"static (block)", rt::Schedule::static_block()},
+      {"static,1", rt::Schedule::static_chunk(1)},
+      {"static,2", rt::Schedule::static_chunk(2)},
+      {"static,3", rt::Schedule::static_chunk(3)},
+      {"dynamic,1", rt::Schedule::dynamic(1)},
+      {"dynamic,2", rt::Schedule::dynamic(2)},
+      {"dynamic,3", rt::Schedule::dynamic(3)},
+      {"dynamic,16", rt::Schedule::dynamic(16)},
+      {"guided,1", rt::Schedule::guided(1)},
+  };
+
+  util::Table table(
+      "Assignment 3: schedules on the simulated Pi (1024 iterations, 4 "
+      "threads, virtual ms)");
+  table.columns({"schedule", "uniform work", "imbalanced work"},
+                {util::Align::Left, util::Align::Right, util::Align::Right});
+  for (const auto& [name, schedule] : schedules) {
+    table.row({name,
+               util::Table::num(time_loop(schedule, uniform, kN) * 1e3, 3),
+               util::Table::num(time_loop(schedule, triangular, kN) * 1e3,
+                                3)});
+  }
+  table.note(
+      "Shape: on uniform work, static wins (no queue traffic) and "
+      "dynamic,1 pays the most overhead; on imbalanced work the "
+      "dynamic/guided schedules rebalance and win, while plain static "
+      "is hostage to its heaviest block. Round-robin static,k already "
+      "helps because heavy iterations interleave across threads.");
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 1 reproduction: the 15-week semester timeline of the PBL module —
+// team formation, five two-week assignments with quizzes, the two survey
+// sittings, midterm and final.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "course/assignments.hpp"
+#include "course/timeline.hpp"
+
+int main() {
+  using namespace pblpar::course;
+
+  std::printf("Fig. 1 — PBL module timeline (15-week semester)\n\n");
+
+  std::map<int, std::vector<std::string>> by_week;
+  for (const TimelineEvent& event : semester_timeline()) {
+    by_week[event.week].push_back(event.label);
+  }
+  for (int week = 1; week <= kSemesterWeeks; ++week) {
+    std::printf("  week %2d |", week);
+    const auto it = by_week.find(week);
+    if (it != by_week.end()) {
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        std::printf("%s %s", i ? ";" : "", it->second[i].c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nAssignment contents:\n");
+  for (const Assignment& assignment : five_assignments()) {
+    std::printf("  A%d: %s (%zu study questions, %zu programs)\n",
+                assignment.number, assignment.title.c_str(),
+                assignment.study_questions.size(),
+                assignment.programming_tasks.size());
+  }
+  std::printf(
+      "\nPaper: teams formed week 1; five 2-week assignments; survey at "
+      "mid-semester and end. Reproduced above.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 2 reproduction: the Team Design Skills Growth Survey instrument —
+// the Teamwork element exactly as the paper shows it, plus the scale
+// anchors and the full element list.
+
+#include <cstdio>
+
+#include "survey/instrument.hpp"
+
+int main() {
+  using namespace pblpar::survey;
+
+  std::printf("Fig. 2 — Team Design Skills Growth Survey [12]\n\n");
+
+  std::printf("Class Emphasis scale: ");
+  for (int s = 1; s <= 5; ++s) {
+    std::printf("%s%d: %s", s > 1 ? " | " : "", s,
+                emphasis_scale_description(s).c_str());
+  }
+  std::printf("\nPersonal Growth scale:\n");
+  for (int s = 1; s <= 5; ++s) {
+    std::printf("  %d: %s\n", s, growth_scale_description(s).c_str());
+  }
+
+  for (const ElementSpec& spec : instrument()) {
+    std::printf("\n%s\n", spec.name.c_str());
+    std::printf("  [definition] %s\n", spec.definition.c_str());
+    for (std::size_t c = 0; c < spec.components.size(); ++c) {
+      std::printf("  [component %zu] %s\n", c + 1,
+                  spec.components[c].c_str());
+    }
+  }
+
+  std::printf(
+      "\n%zu elements, %zu items per category; answered twice per "
+      "semester in both categories.\n",
+      kElementCount, total_item_count());
+  return 0;
+}

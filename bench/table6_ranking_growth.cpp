@@ -1,0 +1,54 @@
+// Table 6 reproduction: ranking of student perception of Personal Growth
+// (composite scores), both survey sittings, plus the discussion-section
+// checks (growth spread shrinks in half 2; Implementation's emphasis-
+// growth gap nearly closes).
+
+#include <cmath>
+#include <cstdio>
+
+#include "classroom/study.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pblpar;
+
+  const classroom::SemesterStudy study =
+      classroom::SemesterStudy::simulate();
+
+  util::Table table(
+      "Table 6. Ranking of Student Perception of Personal Growth");
+  table.columns({"Rank", "First Half (ours)", "score",
+                 "Second Half (ours)", "score"},
+                {util::Align::Right, util::Align::Left, util::Align::Right,
+                 util::Align::Left, util::Align::Right});
+  const auto& first = study.analysis.growth_ranking[0];
+  const auto& second = study.analysis.growth_ranking[1];
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    table.row({std::to_string(i + 1), first[i].name,
+               util::Table::num(first[i].value, 2), second[i].name,
+               util::Table::num(second[i].value, 2)});
+  }
+  table.note("Paper half 1: Teamwork 4.14 first, Evaluation and Decision "
+             "Making 3.36 last, with a wide spread;");
+  table.note("half 2: Teamwork 4.33 and Implementation 4.22 on top, spread "
+             "much narrower.");
+  std::printf("%s", table.to_ascii().c_str());
+
+  const double spread_first = first.front().value - first.back().value;
+  const double spread_second = second.front().value - second.back().value;
+  std::printf(
+      "\nGrowth spread: %.2f (half 1, paper 0.78) vs %.2f (half 2, paper "
+      "0.56) — more selective growth early, as the paper reports.\n",
+      spread_first, spread_second);
+
+  for (const classroom::EmphasisGrowthGap& gap :
+       study.analysis.second_half_gaps) {
+    if (gap.element == survey::Element::Implementation) {
+      std::printf(
+          "Implementation emphasis-growth gap, half 2: %.2f (paper 0.03; "
+          "redesign threshold 0.2).\n",
+          std::fabs(gap.gap));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Microbenchmarks of the drug-design workload: host-side LCS scoring
+// throughput and end-to-end simulated solver runs.
+
+#include <benchmark/benchmark.h>
+
+#include "drugdesign/drugdesign.hpp"
+
+namespace {
+
+using namespace pblpar;
+
+void BM_MatchScore(benchmark::State& state) {
+  const int ligand_len = static_cast<int>(state.range(0));
+  util::Rng rng(7);
+  const std::string protein = drugdesign::generate_protein(750, rng);
+  const auto ligands = drugdesign::generate_ligands(64, ligand_len, rng);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        drugdesign::match_score(ligands[index % ligands.size()], protein));
+    ++index;
+  }
+}
+BENCHMARK(BM_MatchScore)->Arg(5)->Arg(7);
+
+void BM_SolveTeachMpSimulated(benchmark::State& state) {
+  drugdesign::Config config;
+  config.num_ligands = 60;
+  config.protein_len = 300;
+  config.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        drugdesign::solve_teachmp(config).elapsed_seconds);
+  }
+}
+BENCHMARK(BM_SolveTeachMpSimulated)->Arg(1)->Arg(4);
+
+void BM_SolveMapReduceHost(benchmark::State& state) {
+  drugdesign::Config config;
+  config.num_ligands = 60;
+  config.protein_len = 300;
+  config.threads = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drugdesign::solve_mapreduce(config).best_score);
+  }
+}
+BENCHMARK(BM_SolveMapReduceHost);
+
+}  // namespace

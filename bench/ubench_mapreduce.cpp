@@ -1,0 +1,81 @@
+// Microbenchmarks of the MapReduce framework: word count scaling with
+// threads and the combiner's effect on shuffle volume.
+
+#include <benchmark/benchmark.h>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/jobs.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using namespace pblpar;
+
+std::vector<std::string> corpus(int documents) {
+  static const char* kWords[] = {"parallel", "openmp",  "threads", "memory",
+                                 "shared",   "barrier", "reduce",  "team",
+                                 "pi",       "core"};
+  util::Rng rng(99);
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(documents));
+  for (int d = 0; d < documents; ++d) {
+    std::string text;
+    for (int w = 0; w < 60; ++w) {
+      text += kWords[rng.next_below(10)];
+      text += ' ';
+    }
+    docs.push_back(std::move(text));
+  }
+  return docs;
+}
+
+void BM_WordCountThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto docs = corpus(200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapreduce::word_count(docs, threads));
+  }
+}
+BENCHMARK(BM_WordCountThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_WordCountCombinerEffect(benchmark::State& state) {
+  const bool use_combiner = state.range(0) != 0;
+  const auto docs = corpus(200);
+  std::vector<std::pair<int, std::string>> inputs;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    inputs.emplace_back(static_cast<int>(d), docs[d]);
+  }
+  for (auto _ : state) {
+    mapreduce::Job<int, std::string, std::string, long> job;
+    job.threads(4).map([](const int&, const std::string& text,
+                          mapreduce::Emitter<std::string, long>& out) {
+      for (std::string& word : util::tokenize_words(text)) {
+        out.emit(std::move(word), 1L);
+      }
+    });
+    const auto sum = [](const std::string&, const std::vector<long>& v) {
+      long total = 0;
+      for (const long c : v) {
+        total += c;
+      }
+      return total;
+    };
+    if (use_combiner) {
+      job.combine(sum);
+    }
+    job.reduce(sum);
+    benchmark::DoNotOptimize(job.run(inputs));
+  }
+}
+BENCHMARK(BM_WordCountCombinerEffect)->Arg(0)->Arg(1);
+
+void BM_InvertedIndex(benchmark::State& state) {
+  const auto docs = corpus(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapreduce::inverted_index(docs, 4));
+  }
+}
+BENCHMARK(BM_InvertedIndex);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// When real OpenMP is available on the host, compare TeachMP's host
+// backend against genuine `#pragma omp` constructs on identical
+// reductions. TeachMP is a teaching runtime (std::function bodies,
+// virtual dispatch); this bench documents the honesty gap.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/parallel.hpp"
+#include "rt/reduce.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace pblpar;
+
+constexpr std::int64_t kN = 1 << 16;
+
+double work(std::int64_t i) {
+  const double x = static_cast<double>(i) * 1e-5;
+  return x * x - x;
+}
+
+void BM_SerialReference(benchmark::State& state) {
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < kN; ++i) {
+      sum += work(i);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SerialReference);
+
+void BM_TeachMpHostReduce(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto reduced = rt::parallel_reduce<double>(
+        rt::ParallelConfig::host(threads), rt::Range::upto(kN),
+        rt::Schedule::static_block(), 0.0, &work,
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(reduced.value);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_TeachMpHostReduce)->Arg(1)->Arg(4);
+
+#ifdef _OPENMP
+void BM_RealOpenMpReduce(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum) num_threads(threads) \
+    schedule(static)
+    for (std::int64_t i = 0; i < kN; ++i) {
+      sum += work(i);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_RealOpenMpReduce)->Arg(1)->Arg(4);
+#endif
+
+}  // namespace

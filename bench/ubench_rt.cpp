@@ -1,0 +1,75 @@
+// Microbenchmarks of the TeachMP runtime and the machine simulator:
+// region fork/join cost, loop scheduling overhead per schedule, and the
+// simulator's event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "rt/parallel.hpp"
+#include "rt/reduce.hpp"
+
+namespace {
+
+using namespace pblpar;
+
+void BM_HostRegionForkJoin(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const rt::RunResult result =
+        rt::parallel(rt::ParallelConfig::host(threads),
+                     [](rt::TeamContext&) {});
+    benchmark::DoNotOptimize(result.host_seconds);
+  }
+}
+BENCHMARK(BM_HostRegionForkJoin)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_HostParallelForSchedule(benchmark::State& state) {
+  const int schedule_kind = static_cast<int>(state.range(0));
+  const rt::Schedule schedule =
+      schedule_kind == 0   ? rt::Schedule::static_block()
+      : schedule_kind == 1 ? rt::Schedule::dynamic(1)
+                           : rt::Schedule::guided(1);
+  std::vector<double> data(4096, 1.0);
+  for (auto _ : state) {
+    const auto reduced = rt::parallel_reduce<double>(
+        rt::ParallelConfig::host(4),
+        rt::Range::upto(static_cast<std::int64_t>(data.size())), schedule,
+        0.0,
+        [&](std::int64_t i) { return data[static_cast<std::size_t>(i)]; },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(reduced.value);
+  }
+}
+BENCHMARK(BM_HostParallelForSchedule)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimMachineEventThroughput(benchmark::State& state) {
+  // How fast the simulator retires compute events (the practical limit on
+  // experiment sizes).
+  const std::int64_t events = state.range(0);
+  for (auto _ : state) {
+    sim::Machine machine(sim::MachineSpec::raspberry_pi_3bplus());
+    const sim::ExecutionReport report =
+        machine.run([events](sim::Context& root) {
+          for (std::int64_t i = 0; i < events; ++i) {
+            root.compute(100.0);
+          }
+        });
+    benchmark::DoNotOptimize(report.makespan_s);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimMachineEventThroughput)->Arg(1000);
+
+void BM_SimParallelForDynamic(benchmark::State& state) {
+  const std::int64_t iterations = state.range(0);
+  for (auto _ : state) {
+    const rt::RunResult result = rt::parallel_for(
+        rt::ParallelConfig::sim_pi(4), rt::Range::upto(iterations),
+        rt::Schedule::dynamic(8), [](std::int64_t) {},
+        rt::CostModel::uniform(1e4));
+    benchmark::DoNotOptimize(result.elapsed_seconds());
+  }
+  state.SetItemsProcessed(state.iterations() * iterations);
+}
+BENCHMARK(BM_SimParallelForDynamic)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Microbenchmarks of the statistics kernels used by the survey analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "stats/correlation.hpp"
+#include "stats/special.hpp"
+#include "stats/tests.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pblpar;
+
+std::vector<double> sample(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values(n);
+  for (double& v : values) {
+    v = rng.normal(4.0, 0.25);
+  }
+  return values;
+}
+
+void BM_PairedTTest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = sample(n, 1);
+  const auto b = sample(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::paired_t_test(a, b).p_two_tailed);
+  }
+}
+BENCHMARK(BM_PairedTTest)->Arg(124)->Arg(4096);
+
+void BM_Pearson(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = sample(n, 3);
+  const auto y = sample(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::pearson(x, y).p_two_tailed);
+  }
+}
+BENCHMARK(BM_Pearson)->Arg(124)->Arg(4096);
+
+void BM_StudentTTwoTailedP(benchmark::State& state) {
+  double t = 0.5;
+  for (auto _ : state) {
+    t += 1e-9;
+    benchmark::DoNotOptimize(stats::student_t_two_tailed_p(t, 123.0));
+  }
+}
+BENCHMARK(BM_StudentTTwoTailedP);
+
+void BM_Ibeta(benchmark::State& state) {
+  double x = 0.3;
+  for (auto _ : state) {
+    x = x < 0.69 ? x + 1e-9 : 0.3;
+    benchmark::DoNotOptimize(stats::ibeta(61.5, 0.5, x));
+  }
+}
+BENCHMARK(BM_Ibeta);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Simulate the paper's whole study: generate the 124-student cohort, form
+// the 26 criteria-balanced teams, run the semester timeline, administer
+// the Team Design Skills Growth Survey twice, and print the analysis
+// (the shapes of the paper's Tables 1-6).
+//
+//   ./classroom_semester
+
+#include <cstdio>
+
+#include "classroom/study.hpp"
+#include "course/assignments.hpp"
+#include "course/timeline.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pblpar;
+
+  std::printf("Simulating CSc 3210, Fall 2018 (124 students, 26 teams)\n\n");
+  const classroom::SemesterStudy study = classroom::SemesterStudy::simulate();
+
+  // --- Teams.
+  const auto metrics = course::measure_balance(study.roster, study.teams);
+  std::printf(
+      "Team formation: %zu teams, ability spread %.3f, isolated females "
+      "%d, coordinator rotates each assignment.\n\n",
+      study.teams.size(), metrics.ability_spread,
+      metrics.isolated_females);
+
+  // --- Timeline (Fig. 1).
+  std::printf("Semester timeline:\n");
+  for (const auto& event : course::semester_timeline()) {
+    std::printf("  week %2d  %s\n", event.week, event.label.c_str());
+  }
+
+  // --- Table 1.
+  const auto& analysis = study.analysis;
+  std::printf("\nPaired t-tests (paper's Table 1):\n");
+  std::printf("  class emphasis:  diff %+0.3f  t=%.2f  %s\n",
+              analysis.emphasis_ttest.mean_difference,
+              analysis.emphasis_ttest.t,
+              util::Table::pvalue(analysis.emphasis_ttest.p_two_tailed)
+                  .c_str());
+  std::printf("  personal growth: diff %+0.3f  t=%.2f  %s\n",
+              analysis.growth_ttest.mean_difference,
+              analysis.growth_ttest.t,
+              util::Table::pvalue(analysis.growth_ttest.p_two_tailed)
+                  .c_str());
+
+  // --- Tables 2-3.
+  std::printf("\nEffect sizes (Tables 2-3):\n");
+  std::printf("  emphasis: %.3f -> %.3f, Cohen's d = %.2f (%s)\n",
+              analysis.emphasis_effect.mean_first,
+              analysis.emphasis_effect.mean_second,
+              analysis.emphasis_effect.cohens_d,
+              stats::to_string(analysis.emphasis_effect.magnitude).c_str());
+  std::printf("  growth:   %.3f -> %.3f, Cohen's d = %.2f (%s)\n",
+              analysis.growth_effect.mean_first,
+              analysis.growth_effect.mean_second,
+              analysis.growth_effect.cohens_d,
+              stats::to_string(analysis.growth_effect.magnitude).c_str());
+
+  // --- Table 4.
+  std::printf("\nEmphasis-growth correlations (Table 4):\n");
+  for (const auto& row : analysis.correlations) {
+    std::printf("  %-31s r = %.2f / %.2f (%s / %s)\n",
+                survey::to_string(row.element).c_str(), row.first_half.r,
+                row.second_half.r,
+                stats::to_string(row.first_half.band()).c_str(),
+                stats::to_string(row.second_half.band()).c_str());
+  }
+
+  // --- Tables 5-6.
+  std::printf("\nRanking of personal growth (Table 6), second half:\n");
+  for (const auto& item : analysis.growth_ranking[1]) {
+    std::printf("  %d. %-31s %.2f\n", item.rank, item.name.c_str(),
+                item.value);
+  }
+
+  std::printf(
+      "\nAs in the paper: Teamwork tops every ranking, both shifts are\n"
+      "significant, growth's effect size is large, and all correlations\n"
+      "are positive and significant.\n");
+  return 0;
+}

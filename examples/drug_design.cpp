@@ -1,0 +1,55 @@
+// The Assignment 5 application: score random ligands against a protein
+// (sequential / TeachMP "OpenMP" / naive C++11-threads / MapReduce) on
+// the simulated Raspberry Pi, and print the run-time comparison the
+// paper's students report.
+//
+//   ./drug_design
+
+#include <cstdio>
+
+#include "drugdesign/drugdesign.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pblpar;
+
+  drugdesign::Config config;
+  config.num_ligands = 120;
+  config.protein_len = 750;
+  config.threads = 4;
+
+  std::printf("Drug Design exemplar on the simulated Raspberry Pi 3B+\n");
+  std::printf("(%d ligands, protein length %d)\n\n", config.num_ligands,
+              config.protein_len);
+
+  util::Table table("Assignment 5: which approach is fastest?");
+  table.columns({"approach", "threads", "max ligand", "virtual time (ms)",
+                 "best score"},
+                {util::Align::Left, util::Align::Right, util::Align::Right,
+                 util::Align::Right, util::Align::Right});
+  for (const auto& row : drugdesign::run_assignment5_experiment(config)) {
+    table.row({row.approach, std::to_string(row.threads),
+               std::to_string(row.max_ligand_len),
+               util::Table::num(row.time_seconds * 1e3, 2),
+               std::to_string(row.best_score)});
+  }
+  table.note("OpenMP (dynamic schedule) wins on this irregular workload; "
+             "the fixed-block C++11 partition trails it;");
+  table.note("a 5th thread on 4 cores helps neither; raising max ligand "
+             "length 5 -> 7 multiplies the work.");
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  const auto lines = drugdesign::exemplar_source_lines();
+  std::printf(
+      "Program size vs performance (lines of code): sequential %d, "
+      "OpenMP %d, C++11 threads %d.\n",
+      lines.sequential, lines.openmp, lines.cxx11_threads);
+
+  config.max_ligand_len = 5;
+  const auto mapreduce_result = drugdesign::solve_mapreduce(config);
+  std::printf(
+      "MapReduce formulation (host threads) agrees: best score %d with "
+      "%zu winning ligand(s).\n",
+      mapreduce_result.best_score, mapreduce_result.best_ligands.size());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// The canonical MapReduce examples from the Assignment 5 reading: word
+// count, inverted index, URL access counts, and distributed grep, all on
+// the in-memory multi-threaded framework.
+//
+//   ./mapreduce_wordcount
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mapreduce/jobs.hpp"
+
+int main() {
+  using namespace pblpar;
+
+  const std::vector<std::string> documents{
+      "parallel computing uses multiple cores to solve problems faster",
+      "openmp makes shared memory parallel programming approachable",
+      "mapreduce maps over records and reduces grouped values",
+      "students explore parallel patterns on the raspberry pi",
+      "teams learn parallel programming and teamwork together",
+  };
+
+  std::printf("== word count ==\n");
+  auto counts = mapreduce::word_count(documents);
+  // Show the repeated words only.
+  for (const auto& [word, count] : counts) {
+    if (count > 1) {
+      std::printf("  %-12s %ld\n", word.c_str(), count);
+    }
+  }
+
+  std::printf("\n== inverted index (word -> documents) ==\n");
+  for (const auto& [word, docs] : mapreduce::inverted_index(documents)) {
+    if (docs.size() > 1) {
+      std::printf("  %-12s ->", word.c_str());
+      for (const int doc : docs) {
+        std::printf(" %d", doc);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n== URL access counts ==\n");
+  const std::vector<std::string> log{
+      "/home 200", "/docs 200", "/home 200", "/home 404", "/docs 200",
+  };
+  for (const auto& [url, hits] : mapreduce::url_access_counts(log)) {
+    std::printf("  %-6s %ld hits\n", url.c_str(), hits);
+  }
+
+  std::printf("\n== distributed grep for 'parallel' ==\n");
+  for (const auto& [line, text] :
+       mapreduce::distributed_grep(documents, "parallel")) {
+    std::printf("  doc %d: %s\n", line, text.c_str());
+  }
+  return 0;
+}

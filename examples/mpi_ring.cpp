@@ -1,0 +1,70 @@
+// TeachMPI demo — the course's planned MPI extension: a rank ring pass,
+// the core collectives, and a ring allreduce, all in one process.
+//
+//   ./mpi_ring
+
+#include <cstdio>
+#include <mutex>
+#include <numeric>
+
+#include "mp/world.hpp"
+
+int main() {
+  using namespace pblpar;
+  constexpr int kRanks = 4;
+  std::mutex print_mu;
+
+  std::printf("== ring pass (each rank forwards a growing token) ==\n");
+  mp::World::run(kRanks, [&](mp::Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    if (comm.rank() == 0) {
+      comm.send(next, 0, 1);
+      const int token = comm.recv<int>(comm.size() - 1, 0);
+      std::lock_guard guard(print_mu);
+      std::printf("  token returned to rank 0 with value %d\n", token);
+    } else {
+      const int token = comm.recv<int>(comm.rank() - 1, 0);
+      comm.send(next, 0, token + 1);
+    }
+  });
+
+  std::printf("\n== collectives ==\n");
+  mp::World::run(kRanks, [&](mp::Comm& comm) {
+    std::string motto;
+    if (comm.rank() == 0) {
+      motto = "teamwork scales";
+    }
+    comm.bcast(motto, 0);
+
+    const int sum = comm.allreduce(comm.rank() + 1,
+                                   [](int a, int b) { return a + b; });
+    const std::vector<int> squares = comm.allgather(comm.rank() *
+                                                    comm.rank());
+    comm.barrier();
+    std::lock_guard guard(print_mu);
+    std::printf("  rank %d: motto='%s', sum(1..%d)=%d, squares=[",
+                comm.rank(), motto.c_str(), comm.size(), sum);
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+      std::printf("%s%d", i ? ", " : "", squares[i]);
+    }
+    std::printf("]\n");
+  });
+
+  std::printf("\n== ring allreduce (the data-parallel training trick) ==\n");
+  mp::World::run(kRanks, [&](mp::Comm& comm) {
+    // Each rank contributes a gradient-like vector of 8 values.
+    std::vector<double> gradient(8);
+    std::iota(gradient.begin(), gradient.end(),
+              static_cast<double>(comm.rank()));
+    const std::vector<double> reduced = comm.ring_allreduce_sum(gradient);
+    if (comm.rank() == 0) {
+      std::lock_guard guard(print_mu);
+      std::printf("  reduced[0..7]:");
+      for (const double v : reduced) {
+        std::printf(" %.0f", v);
+      }
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

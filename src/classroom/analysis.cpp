@@ -1,0 +1,104 @@
+#include "classroom/analysis.hpp"
+
+#include <utility>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::classroom {
+
+namespace {
+
+EffectRow effect_row(const std::vector<double>& first,
+                     const std::vector<double>& second) {
+  const stats::Summary a = stats::summarize(first);
+  const stats::Summary b = stats::summarize(second);
+  EffectRow row;
+  row.mean_first = a.mean;
+  row.sd_first = a.sd;
+  row.mean_second = b.mean;
+  row.sd_second = b.sd;
+  row.cohens_d = stats::cohens_d_pooled(a.mean, a.sd, b.mean, b.sd);
+  row.magnitude = stats::interpret_cohens_d(row.cohens_d);
+  return row;
+}
+
+std::vector<stats::RankedItem> ranking_for(
+    const survey::Administration& administration, survey::Category category) {
+  std::vector<std::pair<std::string, double>> items;
+  items.reserve(survey::kElementCount);
+  for (const survey::Element element : survey::kAllElements) {
+    items.emplace_back(
+        survey::to_string(element),
+        administration.cohort_element_composite(category, element));
+  }
+  return stats::rank_descending(items);
+}
+
+}  // namespace
+
+StudyAnalysis analyze(const survey::Administration& first,
+                      const survey::Administration& second) {
+  util::require(first.cohort_size() == second.cohort_size(),
+                "analyze: both sittings must cover the same cohort");
+  util::require(first.cohort_size() >= 3, "analyze: cohort too small");
+
+  StudyAnalysis analysis;
+
+  // --- Table 1: paired t-tests over per-student overall averages.
+  analysis.emphasis_ttest = stats::paired_t_test(
+      first.per_student_overall(survey::Category::ClassEmphasis),
+      second.per_student_overall(survey::Category::ClassEmphasis));
+  analysis.growth_ttest = stats::paired_t_test(
+      first.per_student_overall(survey::Category::PersonalGrowth),
+      second.per_student_overall(survey::Category::PersonalGrowth));
+
+  // --- Tables 2 and 3: Cohen's d with the paper's pooled-SD formula.
+  analysis.emphasis_effect = effect_row(
+      first.per_student_overall(survey::Category::ClassEmphasis),
+      second.per_student_overall(survey::Category::ClassEmphasis));
+  analysis.growth_effect = effect_row(
+      first.per_student_overall(survey::Category::PersonalGrowth),
+      second.per_student_overall(survey::Category::PersonalGrowth));
+
+  // --- Table 4: Pearson r of per-student element averages,
+  // emphasis vs growth, each half.
+  for (const survey::Element element : survey::kAllElements) {
+    CorrelationRow row;
+    row.element = element;
+    row.first_half = stats::pearson(
+        first.per_student_element(survey::Category::ClassEmphasis, element),
+        first.per_student_element(survey::Category::PersonalGrowth,
+                                  element));
+    row.second_half = stats::pearson(
+        second.per_student_element(survey::Category::ClassEmphasis, element),
+        second.per_student_element(survey::Category::PersonalGrowth,
+                                   element));
+    analysis.correlations.push_back(row);
+  }
+
+  // --- Tables 5 and 6: composite-score rankings.
+  analysis.emphasis_ranking[0] =
+      ranking_for(first, survey::Category::ClassEmphasis);
+  analysis.emphasis_ranking[1] =
+      ranking_for(second, survey::Category::ClassEmphasis);
+  analysis.growth_ranking[0] =
+      ranking_for(first, survey::Category::PersonalGrowth);
+  analysis.growth_ranking[1] =
+      ranking_for(second, survey::Category::PersonalGrowth);
+
+  // --- Discussion artifact: emphasis-growth gap per element, second half.
+  for (const survey::Element element : survey::kAllElements) {
+    EmphasisGrowthGap gap;
+    gap.element = element;
+    gap.gap = second.cohort_element_mean(survey::Category::ClassEmphasis,
+                                         element) -
+              second.cohort_element_mean(survey::Category::PersonalGrowth,
+                                         element);
+    analysis.second_half_gaps.push_back(gap);
+  }
+
+  return analysis;
+}
+
+}  // namespace pblpar::classroom

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/effect.hpp"
+#include "stats/ranking.hpp"
+#include "stats/tests.hpp"
+#include "survey/response.hpp"
+
+namespace pblpar::classroom {
+
+/// One row of the paper's Table 2 / Table 3.
+struct EffectRow {
+  double mean_first = 0.0;
+  double sd_first = 0.0;
+  double mean_second = 0.0;
+  double sd_second = 0.0;
+  double cohens_d = 0.0;
+  stats::EffectMagnitude magnitude = stats::EffectMagnitude::Trivial;
+};
+
+/// One row of the paper's Table 4.
+struct CorrelationRow {
+  survey::Element element = survey::Element::Teamwork;
+  stats::PearsonResult first_half;
+  stats::PearsonResult second_half;
+};
+
+/// Per-element emphasis-vs-growth gap in one half (the paper flags course
+/// redesign when it exceeds 0.2; Implementation's second-half gap is
+/// 0.03).
+struct EmphasisGrowthGap {
+  survey::Element element = survey::Element::Teamwork;
+  double gap = 0.0;  // emphasis mean - growth mean
+};
+
+/// Everything the paper's evaluation section reports, computed from two
+/// survey administrations.
+struct StudyAnalysis {
+  // Table 1: paired t-tests on per-student overall averages.
+  stats::TTestResult emphasis_ttest;
+  stats::TTestResult growth_ttest;
+
+  // Tables 2 and 3.
+  EffectRow emphasis_effect;
+  EffectRow growth_effect;
+
+  // Table 4, one row per element in instrument order.
+  std::vector<CorrelationRow> correlations;
+
+  // Tables 5 and 6: rankings per half (composite scores).
+  std::array<std::vector<stats::RankedItem>, 2> emphasis_ranking;
+  std::array<std::vector<stats::RankedItem>, 2> growth_ranking;
+
+  // Discussion-section artifact: per-element emphasis-growth gaps in the
+  // second half.
+  std::vector<EmphasisGrowthGap> second_half_gaps;
+};
+
+/// Run the paper's full analysis pipeline.
+StudyAnalysis analyze(const survey::Administration& first,
+                      const survey::Administration& second);
+
+}  // namespace pblpar::classroom

@@ -1,0 +1,206 @@
+#include "classroom/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::classroom {
+
+namespace {
+
+int discretize(double latent) {
+  return static_cast<int>(std::clamp(std::lround(latent), 1L, 5L));
+}
+
+/// Bisection for a monotone-increasing objective.
+double bisect(const std::function<double(double)>& objective, double target,
+              double lo, double hi, int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (objective(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Pre-drawn standard normal tables for common-random-number objectives.
+struct NormalTable {
+  std::vector<double> values;
+  explicit NormalTable(std::size_t count, util::Rng& rng) {
+    values.resize(count);
+    for (double& v : values) {
+      v = rng.normal();
+    }
+  }
+  double operator()(std::size_t index) const { return values[index]; }
+};
+
+std::size_t items_per_element() {
+  // Every element of the instrument has the same item count by
+  // construction; assert and return it.
+  const auto& specs = survey::instrument();
+  const std::size_t count = specs.front().item_count();
+  for (const auto& spec : specs) {
+    util::ensure(spec.item_count() == count,
+                 "calibrate: instrument item counts differ per element");
+  }
+  return count;
+}
+
+}  // namespace
+
+Calibrator::Calibrator(const PaperTargets& targets,
+                       CalibrationOptions options)
+    : targets_(targets), options_(options) {
+  util::require(options_.monte_carlo_students >= 100,
+                "Calibrator: need a reasonable Monte Carlo cohort");
+}
+
+ModelParams Calibrator::calibrate() const {
+  ModelParams params;
+  const double s = params.s_total;
+  const std::size_t m = items_per_element();
+  const auto n = static_cast<std::size_t>(options_.monte_carlo_students);
+
+  // ---- Step 1: latent means, via the exact discretized-mean map.
+  for (int category = 0; category < 2; ++category) {
+    for (int half = 0; half < 2; ++half) {
+      for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+        const ElementTargets& element = targets_.elements[e];
+        const double target =
+            category == 0
+                ? element.emphasis_mean[static_cast<std::size_t>(half)]
+                : element.growth_mean[static_cast<std::size_t>(half)];
+        params.mu[static_cast<std::size_t>(category)]
+                 [static_cast<std::size_t>(half)][e] =
+            bisect([&](double mu) { return discretized_mean(mu, s); },
+                   target, 0.5, 6.5, options_.bisection_iterations);
+      }
+    }
+  }
+
+  // ---- Step 2: student-trait shares, matched to the overall SDs.
+  util::Rng rng(options_.seed);
+  const NormalTable u_table(n, rng);
+  const NormalTable z_table(n * survey::kElementCount, rng);
+  const NormalTable eps_table(n * survey::kElementCount * m, rng);
+
+  // Mirror the generator's centered element factors so the objective is
+  // the same statistic the generator will produce.
+  constexpr double kRescale =
+      7.0 / 6.0;  // kElementCount / (kElementCount - 1)
+  const auto centered_z = [&](std::size_t student, std::size_t element) {
+    double mean = 0.0;
+    for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+      mean += z_table(student * survey::kElementCount + e);
+    }
+    mean /= static_cast<double>(survey::kElementCount);
+    return (z_table(student * survey::kElementCount + element) - mean) *
+           std::sqrt(kRescale);
+  };
+
+  const auto overall_sd_for = [&](int category, int half, double w_student) {
+    const double we = params.w_element;
+    const double wi = 1.0 - w_student - we;
+    std::vector<double> overall(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+        const double mu = params.mu[static_cast<std::size_t>(category)]
+                                   [static_cast<std::size_t>(half)][e];
+        const double base = std::sqrt(w_student) * u_table(i) +
+                            std::sqrt(we) * centered_z(i, e);
+        for (std::size_t j = 0; j < m; ++j) {
+          const double eps =
+              eps_table((i * survey::kElementCount + e) * m + j);
+          sum += discretize(mu + s * (base + std::sqrt(wi) * eps));
+        }
+      }
+      overall[i] = sum / static_cast<double>(survey::kElementCount * m);
+    }
+    return stats::sample_sd(overall);
+  };
+
+  for (int category = 0; category < 2; ++category) {
+    for (int half = 0; half < 2; ++half) {
+      const double target =
+          category == 0
+              ? targets_.emphasis_overall_sd[static_cast<std::size_t>(half)]
+              : targets_.growth_overall_sd[static_cast<std::size_t>(half)];
+      params.w_student[static_cast<std::size_t>(category)]
+                      [static_cast<std::size_t>(half)] =
+          bisect(
+              [&](double w) { return overall_sd_for(category, half, w); },
+              target, 0.005, 1.0 - params.w_element - 0.05,
+              options_.bisection_iterations);
+    }
+  }
+
+  // ---- Step 3: latent correlations, matched to Table 4's r values.
+  const NormalTable w_table(n * survey::kElementCount, rng);
+  const NormalTable eps_g_table(n * survey::kElementCount * m, rng);
+
+  const auto observed_r = [&](int half, std::size_t e, double rho) {
+    const double we = params.w_element;
+    const double ws_e =
+        params.w_student[0][static_cast<std::size_t>(half)];
+    const double ws_g =
+        params.w_student[1][static_cast<std::size_t>(half)];
+    const double wi_e = 1.0 - ws_e - we;
+    const double wi_g = 1.0 - ws_g - we;
+    const double mu_e = params.mu[0][static_cast<std::size_t>(half)][e];
+    const double mu_g = params.mu[1][static_cast<std::size_t>(half)][e];
+
+    std::vector<double> emphasis(n);
+    std::vector<double> growth(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = u_table(i);
+      const double ze = z_table(i * survey::kElementCount + e);
+      const double zw = w_table(i * survey::kElementCount + e);
+      const double zg = rho * ze + std::sqrt(1.0 - rho * rho) * zw;
+      double sum_e = 0.0;
+      double sum_g = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t index = (i * survey::kElementCount + e) * m + j;
+        sum_e += discretize(mu_e + s * (std::sqrt(ws_e) * u +
+                                        std::sqrt(we) * ze +
+                                        std::sqrt(wi_e) * eps_table(index)));
+        sum_g += discretize(mu_g + s * (std::sqrt(ws_g) * u +
+                                        std::sqrt(we) * zg +
+                                        std::sqrt(wi_g) *
+                                            eps_g_table(index)));
+      }
+      emphasis[i] = sum_e / static_cast<double>(m);
+      growth[i] = sum_g / static_cast<double>(m);
+    }
+    return stats::pearson(emphasis, growth).r;
+  };
+
+  for (int half = 0; half < 2; ++half) {
+    for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+      const double target =
+          targets_.elements[e].correlation[static_cast<std::size_t>(half)];
+      params.rho_latent[static_cast<std::size_t>(half)][e] =
+          bisect([&](double rho) { return observed_r(half, e, rho); },
+                 target, -0.999, 0.999, options_.bisection_iterations);
+    }
+  }
+
+  return params;
+}
+
+const ModelParams& calibrated_paper_params() {
+  static const ModelParams kParams =
+      Calibrator(PaperTargets::published()).calibrate();
+  return kParams;
+}
+
+}  // namespace pblpar::classroom

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "classroom/model.hpp"
+#include "classroom/targets.hpp"
+
+namespace pblpar::classroom {
+
+/// Calibration settings. Monte Carlo evaluations use common random
+/// numbers, so each bisection objective is a smooth deterministic
+/// function of the parameter being solved for.
+struct CalibrationOptions {
+  int monte_carlo_students = 4000;
+  int bisection_iterations = 40;
+  std::uint64_t seed = 0xCA11B7A7E5ULL;
+};
+
+/// Fits the latent response model to the paper's published statistics:
+///  1. latent means mu — solved exactly against the discretized-mean map,
+///  2. student-trait shares w_student — matched to the overall SDs
+///     (Tables 2/3) by bisection over a common-random-number cohort,
+///  3. latent correlations rho — matched to Table 4's r values the same
+///     way (this also absorbs the correlation induced by the shared
+///     student trait and the attenuation from Likert discretization).
+class Calibrator {
+ public:
+  explicit Calibrator(const PaperTargets& targets,
+                      CalibrationOptions options = {});
+
+  ModelParams calibrate() const;
+
+ private:
+  PaperTargets targets_;
+  CalibrationOptions options_;
+};
+
+/// The model fitted to the published paper targets, calibrated once per
+/// process and cached (deterministic).
+const ModelParams& calibrated_paper_params();
+
+}  // namespace pblpar::classroom

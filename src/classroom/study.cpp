@@ -1,0 +1,33 @@
+#include "classroom/study.hpp"
+
+#include "classroom/calibrate.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::classroom {
+
+SemesterStudy SemesterStudy::simulate(std::uint64_t seed, int cohort_size,
+                                      int num_teams) {
+  SemesterStudy study;
+
+  util::Rng rng(seed);
+  course::RosterConfig roster_config = course::RosterConfig::paper_cohort();
+  roster_config.size = cohort_size;
+  study.roster = course::generate_roster(roster_config, rng);
+
+  course::FormationConfig formation;
+  study.teams =
+      course::form_teams(study.roster, num_teams, formation, rng).teams;
+
+  CohortConfig cohort_config;
+  cohort_config.cohort_size = cohort_size;
+  cohort_config.seed = seed;
+  GeneratedStudy generated =
+      generate_cohort(calibrated_paper_params(), cohort_config);
+  study.first_survey = std::move(generated.first_half);
+  study.second_survey = std::move(generated.second_half);
+
+  study.analysis = analyze(study.first_survey, study.second_survey);
+  return study;
+}
+
+}  // namespace pblpar::classroom

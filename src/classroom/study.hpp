@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "classroom/analysis.hpp"
+#include "classroom/model.hpp"
+#include "course/teams.hpp"
+
+namespace pblpar::classroom {
+
+/// One complete simulated run of the paper's study: the cohort, the
+/// criteria-balanced teams, both survey sittings generated from the
+/// calibrated model, and the full analysis.
+struct SemesterStudy {
+  std::vector<course::Student> roster;
+  std::vector<course::Team> teams;
+  survey::Administration first_survey;
+  survey::Administration second_survey;
+  StudyAnalysis analysis;
+
+  /// Reproduce the paper's setup: 124 students (26 female), 26 teams of
+  /// up to five, two survey sittings. Deterministic in the seed.
+  static SemesterStudy simulate(std::uint64_t seed = CohortConfig{}.seed,
+                                int cohort_size = 124, int num_teams = 26);
+};
+
+}  // namespace pblpar::classroom

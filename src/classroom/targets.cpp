@@ -1,0 +1,44 @@
+#include "classroom/targets.hpp"
+
+namespace pblpar::classroom {
+
+double PaperTargets::emphasis_overall_mean(int half) const {
+  double sum = 0.0;
+  for (const ElementTargets& element : elements) {
+    sum += element.emphasis_mean[static_cast<std::size_t>(half)];
+  }
+  return sum / static_cast<double>(elements.size());
+}
+
+double PaperTargets::growth_overall_mean(int half) const {
+  double sum = 0.0;
+  for (const ElementTargets& element : elements) {
+    sum += element.growth_mean[static_cast<std::size_t>(half)];
+  }
+  return sum / static_cast<double>(elements.size());
+}
+
+const PaperTargets& PaperTargets::published() {
+  // Element order matches survey::kAllElements:
+  // Teamwork, Information Gathering, Problem Definition, Idea Generation,
+  // Evaluation & Decision Making, Implementation, Communication.
+  static const PaperTargets kTargets = [] {
+    PaperTargets targets;
+    //                     emphasis h1/h2   growth h1/h2     r h1/h2
+    targets.elements = {{
+        {{4.38, 4.41}, {4.14, 4.33}, {0.38, 0.47}},  // Teamwork
+        {{3.81, 3.91}, {3.62, 3.84}, {0.66, 0.68}},  // Information Gathering
+        {{4.09, 4.19}, {3.89, 4.00}, {0.62, 0.61}},  // Problem Definition
+        {{4.04, 4.09}, {3.84, 3.97}, {0.64, 0.57}},  // Idea Generation
+        {{3.66, 3.98}, {3.36, 3.77}, {0.73, 0.73}},  // Eval & Decision Making
+        {{4.16, 4.25}, {4.05, 4.22}, {0.59, 0.61}},  // Implementation
+        {{4.02, 4.03}, {3.83, 3.97}, {0.67, 0.67}},  // Communication
+    }};
+    targets.emphasis_overall_sd = {0.232416, 0.172052};  // Table 2
+    targets.growth_overall_sd = {0.262204, 0.198497};    // Table 3
+    return targets;
+  }();
+  return kTargets;
+}
+
+}  // namespace pblpar::classroom

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+
+#include "survey/instrument.hpp"
+
+namespace pblpar::classroom {
+
+/// Index of a survey administration: 0 = mid-semester, 1 = end of term.
+inline constexpr int kFirstHalf = 0;
+inline constexpr int kSecondHalf = 1;
+
+/// The paper's published statistics for one survey element.
+struct ElementTargets {
+  /// Table 5: cohort mean of Class Emphasis, per half.
+  std::array<double, 2> emphasis_mean{};
+  /// Table 6: cohort mean of Personal Growth, per half.
+  std::array<double, 2> growth_mean{};
+  /// Table 4: Pearson r between emphasis and growth, per half.
+  std::array<double, 2> correlation{};
+};
+
+/// Every number this reproduction calibrates against, transcribed from
+/// the paper's Tables 2-6.
+struct PaperTargets {
+  std::array<ElementTargets, survey::kElementCount> elements{};
+
+  /// Table 2: SD across students of the per-student overall emphasis
+  /// average, per half.
+  std::array<double, 2> emphasis_overall_sd{};
+  /// Table 3: same for personal growth.
+  std::array<double, 2> growth_overall_sd{};
+
+  /// Table 2/3 cohort means, derivable from the element means.
+  double emphasis_overall_mean(int half) const;
+  double growth_overall_mean(int half) const;
+
+  const ElementTargets& of(survey::Element element) const {
+    return elements[survey::index_of(element)];
+  }
+
+  /// The published values (Younis et al., IPPS 2019).
+  static const PaperTargets& published();
+};
+
+}  // namespace pblpar::classroom

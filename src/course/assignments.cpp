@@ -1,0 +1,142 @@
+#include "course/assignments.hpp"
+
+namespace pblpar::course {
+
+std::string to_string(Material material) {
+  switch (material) {
+    case Material::TeamworkBasics:
+      return "Teamwork Basics [6]";
+    case Material::RaspberryPiMulticore:
+      return "Raspberry PI Multicore architecture [7]";
+    case Material::OpenMpPatternlets:
+      return "Shared Memory Parallel Patternlets in OpenMP [8]";
+    case Material::IntroParallelComputing:
+      return "Introduction to Parallel Computing [9]";
+    case Material::CpuVsSoc:
+      return "CPU vs. SOC - The battle for the future of computing [10]";
+    case Material::IntroParallelMapReduce:
+      return "Introduction to Parallel Programming and MapReduce [11]";
+  }
+  return "?";
+}
+
+std::string to_string(Deliverable deliverable) {
+  switch (deliverable) {
+    case Deliverable::PlanningAndScheduling:
+      return "Planning and Scheduling (work breakdown structure)";
+    case Deliverable::Collaboration:
+      return "Collaboration";
+    case Deliverable::WrittenReport:
+      return "Written Report";
+    case Deliverable::VideoPresentation:
+      return "Video Presentation (5-10 minutes, posted on YouTube)";
+  }
+  return "?";
+}
+
+const std::vector<Assignment>& five_assignments() {
+  static const std::vector<Assignment> kAssignments = {
+      {1,
+       "Teamwork basics and teamwork technologies",
+       2,
+       {Material::TeamworkBasics},
+       {
+           "Establish the team Ground Rules: work norms, facilitator "
+           "norms, communication norms, meeting norms, handling difficult "
+           "behavior, and handling group problems.",
+           "Learn, apply and report how to utilize Slack, GitHub, Google "
+           "Docs, and YouTube as teamwork technologies.",
+       },
+       {}},
+      {2,
+       "Raspberry Pi setup and first shared-memory programs",
+       2,
+       {Material::RaspberryPiMulticore, Material::OpenMpPatternlets,
+        Material::IntroParallelComputing},
+       {
+           "Identify the components on the Raspberry PI B+.",
+           "How many cores does the Raspberry Pi's B+ CPU have?",
+           "What is the difference between sequential and parallel "
+           "computation and the practical significance of each?",
+           "Identify the basic form of data and task parallelism in "
+           "computational problems.",
+           "Explain the differences between processes and threads.",
+           "What is OpenMP and what are OpenMP pragmas?",
+           "What applications benefit from multi-core?",
+       },
+       {"fork-join", "spmd", "shared-memory-data-race"}},
+      {3,
+       "Parallel loops and scheduling",
+       2,
+       {Material::RaspberryPiMulticore, Material::OpenMpPatternlets,
+        Material::IntroParallelComputing, Material::CpuVsSoc},
+       {
+           "What is: Task, Pipelining, Shared Memory, Communications, and "
+           "Synchronization?",
+           "Classify parallel computers based on Flynn's taxonomy.",
+           "What are the Parallel Programming Models?",
+           "List and describe the types of Parallel Computer Memory "
+           "Architecture. What type is used by OpenMP and why?",
+           "Compare the Shared Memory Model with the Threads Model.",
+           "What is System On Chip (SOC)? Does Raspberry PI use SOC?",
+           "What are the advantages of a System on a Chip rather than "
+           "separate CPU, GPU and RAM components?",
+       },
+       {"parallel-loop-equal-chunks", "parallel-loop-scheduling",
+        "reduction"}},
+      {4,
+       "Race conditions, synchronization patterns",
+       2,
+       {Material::OpenMpPatternlets, Material::IntroParallelComputing},
+       {
+           "What is the race condition? Why is a race condition difficult "
+           "to reproduce and debug? How can it be fixed? Provide an "
+           "example from your Assignment 2.",
+           "Compare collective synchronization (barrier) with collective "
+           "communication (reduction).",
+           "Compare master-worker with fork-join.",
+       },
+       {"trapezoid-integration", "barrier-coordination", "master-worker"}},
+      {5,
+       "MapReduce and the Drug Design exemplar",
+       2,
+       {Material::IntroParallelMapReduce, Material::RaspberryPiMulticore},
+       {
+           "What are the basic steps in building a parallel program?",
+           "What is MapReduce? What is a map and what is a reduce?",
+           "Why MapReduce? Explain how the MapReduce model is executed.",
+           "List and describe three examples that are expressed as "
+           "MapReduce computations.",
+           "When do we use OpenMP, MPI and MapReduce (Hadoop), and why?",
+           "Report your understanding of the Drug Design and DNA problem "
+           "and its parallel algorithmic strategy.",
+       },
+       {"drug-design-sequential", "drug-design-openmp",
+        "drug-design-cxx11-threads"}},
+  };
+  return kAssignments;
+}
+
+const std::vector<Deliverable>& standard_deliverables() {
+  static const std::vector<Deliverable> kDeliverables = {
+      Deliverable::PlanningAndScheduling,
+      Deliverable::Collaboration,
+      Deliverable::WrittenReport,
+      Deliverable::VideoPresentation,
+  };
+  return kDeliverables;
+}
+
+const std::vector<std::string>& video_presentation_guide() {
+  static const std::vector<std::string> kGuide = {
+      "Introduce yourself and your role.",
+      "Identify your task for this assignment and 2-3 key things learned.",
+      "How you will apply what you learned in your next assignment, "
+      "academic life (future classes), and in the future job.",
+      "What was the best/most challenging/worst experience you "
+      "encountered.",
+  };
+  return kGuide;
+}
+
+}  // namespace pblpar::course

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pblpar::course {
+
+/// The learning materials the paper distributes with assignments
+/// (references [6]–[11]).
+enum class Material {
+  TeamworkBasics,                 // [6] MIT Sloan teamwork notes
+  RaspberryPiMulticore,           // [7] CSinParallel Pi workshop
+  OpenMpPatternlets,              // [8] shared-memory patternlets
+  IntroParallelComputing,         // [9] LLNL tutorial
+  CpuVsSoc,                       // [10]
+  IntroParallelMapReduce,         // [11]
+};
+
+std::string to_string(Material material);
+
+/// The per-assignment deliverables common to all five assignments.
+enum class Deliverable {
+  PlanningAndScheduling,  // work breakdown structure
+  Collaboration,
+  WrittenReport,
+  VideoPresentation,  // 5-10 minutes, every member participates
+};
+
+std::string to_string(Deliverable deliverable);
+
+/// One two-week project assignment of the PBL module.
+struct Assignment {
+  int number = 0;  // 1..5
+  std::string title;
+  int duration_weeks = 2;
+  std::vector<Material> materials;
+  std::vector<std::string> study_questions;
+  std::vector<std::string> programming_tasks;  // names of patternlets/apps
+
+  bool has_programming() const { return !programming_tasks.empty(); }
+};
+
+/// The five assignments exactly as the paper describes them (Section II).
+const std::vector<Assignment>& five_assignments();
+
+/// All four deliverables, required by every assignment.
+const std::vector<Deliverable>& standard_deliverables();
+
+/// The video presentation guide bullet points (quoted from the paper).
+const std::vector<std::string>& video_presentation_guide();
+
+}  // namespace pblpar::course

@@ -1,0 +1,55 @@
+#include "course/grading.hpp"
+
+namespace pblpar::course {
+
+double assignment_grade(double team_grade, Cooperation cooperation) {
+  util::require(team_grade >= 0.0 && team_grade <= 100.0,
+                "assignment_grade: team grade must be in [0, 100]");
+  return cooperation == Cooperation::Full ? team_grade : 0.0;
+}
+
+double module_score(const std::vector<double>& team_grades,
+                    const std::vector<Cooperation>& cooperation,
+                    const GradingPolicy& policy) {
+  util::require(team_grades.size() == cooperation.size(),
+                "module_score: one cooperation entry per assignment");
+  util::require(static_cast<int>(team_grades.size()) ==
+                    policy.num_assignments,
+                "module_score: grade count must match the policy");
+
+  double total = 0.0;
+  int consecutive_none = 0;
+  bool zeroed_out = false;
+  for (std::size_t a = 0; a < team_grades.size(); ++a) {
+    if (zeroed_out) {
+      continue;
+    }
+    if (cooperation[a] == Cooperation::None) {
+      ++consecutive_none;
+      if (consecutive_none >= 2) {
+        zeroed_out = true;  // problem persisted; remaining are zero
+      }
+      continue;
+    }
+    consecutive_none = 0;
+    total += assignment_grade(team_grades[a], cooperation[a]);
+  }
+  return total / policy.num_assignments;
+}
+
+double mean_peer_rating(const std::vector<PeerRating>& ratings,
+                        int ratee_id) {
+  double sum = 0.0;
+  int count = 0;
+  for (const PeerRating& rating : ratings) {
+    util::require(rating.score >= 0 && rating.score <= 5,
+                  "mean_peer_rating: scores must be in 0..5");
+    if (rating.ratee_id == ratee_id) {
+      sum += rating.score;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace pblpar::course

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pblpar::course {
+
+/// How far a student cooperated on one assignment (the paper's zero
+/// rules).
+enum class Cooperation {
+  Full,     // receives the team grade
+  Partial,  // "refuses to cooperate or partially cooperated": zero
+  None,     // zero, and if persistent, zeroes for the rest of the module
+};
+
+/// The module's grading policy: 25% of the course grade, split equally
+/// across the five assignments; per-assignment zero rules as published.
+struct GradingPolicy {
+  double module_weight = 0.25;
+  int num_assignments = 5;
+
+  double per_assignment_weight() const {
+    return module_weight / num_assignments;
+  }
+};
+
+/// A peer rating of one member's contribution, from the per-assignment
+/// peer rating form (0..5).
+struct PeerRating {
+  int rater_id = -1;
+  int ratee_id = -1;
+  int score = 0;
+};
+
+/// Grade one student's single assignment: the team grade if they
+/// cooperated, zero otherwise. `team_grade` in [0, 100].
+double assignment_grade(double team_grade, Cooperation cooperation);
+
+/// Grade a student's whole PBL module given the team grade and their
+/// cooperation per assignment. Implements the persistence rule: from the
+/// second consecutive `None` onwards, all remaining assignments are
+/// zeroed ("grade of zeroes will be assigned for the remaining
+/// assignments"). Returns the module score in [0, 100].
+double module_score(const std::vector<double>& team_grades,
+                    const std::vector<Cooperation>& cooperation,
+                    const GradingPolicy& policy = {});
+
+/// Mean peer rating received by a student (0 if never rated).
+double mean_peer_rating(const std::vector<PeerRating>& ratings,
+                        int ratee_id);
+
+}  // namespace pblpar::course

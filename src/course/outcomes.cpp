@@ -1,0 +1,128 @@
+#include "course/outcomes.hpp"
+
+#include <algorithm>
+
+#include "course/assignments.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::course {
+
+double ModuleOutcomes::mean_module_score() const {
+  util::require(!students.empty(), "ModuleOutcomes: no students");
+  double sum = 0.0;
+  for (const StudentOutcome& student : students) {
+    sum += student.module_score;
+  }
+  return sum / static_cast<double>(students.size());
+}
+
+ModuleOutcomes simulate_module(const std::vector<Student>& students,
+                               const std::vector<Team>& teams,
+                               const OutcomeConfig& config, util::Rng& rng) {
+  util::require(!teams.empty(), "simulate_module: no teams");
+  util::require(config.partial_cooperation_rate >= 0.0 &&
+                    config.non_cooperation_rate >= 0.0 &&
+                    config.partial_cooperation_rate +
+                            config.non_cooperation_rate <=
+                        1.0,
+                "simulate_module: cooperation rates must form a "
+                "probability");
+  const int num_assignments = config.policy.num_assignments;
+
+  ModuleOutcomes outcomes;
+  outcomes.policy = config.policy;
+  outcomes.students.resize(students.size());
+  for (std::size_t i = 0; i < students.size(); ++i) {
+    outcomes.students[i].student_id = static_cast<int>(i);
+    outcomes.students[i].cooperation.assign(
+        static_cast<std::size_t>(num_assignments), Cooperation::Full);
+  }
+
+  std::vector<PeerRating> all_ratings;
+
+  for (const Team& team : teams) {
+    util::require(!team.member_ids.empty(), "simulate_module: empty team");
+    TeamOutcome team_outcome;
+    team_outcome.team_id = team.id;
+
+    // Team ability pulls its grades up or down a little.
+    double ability_sum = 0.0;
+    for (const int id : team.member_ids) {
+      ability_sum += students[static_cast<std::size_t>(id)].ability_index();
+      outcomes.students[static_cast<std::size_t>(id)].team_id = team.id;
+    }
+    const double ability_centered =
+        ability_sum / static_cast<double>(team.member_ids.size()) - 3.0;
+
+    for (int a = 0; a < num_assignments; ++a) {
+      const double grade = std::clamp(
+          rng.normal(config.base_team_grade +
+                         config.ability_grade_weight * ability_centered,
+                     config.team_grade_sd),
+          0.0, 100.0);
+      team_outcome.assignment_grades.push_back(grade);
+
+      const int coordinator = team.coordinator_for(a);
+      outcomes.students[static_cast<std::size_t>(coordinator)]
+          .coordinator_count += 1;
+
+      // Cooperation draws; coordinators never bail on their own
+      // assignment.
+      for (const int id : team.member_ids) {
+        Cooperation cooperation = Cooperation::Full;
+        if (id != coordinator) {
+          const double draw = rng.next_double();
+          if (draw < config.non_cooperation_rate) {
+            cooperation = Cooperation::None;
+          } else if (draw < config.non_cooperation_rate +
+                                config.partial_cooperation_rate) {
+            cooperation = Cooperation::Partial;
+          }
+        }
+        outcomes.students[static_cast<std::size_t>(id)]
+            .cooperation[static_cast<std::size_t>(a)] = cooperation;
+      }
+
+      // Peer ratings: full cooperators get 4-5, partial 2-3, none 0-1.
+      for (const int rater : team.member_ids) {
+        for (const int ratee : team.member_ids) {
+          if (rater == ratee) {
+            continue;
+          }
+          const Cooperation c =
+              outcomes.students[static_cast<std::size_t>(ratee)]
+                  .cooperation[static_cast<std::size_t>(a)];
+          int score = 0;
+          switch (c) {
+            case Cooperation::Full:
+              score = static_cast<int>(rng.uniform_int(4, 5));
+              break;
+            case Cooperation::Partial:
+              score = static_cast<int>(rng.uniform_int(2, 3));
+              break;
+            case Cooperation::None:
+              score = static_cast<int>(rng.uniform_int(0, 1));
+              break;
+          }
+          all_ratings.push_back(PeerRating{rater, ratee, score});
+        }
+      }
+    }
+    outcomes.teams.push_back(std::move(team_outcome));
+  }
+
+  // Final per-student scores via the grading policy's zero rules.
+  for (const TeamOutcome& team_outcome : outcomes.teams) {
+    const Team& team = teams[static_cast<std::size_t>(team_outcome.team_id)];
+    for (const int id : team.member_ids) {
+      StudentOutcome& student = outcomes.students[static_cast<std::size_t>(id)];
+      student.module_score = module_score(
+          team_outcome.assignment_grades, student.cooperation,
+          config.policy);
+      student.mean_peer_rating = mean_peer_rating(all_ratings, id);
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace pblpar::course

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "course/grading.hpp"
+#include "course/teams.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::course {
+
+/// One student's simulated trajectory through the five-assignment module.
+struct StudentOutcome {
+  int student_id = -1;
+  int team_id = -1;
+  std::vector<Cooperation> cooperation;  // one entry per assignment
+  double mean_peer_rating = 0.0;         // 0..5 across the semester
+  double module_score = 0.0;             // 0..100
+  int coordinator_count = 0;             // assignments coordinated
+};
+
+/// One team's simulated trajectory.
+struct TeamOutcome {
+  int team_id = -1;
+  std::vector<double> assignment_grades;  // 0..100, one per assignment
+};
+
+/// The whole module's simulated outcomes.
+struct ModuleOutcomes {
+  std::vector<TeamOutcome> teams;
+  std::vector<StudentOutcome> students;  // indexed by student id
+  GradingPolicy policy;
+
+  double mean_module_score() const;
+};
+
+/// Simulation knobs (rates loosely follow the experience of running
+/// group projects: most students cooperate; a few lapse occasionally).
+struct OutcomeConfig {
+  double base_team_grade = 84.0;   // mean assignment grade
+  double team_grade_sd = 7.0;
+  double ability_grade_weight = 4.0;  // team ability's pull on its grade
+  double partial_cooperation_rate = 0.04;
+  double non_cooperation_rate = 0.015;
+  GradingPolicy policy{};
+};
+
+/// Simulate the module: per-assignment team grades (ability-linked),
+/// per-student cooperation (with the paper's zero rules applied), peer
+/// ratings consistent with cooperation, and coordinator rotation.
+/// Deterministic in the rng.
+ModuleOutcomes simulate_module(const std::vector<Student>& students,
+                               const std::vector<Team>& teams,
+                               const OutcomeConfig& config, util::Rng& rng);
+
+}  // namespace pblpar::course

@@ -1,0 +1,67 @@
+#include "course/student.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pblpar::course {
+
+double Student::ability_index() const {
+  const double gpa_scaled = gpa / 4.3 * 5.0;
+  return (gpa_scaled + programming_experience + systems_experience +
+          groupwork_experience + writing_experience) /
+         5.0;
+}
+
+std::vector<Student> generate_roster(const RosterConfig& config,
+                                     util::Rng& rng) {
+  util::require(config.size >= 1, "generate_roster: size must be positive");
+  util::require(config.female_fraction >= 0.0 &&
+                    config.female_fraction <= 1.0,
+                "generate_roster: female_fraction must be in [0, 1]");
+
+  const int females =
+      static_cast<int>(std::lround(config.female_fraction * config.size));
+
+  std::vector<Student> roster;
+  roster.reserve(static_cast<std::size_t>(config.size));
+  for (int i = 0; i < config.size; ++i) {
+    Student student;
+    student.id = i;
+    student.gender = i < females ? Gender::Female : Gender::Male;
+    student.gpa =
+        std::clamp(rng.normal(config.mean_gpa, config.sd_gpa), 1.8, 4.3);
+    // Experience scales: centred at 3 with spread, clamped to 1..5.
+    const auto scale = [&rng] {
+      return static_cast<int>(
+          std::clamp(std::lround(rng.normal(3.0, 1.0)), 1L, 5L));
+    };
+    student.programming_experience = scale();
+    student.systems_experience = scale();
+    student.groupwork_experience = scale();
+    student.writing_experience = scale();
+    roster.push_back(student);
+  }
+  // Shuffle so gender is not correlated with id order.
+  rng.shuffle(roster);
+  for (int i = 0; i < config.size; ++i) {
+    roster[static_cast<std::size_t>(i)].id = i;
+  }
+  return roster;
+}
+
+int female_count(const std::vector<Student>& students,
+                 const std::vector<int>& member_ids) {
+  int count = 0;
+  for (const int id : member_ids) {
+    util::require(id >= 0 && id < static_cast<int>(students.size()),
+                  "female_count: member id out of range");
+    if (students[static_cast<std::size_t>(id)].gender == Gender::Female) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace pblpar::course

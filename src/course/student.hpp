@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pblpar::course {
+
+enum class Gender { Male, Female };
+
+/// One enrolled student, carrying exactly the attributes the paper's team
+/// formation criteria use: "gender, system and programming experience,
+/// experience in group work, GPA, and technical writing experience".
+struct Student {
+  int id = -1;
+  Gender gender = Gender::Male;
+  double gpa = 0.0;               // 0.0 .. 4.3
+  int programming_experience = 1;  // 1..5
+  int systems_experience = 1;      // 1..5
+  int groupwork_experience = 1;    // 1..5
+  int writing_experience = 1;      // 1..5
+
+  /// Composite ability used for balancing: GPA (normalized to 0..5) plus
+  /// the four experience scales, equally weighted.
+  double ability_index() const;
+};
+
+/// Configuration of a synthetic roster that mirrors the paper's cohort.
+struct RosterConfig {
+  int size = 124;
+  double female_fraction = 26.0 / 124.0;  // 26 of 124 students
+  double mean_gpa = 3.1;
+  double sd_gpa = 0.45;
+
+  static RosterConfig paper_cohort() { return RosterConfig{}; }
+};
+
+/// Generate a deterministic synthetic roster (the paper's raw roster is
+/// not published; this is the documented substitution).
+std::vector<Student> generate_roster(const RosterConfig& config,
+                                     util::Rng& rng);
+
+/// Count of female students in a roster subset.
+int female_count(const std::vector<Student>& students,
+                 const std::vector<int>& member_ids);
+
+}  // namespace pblpar::course

@@ -1,0 +1,252 @@
+#include "course/teams.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace pblpar::course {
+
+namespace {
+
+double variance(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum_sq += (v - mean) * (v - mean);
+  }
+  return sum_sq / static_cast<double>(values.size());
+}
+
+std::vector<Team> empty_teams(int num_teams) {
+  std::vector<Team> teams(static_cast<std::size_t>(num_teams));
+  for (int t = 0; t < num_teams; ++t) {
+    teams[static_cast<std::size_t>(t)].id = t;
+  }
+  return teams;
+}
+
+void check_inputs(const std::vector<Student>& students, int num_teams,
+                  int max_team_size) {
+  util::require(num_teams >= 1, "form_teams: need at least one team");
+  util::require(!students.empty(), "form_teams: roster is empty");
+  util::require(
+      static_cast<int>(students.size()) <= num_teams * max_team_size,
+      "form_teams: roster does not fit in num_teams * max_team_size");
+}
+
+}  // namespace
+
+int Team::coordinator_for(int assignment_index) const {
+  util::require(!member_ids.empty(), "Team::coordinator_for: empty team");
+  util::require(assignment_index >= 0,
+                "Team::coordinator_for: negative assignment index");
+  return member_ids[static_cast<std::size_t>(assignment_index) %
+                    member_ids.size()];
+}
+
+double partition_cost(const std::vector<Student>& students,
+                      const std::vector<Team>& teams,
+                      const FormationConfig& config,
+                      const std::vector<std::pair<int, int>>& friend_pairs) {
+  std::vector<double> team_abilities;
+  std::vector<double> team_female_counts;
+  int isolated = 0;
+  team_abilities.reserve(teams.size());
+  for (const Team& team : teams) {
+    if (team.member_ids.empty()) {
+      continue;
+    }
+    double ability_sum = 0.0;
+    for (const int id : team.member_ids) {
+      ability_sum += students[static_cast<std::size_t>(id)].ability_index();
+    }
+    team_abilities.push_back(ability_sum /
+                             static_cast<double>(team.member_ids.size()));
+    const int females = female_count(students, team.member_ids);
+    team_female_counts.push_back(static_cast<double>(females));
+    if (females == 1) {
+      ++isolated;
+    }
+  }
+
+  int friends_together = 0;
+  for (const auto& [a, b] : friend_pairs) {
+    for (const Team& team : teams) {
+      const bool has_a = std::find(team.member_ids.begin(),
+                                   team.member_ids.end(),
+                                   a) != team.member_ids.end();
+      const bool has_b = std::find(team.member_ids.begin(),
+                                   team.member_ids.end(),
+                                   b) != team.member_ids.end();
+      if (has_a && has_b) {
+        ++friends_together;
+        break;
+      }
+    }
+  }
+
+  return config.ability_weight * variance(team_abilities) +
+         config.gender_weight * variance(team_female_counts) +
+         config.isolation_weight * isolated +
+         config.friends_weight * friends_together;
+}
+
+FormationResult form_teams(const std::vector<Student>& students,
+                           int num_teams, const FormationConfig& config,
+                           util::Rng& rng,
+                           const std::vector<std::pair<int, int>>&
+                               friend_pairs) {
+  check_inputs(students, num_teams, config.max_team_size);
+
+  // --- Greedy seeding: snake draft by descending ability so every team
+  // gets a spread of strong and weak members.
+  std::vector<int> order(students.size());
+  for (std::size_t i = 0; i < students.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ability_a =
+        students[static_cast<std::size_t>(a)].ability_index();
+    const double ability_b =
+        students[static_cast<std::size_t>(b)].ability_index();
+    if (ability_a != ability_b) {
+      return ability_a > ability_b;
+    }
+    return a < b;
+  });
+
+  std::vector<Team> teams = empty_teams(num_teams);
+  int direction = 1;
+  int team_index = 0;
+  for (const int student_id : order) {
+    teams[static_cast<std::size_t>(team_index)].member_ids.push_back(
+        student_id);
+    if (direction == 1 && team_index == num_teams - 1) {
+      direction = -1;
+    } else if (direction == -1 && team_index == 0) {
+      direction = 1;
+    } else {
+      team_index += direction;
+    }
+  }
+
+  // --- Local search: accept member swaps between random teams whenever
+  // they lower the objective.
+  double cost = partition_cost(students, teams, config, friend_pairs);
+  for (int iteration = 0; iteration < config.local_search_iterations;
+       ++iteration) {
+    const int t1 = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(num_teams)));
+    const int t2 = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(num_teams)));
+    if (t1 == t2 || teams[static_cast<std::size_t>(t1)].member_ids.empty() ||
+        teams[static_cast<std::size_t>(t2)].member_ids.empty()) {
+      continue;
+    }
+    auto& members1 = teams[static_cast<std::size_t>(t1)].member_ids;
+    auto& members2 = teams[static_cast<std::size_t>(t2)].member_ids;
+    const std::size_t i1 = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(members1.size())));
+    const std::size_t i2 = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(members2.size())));
+    std::swap(members1[i1], members2[i2]);
+    const double new_cost =
+        partition_cost(students, teams, config, friend_pairs);
+    if (new_cost < cost) {
+      cost = new_cost;
+    } else {
+      std::swap(members1[i1], members2[i2]);  // revert
+    }
+  }
+
+  FormationResult result;
+  result.teams = std::move(teams);
+  result.cost = cost;
+  return result;
+}
+
+FormationResult form_random_teams(const std::vector<Student>& students,
+                                  int num_teams, util::Rng& rng) {
+  check_inputs(students, num_teams,
+               (static_cast<int>(students.size()) + num_teams - 1) /
+                   num_teams);
+  std::vector<int> order(students.size());
+  for (std::size_t i = 0; i < students.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  rng.shuffle(order);
+
+  std::vector<Team> teams = empty_teams(num_teams);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    teams[i % static_cast<std::size_t>(num_teams)].member_ids.push_back(
+        order[i]);
+  }
+
+  FormationResult result;
+  result.cost = partition_cost(students, teams, FormationConfig{}, {});
+  result.teams = std::move(teams);
+  return result;
+}
+
+BalanceMetrics measure_balance(
+    const std::vector<Student>& students, const std::vector<Team>& teams,
+    const std::vector<std::pair<int, int>>& friend_pairs) {
+  util::require(!teams.empty(), "measure_balance: no teams");
+  BalanceMetrics metrics;
+  double min_ability = 1e9;
+  double max_ability = -1e9;
+  double min_gpa = 1e9;
+  double max_gpa = -1e9;
+  int min_females = 1 << 20;
+  int max_females = 0;
+  for (const Team& team : teams) {
+    util::require(!team.member_ids.empty(), "measure_balance: empty team");
+    double ability_sum = 0.0;
+    double gpa_sum = 0.0;
+    for (const int id : team.member_ids) {
+      ability_sum += students[static_cast<std::size_t>(id)].ability_index();
+      gpa_sum += students[static_cast<std::size_t>(id)].gpa;
+    }
+    const double size = static_cast<double>(team.member_ids.size());
+    min_ability = std::min(min_ability, ability_sum / size);
+    max_ability = std::max(max_ability, ability_sum / size);
+    min_gpa = std::min(min_gpa, gpa_sum / size);
+    max_gpa = std::max(max_gpa, gpa_sum / size);
+    const int females = female_count(students, team.member_ids);
+    min_females = std::min(min_females, females);
+    max_females = std::max(max_females, females);
+    if (females == 1) {
+      ++metrics.isolated_females;
+    }
+  }
+  metrics.ability_spread = max_ability - min_ability;
+  metrics.gpa_spread = max_gpa - min_gpa;
+  metrics.max_female_gap = max_females - min_females;
+
+  for (const auto& [a, b] : friend_pairs) {
+    for (const Team& team : teams) {
+      const bool has_a = std::find(team.member_ids.begin(),
+                                   team.member_ids.end(),
+                                   a) != team.member_ids.end();
+      const bool has_b = std::find(team.member_ids.begin(),
+                                   team.member_ids.end(),
+                                   b) != team.member_ids.end();
+      if (has_a && has_b) {
+        ++metrics.friend_pairs_together;
+        break;
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace pblpar::course

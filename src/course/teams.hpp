@@ -1,0 +1,75 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "course/student.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::course {
+
+/// One project team. The coordinator role rotates across assignments, as
+/// the paper requires ("this role is to be rotated among team members for
+/// each assignment").
+struct Team {
+  int id = -1;
+  std::vector<int> member_ids;
+
+  /// The member coordinating assignment `assignment_index` (0-based).
+  int coordinator_for(int assignment_index) const;
+};
+
+/// Weights of the team-formation objective. The cost of a partition is
+/// the weighted sum of:
+///  - variance across teams of mean ability (balance in ability),
+///  - variance across teams of female count (mixed gender),
+///  - number of isolated female students (avoid a lone woman on a team),
+///  - friend pairs placed together (avoid predetermined groups of friends).
+struct FormationConfig {
+  int max_team_size = 5;
+  double ability_weight = 1.0;
+  double gender_weight = 0.5;
+  double isolation_weight = 1.0;
+  double friends_weight = 2.0;
+  int local_search_iterations = 4000;
+};
+
+struct FormationResult {
+  std::vector<Team> teams;
+  double cost = 0.0;
+};
+
+/// Aggregate balance diagnostics used by tests and the ablation bench.
+struct BalanceMetrics {
+  double ability_spread = 0.0;   // max - min of team mean ability
+  double gpa_spread = 0.0;       // max - min of team mean GPA
+  int max_female_gap = 0;        // max - min female count per team
+  int isolated_females = 0;      // teams with exactly one female
+  int friend_pairs_together = 0;
+};
+
+/// Criteria-based formation, as the paper prescribes: greedy snake-draft
+/// seeding by ability followed by local-search swaps under the objective
+/// above. Deterministic given the rng seed.
+FormationResult form_teams(const std::vector<Student>& students,
+                           int num_teams, const FormationConfig& config,
+                           util::Rng& rng,
+                           const std::vector<std::pair<int, int>>&
+                               friend_pairs = {});
+
+/// Baseline for the ablation: uniformly random partition of the roster.
+FormationResult form_random_teams(const std::vector<Student>& students,
+                                  int num_teams, util::Rng& rng);
+
+/// Compute the diagnostics for any partition.
+BalanceMetrics measure_balance(
+    const std::vector<Student>& students, const std::vector<Team>& teams,
+    const std::vector<std::pair<int, int>>& friend_pairs = {});
+
+/// The objective value used by form_teams (exposed for tests/ablation).
+double partition_cost(const std::vector<Student>& students,
+                      const std::vector<Team>& teams,
+                      const FormationConfig& config,
+                      const std::vector<std::pair<int, int>>& friend_pairs);
+
+}  // namespace pblpar::course

@@ -1,0 +1,56 @@
+#include "course/timeline.hpp"
+
+#include "course/assignments.hpp"
+
+namespace pblpar::course {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::TeamFormation:
+      return "Team formation";
+    case EventKind::AssignmentStart:
+      return "Assignment start";
+    case EventKind::AssignmentDue:
+      return "Assignment due";
+    case EventKind::Quiz:
+      return "Quiz";
+    case EventKind::Survey:
+      return "Survey";
+    case EventKind::Midterm:
+      return "Midterm exam";
+    case EventKind::FinalExam:
+      return "Final exam";
+  }
+  return "?";
+}
+
+std::vector<TimelineEvent> semester_timeline() {
+  std::vector<TimelineEvent> events;
+  events.push_back({1, EventKind::TeamFormation, 0,
+                    "Students organized into diverse groups of up to five"});
+
+  // Five two-week assignments, back to back from week 2, each followed by
+  // a quiz in the week after its due date.
+  int week = 2;
+  for (const Assignment& assignment : five_assignments()) {
+    events.push_back({week, EventKind::AssignmentStart, assignment.number,
+                      "A" + std::to_string(assignment.number) + ": " +
+                          assignment.title});
+    events.push_back({week + 1, EventKind::AssignmentDue, assignment.number,
+                      "A" + std::to_string(assignment.number) + " due"});
+    events.push_back({week + 2 <= kSemesterWeeks ? week + 2 : kSemesterWeeks,
+                      EventKind::Quiz, assignment.number,
+                      "Quiz on A" + std::to_string(assignment.number)});
+    week += 2;
+  }
+
+  events.push_back({kFirstSurveyWeek, EventKind::Survey, 0,
+                    "Team Design Skills Growth Survey (first sitting)"});
+  events.push_back({kFirstSurveyWeek, EventKind::Midterm, 0, "Midterm"});
+  events.push_back({kSecondSurveyWeek, EventKind::Survey, 0,
+                    "Team Design Skills Growth Survey (second sitting)"});
+  events.push_back({kSemesterWeeks, EventKind::FinalExam, 0, "Final exam"});
+  return events;
+}
+
+}  // namespace pblpar::course

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pblpar::course {
+
+/// What happens in a given week of the 15-week semester.
+enum class EventKind {
+  TeamFormation,
+  AssignmentStart,
+  AssignmentDue,
+  Quiz,
+  Survey,
+  Midterm,
+  FinalExam,
+};
+
+std::string to_string(EventKind kind);
+
+struct TimelineEvent {
+  int week = 0;  // 1-based
+  EventKind kind = EventKind::TeamFormation;
+  int assignment_number = 0;  // for assignment/quiz events; 0 otherwise
+  std::string label;
+};
+
+/// The paper's Fig. 1: a 15-week semester with team formation in week 1,
+/// five two-week assignments (each followed by a quiz), the survey at the
+/// midpoint and at the end, and midterm/final exams.
+std::vector<TimelineEvent> semester_timeline();
+
+/// Total length of the semester in weeks.
+constexpr int kSemesterWeeks = 15;
+
+/// Weeks at which the survey is administered (mid-semester and end).
+constexpr int kFirstSurveyWeek = 8;
+constexpr int kSecondSurveyWeek = 15;
+
+}  // namespace pblpar::course

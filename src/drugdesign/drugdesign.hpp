@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/config.hpp"
+#include "rt/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::drugdesign {
+
+/// The Drug Design / DNA exemplar of the course's Assignment 5
+/// (CSinParallel's drug design exemplar, paper reference [7]): score a
+/// set of candidate ligands against a protein by longest common
+/// subsequence and find the best binder. Ligand lengths vary, so the work
+/// is irregular — exactly what distinguishes the OpenMP (dynamic
+/// schedule) solution from a naive fixed-partition threads solution.
+struct Config {
+  int num_ligands = 120;
+  int max_ligand_len = 5;  // the paper's experiment raises this to 7
+  int protein_len = 750;
+  std::uint64_t seed = 2018;
+  int threads = 4;
+
+  /// Schedule used by the TeachMP solver.
+  rt::Schedule schedule = rt::Schedule::dynamic(1);
+
+  /// Machine the simulated solvers run on.
+  sim::MachineSpec machine = sim::MachineSpec::raspberry_pi_3bplus();
+};
+
+/// Generate `count` random ligands with lengths uniform in
+/// [1, max_len], over the lowercase alphabet (as in the exemplar).
+std::vector<std::string> generate_ligands(int count, int max_len,
+                                          util::Rng& rng);
+
+/// Generate a random protein string of the given length.
+std::string generate_protein(int length, util::Rng& rng);
+
+/// Longest-common-subsequence score of a ligand against the protein
+/// (iterative O(|ligand| * |protein|) dynamic program).
+int match_score(const std::string& ligand, const std::string& protein);
+
+/// Modelled cost of one match_score call on the simulated machine, in
+/// abstract ops: ~ protein_len * 2^ligand_len, matching the exemplar's
+/// unmemoized recursive scorer (see the .cpp for why).
+double match_cost_ops(std::size_t ligand_len, std::size_t protein_len);
+
+/// Outcome of one solver run.
+struct Result {
+  int best_score = 0;
+  std::vector<std::string> best_ligands;  // all ligands achieving it
+  double elapsed_seconds = 0.0;           // virtual time for sim solvers
+  rt::RunResult run;
+};
+
+/// Sequential baseline (single simulated thread).
+Result solve_sequential(const Config& config);
+
+/// The "OpenMP" solution: TeachMP parallel-for with the configured
+/// (dynamic by default) schedule.
+Result solve_teachmp(const Config& config);
+
+/// The "C++11 threads" solution students write: spawn N threads, give
+/// each a fixed contiguous block of ligands, merge at join. No load
+/// balancing — the classroom contrast with OpenMP's dynamic schedule.
+Result solve_cxx11_threads(const Config& config);
+
+/// MapReduce formulation (host execution via pblpar::mapreduce): map each
+/// ligand to (score, ligand), reduce by max. Demonstrates the Assignment
+/// 5 reading; timing is host time, not simulated.
+Result solve_mapreduce(const Config& config);
+
+/// Representative source-line counts of the three student solutions (the
+/// paper asks "What are the number of lines in each file?"); taken from
+/// the CSinParallel exemplar's sequential/OpenMP/C++11 sources.
+struct SourceLines {
+  int sequential = 0;
+  int openmp = 0;
+  int cxx11_threads = 0;
+};
+SourceLines exemplar_source_lines();
+
+/// One row of the Assignment 5 experiment.
+struct ExperimentRow {
+  std::string approach;
+  int threads = 0;
+  int max_ligand_len = 0;
+  double time_seconds = 0.0;
+  int best_score = 0;
+};
+
+/// The full in-text experiment: sequential vs TeachMP vs C++11 threads;
+/// 4 then 5 threads; max ligand length 5 then 7.
+std::vector<ExperimentRow> run_assignment5_experiment(Config base);
+
+}  // namespace pblpar::drugdesign

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "rt/parallel.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::mapreduce {
+
+/// Collects the (key, value) pairs a mapper emits.
+template <class K, class V>
+class Emitter {
+ public:
+  void emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// An in-memory, multi-threaded MapReduce job, after the model in the
+/// course's Assignment 5 reading ("Introduction to Parallel Programming
+/// and MapReduce"): map over input records, shuffle by key, reduce each
+/// key's value list.
+///
+/// K1/V1: input key/value. K2/V2: intermediate. VOut: reducer output
+/// (defaults to V2). K2 must be hashable (std::hash) and ordered
+/// (operator<); output is sorted by key, so runs are deterministic.
+template <class K1, class V1, class K2, class V2, class VOut = V2>
+class Job {
+ public:
+  using MapFn = std::function<void(const K1&, const V1&, Emitter<K2, V2>&)>;
+  using ReduceFn = std::function<VOut(const K2&, const std::vector<V2>&)>;
+  using CombineFn = std::function<V2(const K2&, const std::vector<V2>&)>;
+
+  Job& map(MapFn fn) {
+    map_fn_ = std::move(fn);
+    return *this;
+  }
+  Job& reduce(ReduceFn fn) {
+    reduce_fn_ = std::move(fn);
+    return *this;
+  }
+
+  /// Optional combiner: pre-reduces each map worker's local output before
+  /// the shuffle (must be associative/commutative in the usual way).
+  Job& combine(CombineFn fn) {
+    combine_fn_ = std::move(fn);
+    return *this;
+  }
+
+  Job& threads(int count) {
+    util::require(count >= 1, "Job::threads: need at least one thread");
+    num_threads_ = count;
+    return *this;
+  }
+
+  Job& reducers(int count) {
+    util::require(count >= 1, "Job::reducers: need at least one partition");
+    num_reducers_ = count;
+    return *this;
+  }
+
+  /// Execute the job over `inputs` and return (key, reduced value) pairs
+  /// sorted by key.
+  std::vector<std::pair<K2, VOut>> run(
+      const std::vector<std::pair<K1, V1>>& inputs) const {
+    util::require(map_fn_ != nullptr, "Job::run: map function not set");
+    util::require(reduce_fn_ != nullptr, "Job::run: reduce function not set");
+
+    const int threads = num_threads_;
+    const int reducers = num_reducers_;
+
+    // --- Map phase: each worker fills its own per-partition buckets, so
+    // there is no shared mutable state across threads (CP.3).
+    using Bucket = std::vector<std::pair<K2, V2>>;
+    std::vector<std::vector<Bucket>> worker_buckets(
+        static_cast<std::size_t>(threads),
+        std::vector<Bucket>(static_cast<std::size_t>(reducers)));
+
+    rt::ParallelConfig map_config = rt::ParallelConfig::host(threads);
+    rt::parallel(map_config, [&](rt::TeamContext& tc) {
+      auto& buckets = worker_buckets[static_cast<std::size_t>(tc.thread_num())];
+      rt::for_loop(
+          tc, rt::Range::upto(static_cast<std::int64_t>(inputs.size())),
+          rt::Schedule::dynamic(8), [&](std::int64_t i) {
+            const auto& [key, value] = inputs[static_cast<std::size_t>(i)];
+            Emitter<K2, V2> emitter;
+            map_fn_(key, value, emitter);
+            for (auto& [k2, v2] : emitter.pairs()) {
+              const std::size_t partition =
+                  std::hash<K2>{}(k2) % static_cast<std::size_t>(reducers);
+              buckets[partition].emplace_back(std::move(k2), std::move(v2));
+            }
+          });
+      if (combine_fn_ != nullptr) {
+        for (auto& bucket : buckets) {
+          bucket = combine_bucket(bucket);
+        }
+      }
+    });
+
+    // --- Shuffle + reduce phase: one task per partition, in parallel.
+    std::vector<std::vector<std::pair<K2, VOut>>> partition_outputs(
+        static_cast<std::size_t>(reducers));
+    rt::ParallelConfig reduce_config =
+        rt::ParallelConfig::host(std::min(threads, reducers));
+    rt::parallel(reduce_config, [&](rt::TeamContext& tc) {
+      rt::for_loop(tc, rt::Range::upto(reducers), rt::Schedule::dynamic(1),
+                   [&](std::int64_t p) {
+                     partition_outputs[static_cast<std::size_t>(p)] =
+                         reduce_partition(worker_buckets,
+                                          static_cast<std::size_t>(p));
+                   });
+    });
+
+    // --- Merge: concatenate and sort by key for deterministic output.
+    std::vector<std::pair<K2, VOut>> output;
+    for (auto& partition : partition_outputs) {
+      output.insert(output.end(),
+                    std::make_move_iterator(partition.begin()),
+                    std::make_move_iterator(partition.end()));
+    }
+    std::sort(output.begin(), output.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return output;
+  }
+
+ private:
+  using BucketT = std::vector<std::pair<K2, V2>>;
+
+  BucketT combine_bucket(const BucketT& bucket) const {
+    std::map<K2, std::vector<V2>> grouped;
+    for (const auto& [key, value] : bucket) {
+      grouped[key].push_back(value);
+    }
+    BucketT combined;
+    combined.reserve(grouped.size());
+    for (const auto& [key, values] : grouped) {
+      combined.emplace_back(key, combine_fn_(key, values));
+    }
+    return combined;
+  }
+
+  std::vector<std::pair<K2, VOut>> reduce_partition(
+      const std::vector<std::vector<BucketT>>& worker_buckets,
+      std::size_t partition) const {
+    std::map<K2, std::vector<V2>> grouped;
+    for (const auto& buckets : worker_buckets) {
+      for (const auto& [key, value] : buckets[partition]) {
+        grouped[key].push_back(value);
+      }
+    }
+    std::vector<std::pair<K2, VOut>> reduced;
+    reduced.reserve(grouped.size());
+    for (const auto& [key, values] : grouped) {
+      reduced.emplace_back(key, reduce_fn_(key, values));
+    }
+    return reduced;
+  }
+
+  MapFn map_fn_;
+  ReduceFn reduce_fn_;
+  CombineFn combine_fn_;
+  int num_threads_ = 4;
+  int num_reducers_ = 4;
+};
+
+}  // namespace pblpar::mapreduce

@@ -1,0 +1,220 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "mp/message.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::mp::detail {
+
+// Internal collective tags. kAnyTag is -1, so internal tags start at -2;
+// user tags must be non-negative.
+constexpr int kTagBarrierUp = -2;
+constexpr int kTagBarrierDown = -3;
+constexpr int kTagBcast = -4;
+constexpr int kTagReduce = -5;
+constexpr int kTagScatter = -6;
+constexpr int kTagGather = -7;
+constexpr int kTagRingA = -8;
+constexpr int kTagRingB = -9;
+
+/// The collective algorithms, generic over a transport endpoint with
+///   int rank(); int size();
+///   void send_raw(int dest, int tag, std::size_t type_hash,
+///                 std::vector<std::byte> payload);
+///   RawMessage recv_raw(int source, int tag);
+/// Both the host world (mp::Comm) and the simulated cluster
+/// (mp::SimComm) instantiate them, so the algorithms and their tests are
+/// shared.
+
+inline void check_root(int root, int size) {
+  util::require(root >= 0 && root < size, "collective: root rank out of range");
+}
+
+inline int relative_rank(int rank, int root, int size) {
+  return (rank - root + size) % size;
+}
+
+inline int absolute_rank(int relative, int root, int size) {
+  return (relative + root) % size;
+}
+
+/// Linear gather of arrivals at rank 0, then a linear release — O(size)
+/// messages, trivially correct at classroom scales.
+template <class Transport>
+void barrier(Transport& t) {
+  if (t.rank() == 0) {
+    for (int r = 1; r < t.size(); ++r) {
+      (void)t.recv_raw(-1, kTagBarrierUp);
+    }
+    for (int r = 1; r < t.size(); ++r) {
+      t.send_raw(r, kTagBarrierDown, 0, {});
+    }
+  } else {
+    t.send_raw(0, kTagBarrierUp, 0, {});
+    (void)t.recv_raw(0, kTagBarrierDown);
+  }
+}
+
+/// Binomial-tree broadcast (MPICH-style).
+template <class T, class Transport>
+void bcast(Transport& t, T& value, int root) {
+  check_root(root, t.size());
+  const int relative = relative_rank(t.rank(), root, t.size());
+  int mask = 1;
+  while (mask < t.size()) {
+    if ((relative & mask) != 0) {
+      const RawMessage message = t.recv_raw(
+          absolute_rank(relative ^ mask, root, t.size()), kTagBcast);
+      value = Codec<T>::decode(message.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < t.size()) {
+      t.send_raw(absolute_rank(relative + mask, root, t.size()), kTagBcast,
+                 type_hash_of<T>(), Codec<T>::encode(value));
+    }
+    mask >>= 1;
+  }
+}
+
+/// Binomial-tree reduction toward `root` with a commutative, associative
+/// op. Non-root ranks return their partial; only root's value is final.
+template <class T, class Op, class Transport>
+T reduce(Transport& t, const T& value, Op op, int root) {
+  check_root(root, t.size());
+  const int relative = relative_rank(t.rank(), root, t.size());
+  T accumulated = value;
+  int mask = 1;
+  while (mask < t.size()) {
+    if ((relative & mask) == 0) {
+      const int partner = relative | mask;
+      if (partner < t.size()) {
+        const RawMessage message = t.recv_raw(
+            absolute_rank(partner, root, t.size()), kTagReduce);
+        accumulated = op(accumulated, Codec<T>::decode(message.payload));
+      }
+    } else {
+      t.send_raw(absolute_rank(relative ^ mask, root, t.size()), kTagReduce,
+                 type_hash_of<T>(), Codec<T>::encode(accumulated));
+      break;
+    }
+    mask <<= 1;
+  }
+  return accumulated;
+}
+
+template <class T, class Op, class Transport>
+T allreduce(Transport& t, const T& value, Op op) {
+  T result = reduce(t, value, op, 0);
+  bcast(t, result, 0);
+  return result;
+}
+
+template <class T, class Transport>
+T scatter(Transport& t, const std::vector<T>& values, int root) {
+  check_root(root, t.size());
+  if (t.rank() == root) {
+    util::require(static_cast<int>(values.size()) == t.size(),
+                  "scatter: root must supply one value per rank");
+    for (int r = 0; r < t.size(); ++r) {
+      if (r != root) {
+        t.send_raw(r, kTagScatter, type_hash_of<T>(),
+                   Codec<T>::encode(values[static_cast<std::size_t>(r)]));
+      }
+    }
+    return values[static_cast<std::size_t>(root)];
+  }
+  const RawMessage message = t.recv_raw(root, kTagScatter);
+  return Codec<T>::decode(message.payload);
+}
+
+template <class T, class Transport>
+std::vector<T> gather(Transport& t, const T& value, int root) {
+  check_root(root, t.size());
+  if (t.rank() == root) {
+    std::vector<T> collected(static_cast<std::size_t>(t.size()), value);
+    for (int r = 0; r < t.size(); ++r) {
+      if (r != root) {
+        const RawMessage message = t.recv_raw(r, kTagGather);
+        collected[static_cast<std::size_t>(r)] =
+            Codec<T>::decode(message.payload);
+      }
+    }
+    return collected;
+  }
+  t.send_raw(root, kTagGather, type_hash_of<T>(), Codec<T>::encode(value));
+  return {};
+}
+
+template <class T, class Transport>
+std::vector<T> allgather(Transport& t, const T& value) {
+  std::vector<T> collected = gather(t, value, 0);
+  bcast(t, collected, 0);
+  return collected;
+}
+
+/// Bandwidth-optimal ring allreduce (sum): reduce-scatter around the
+/// ring, then allgather the reduced segments. data.size() must be
+/// divisible by size().
+template <class Transport>
+std::vector<double> ring_allreduce_sum(Transport& t,
+                                       std::vector<double> data) {
+  const int n = t.size();
+  if (n == 1) {
+    return data;
+  }
+  util::require(data.size() % static_cast<std::size_t>(n) == 0,
+                "ring_allreduce_sum: data size must be divisible by the "
+                "number of ranks");
+  const std::size_t segment = data.size() / static_cast<std::size_t>(n);
+  const int next = (t.rank() + 1) % n;
+  const int prev = (t.rank() - 1 + n) % n;
+
+  const auto slice = [&](int index) {
+    const std::size_t offset = static_cast<std::size_t>(index) * segment;
+    return std::vector<double>(
+        data.begin() + static_cast<std::ptrdiff_t>(offset),
+        data.begin() + static_cast<std::ptrdiff_t>(offset + segment));
+  };
+
+  // Phase 1: reduce-scatter. After n-1 steps rank r owns the fully
+  // reduced segment (r+1) mod n.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_index = (t.rank() - step + n) % n;
+    const int recv_index = (t.rank() - step - 1 + n) % n;
+    t.send_raw(next, kTagRingA, type_hash_of<std::vector<double>>(),
+               Codec<std::vector<double>>::encode(slice(send_index)));
+    const RawMessage message = t.recv_raw(prev, kTagRingA);
+    const std::vector<double> incoming =
+        Codec<std::vector<double>>::decode(message.payload);
+    const std::size_t offset =
+        static_cast<std::size_t>(recv_index) * segment;
+    for (std::size_t i = 0; i < segment; ++i) {
+      data[offset + i] += incoming[i];
+    }
+  }
+
+  // Phase 2: allgather the reduced segments around the ring.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_index = (t.rank() + 1 - step + n) % n;
+    const int recv_index = (t.rank() - step + n) % n;
+    t.send_raw(next, kTagRingB, type_hash_of<std::vector<double>>(),
+               Codec<std::vector<double>>::encode(slice(send_index)));
+    const RawMessage message = t.recv_raw(prev, kTagRingB);
+    const std::vector<double> incoming =
+        Codec<std::vector<double>>::decode(message.payload);
+    const std::size_t offset =
+        static_cast<std::size_t>(recv_index) * segment;
+    for (std::size_t i = 0; i < segment; ++i) {
+      data[offset + i] = incoming[i];
+    }
+  }
+  return data;
+}
+
+}  // namespace pblpar::mp::detail

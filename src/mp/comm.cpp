@@ -1,0 +1,24 @@
+#include "mp/comm.hpp"
+
+namespace pblpar::mp {
+
+void Comm::send_raw(int dest, int tag, std::size_t type_hash,
+                    std::vector<std::byte> payload) {
+  util::require(dest >= 0 && dest < size(),
+                "Comm::send: destination rank out of range");
+  RawMessage message;
+  message.source = rank_;
+  message.tag = tag;
+  message.type_hash = type_hash;
+  message.payload = std::move(payload);
+  world_->mailboxes[static_cast<std::size_t>(dest)]->push(std::move(message));
+}
+
+RawMessage Comm::recv_raw(int source, int tag) {
+  util::require(source == kAnySource || (source >= 0 && source < size()),
+                "Comm::recv: source rank out of range");
+  return world_->mailboxes[static_cast<std::size_t>(rank_)]->pop_matching(
+      source, tag);
+}
+
+}  // namespace pblpar::mp

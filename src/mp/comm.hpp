@@ -1,0 +1,135 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mp/collectives.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/message.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+
+/// Wildcards for Comm::recv.
+constexpr int kAnySource = -1;
+constexpr int kAnyTag = -1;
+
+/// Source and tag of a received message (MPI_Status equivalent).
+struct RecvStatus {
+  int source = -1;
+  int tag = -1;
+};
+
+namespace detail {
+
+/// Shared state of one world: every rank's mailbox plus the abort flag.
+struct WorldState {
+  explicit WorldState(int size, double timeout_s) : size(size) {
+    mailboxes.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      mailboxes.push_back(std::make_unique<Mailbox>(abort, timeout_s));
+    }
+  }
+  int size;
+  AbortState abort;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+};
+
+}  // namespace detail
+
+/// A communicator endpoint: one rank's handle on the world (the TeachMPI
+/// analogue of MPI_COMM_WORLD seen from one process).
+///
+/// Point-to-point sends are buffered (never block); receives block until
+/// a matching message arrives or the world's timeout expires. Collectives
+/// must be called by every rank, in the same order; the algorithms live
+/// in mp/collectives.hpp and are shared with the simulated cluster.
+class Comm {
+ public:
+  Comm(detail::WorldState& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size; }
+
+  // --- point to point -------------------------------------------------------
+
+  template <class T>
+  void send(int dest, int tag, const T& value) {
+    util::require(tag >= 0, "Comm::send: user tags must be non-negative");
+    send_raw(dest, tag, type_hash_of<T>(), Codec<T>::encode(value));
+  }
+
+  template <class T>
+  T recv(int source = kAnySource, int tag = kAnyTag,
+         RecvStatus* status = nullptr) {
+    RawMessage message = recv_raw(source, tag);
+    if (message.type_hash != type_hash_of<T>()) {
+      throw MpTypeError(
+          "Comm::recv: matched message has a different payload type");
+    }
+    if (status != nullptr) {
+      status->source = message.source;
+      status->tag = message.tag;
+    }
+    return Codec<T>::decode(message.payload);
+  }
+
+  /// Combined shift: buffered send then blocking receive, so ring shifts
+  /// cannot deadlock.
+  template <class T>
+  T sendrecv(int dest, int send_tag, const T& value, int source,
+             int recv_tag) {
+    send(dest, send_tag, value);
+    return recv<T>(source, recv_tag);
+  }
+
+  // --- collectives ------------------------------------------------------------
+
+  void barrier() { detail::barrier(*this); }
+
+  template <class T>
+  void bcast(T& value, int root = 0) {
+    detail::bcast(*this, value, root);
+  }
+
+  template <class T, class Op>
+  T reduce(const T& value, Op op, int root = 0) {
+    return detail::reduce(*this, value, op, root);
+  }
+
+  template <class T, class Op>
+  T allreduce(const T& value, Op op) {
+    return detail::allreduce(*this, value, op);
+  }
+
+  template <class T>
+  T scatter(const std::vector<T>& values, int root = 0) {
+    return detail::scatter(*this, values, root);
+  }
+
+  template <class T>
+  std::vector<T> gather(const T& value, int root = 0) {
+    return detail::gather(*this, value, root);
+  }
+
+  template <class T>
+  std::vector<T> allgather(const T& value) {
+    return detail::allgather(*this, value);
+  }
+
+  std::vector<double> ring_allreduce_sum(std::vector<double> data) {
+    return detail::ring_allreduce_sum(*this, std::move(data));
+  }
+
+  // --- raw transport (used by the shared collective algorithms) -----------------
+
+  void send_raw(int dest, int tag, std::size_t type_hash,
+                std::vector<std::byte> payload);
+  RawMessage recv_raw(int source, int tag);
+
+ private:
+  detail::WorldState* world_;
+  int rank_;
+};
+
+}  // namespace pblpar::mp

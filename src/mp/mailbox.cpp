@@ -1,0 +1,60 @@
+#include "mp/mailbox.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace pblpar::mp {
+
+namespace {
+
+constexpr int kAnyValue = -1;
+
+bool matches(const RawMessage& message, int source, int tag) {
+  return (source == kAnyValue || message.source == source) &&
+         (tag == kAnyValue || message.tag == tag);
+}
+
+}  // namespace
+
+void Mailbox::push(RawMessage message) {
+  {
+    std::lock_guard guard(mu_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+RawMessage Mailbox::pop_matching(int source, int tag) {
+  std::unique_lock lk(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_s_));
+  for (;;) {
+    if (abort_->aborted.load()) {
+      throw WorldAborted{};
+    }
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        RawMessage found = std::move(*it);
+        queue_.erase(it);
+        return found;
+      }
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      std::ostringstream detail;
+      detail << "TeachMPI: receive (source=" << source << ", tag=" << tag
+             << ") timed out after " << timeout_s_
+             << "s with " << queue_.size()
+             << " unmatched message(s) queued — likely deadlock or "
+                "mismatched send/recv";
+      throw MpDeadlockError(detail.str());
+    }
+  }
+}
+
+void Mailbox::interrupt() {
+  std::lock_guard guard(mu_);
+  cv_.notify_all();
+}
+
+}  // namespace pblpar::mp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "mp/message.hpp"
+
+namespace pblpar::mp {
+
+/// Internal unwinding signal when the world aborts (a rank threw).
+class WorldAborted : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "pblpar::mp::WorldAborted: world is shutting down";
+  }
+};
+
+/// Shared shutdown flag for all mailboxes of a world.
+struct AbortState {
+  std::atomic<bool> aborted{false};
+};
+
+/// One rank's incoming message queue. Senders push; the owning rank pops
+/// the first message matching (source, tag), preserving per-(source, tag)
+/// FIFO order as MPI requires.
+class Mailbox {
+ public:
+  Mailbox(AbortState& abort, double timeout_s)
+      : abort_(&abort), timeout_s_(timeout_s) {}
+
+  /// Deliver a message (called by the sending rank's thread).
+  void push(RawMessage message);
+
+  /// Block until a message matching (source, tag) is available and return
+  /// it. Pass kAnySource / kAnyTag (-1) as wildcards. Throws
+  /// MpDeadlockError on timeout and WorldAborted when the world aborts.
+  RawMessage pop_matching(int source, int tag);
+
+  /// Wake any blocked pop (used on abort).
+  void interrupt();
+
+ private:
+  AbortState* abort_;
+  double timeout_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<RawMessage> queue_;
+};
+
+}  // namespace pblpar::mp

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <typeinfo>
+#include <vector>
+
+namespace pblpar::mp {
+
+/// Base of all TeachMPI errors.
+class MpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A receive matched a message whose payload type differs from the
+/// requested one.
+class MpTypeError : public MpError {
+ public:
+  using MpError::MpError;
+};
+
+/// No matching message arrived within the world's receive timeout; in an
+/// in-process world this is how deadlocks surface.
+class MpDeadlockError : public MpError {
+ public:
+  using MpError::MpError;
+};
+
+/// A wire message: flat bytes plus the type identity of the payload so
+/// mismatched receives fail loudly instead of reinterpreting memory.
+struct RawMessage {
+  int source = -1;
+  int tag = 0;
+  std::size_t type_hash = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Serialization for message payloads. Supported types: trivially
+/// copyable values, std::string, and std::vector of trivially copyable
+/// elements — enough for every exercise in the course while keeping the
+/// wire format obvious to students reading the implementation.
+template <class T>
+struct Codec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TeachMPI payloads must be trivially copyable, std::string, "
+                "or std::vector of trivially copyable elements");
+
+  static std::vector<std::byte> encode(const T& value) {
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    return bytes;
+  }
+
+  static T decode(const std::vector<std::byte>& bytes) {
+    if (bytes.size() != sizeof(T)) {
+      throw MpTypeError("TeachMPI: payload size mismatch for scalar type");
+    }
+    T value;
+    std::memcpy(&value, bytes.data(), sizeof(T));
+    return value;
+  }
+};
+
+template <class U>
+struct Codec<std::vector<U>> {
+  static_assert(std::is_trivially_copyable_v<U>,
+                "TeachMPI vector payload elements must be trivially copyable");
+
+  static std::vector<std::byte> encode(const std::vector<U>& values) {
+    std::vector<std::byte> bytes(values.size() * sizeof(U));
+    if (!values.empty()) {
+      std::memcpy(bytes.data(), values.data(), bytes.size());
+    }
+    return bytes;
+  }
+
+  static std::vector<U> decode(const std::vector<std::byte>& bytes) {
+    if (bytes.size() % sizeof(U) != 0) {
+      throw MpTypeError("TeachMPI: payload size mismatch for vector type");
+    }
+    std::vector<U> values(bytes.size() / sizeof(U));
+    if (!values.empty()) {
+      std::memcpy(values.data(), bytes.data(), bytes.size());
+    }
+    return values;
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static std::vector<std::byte> encode(const std::string& text) {
+    std::vector<std::byte> bytes(text.size());
+    if (!text.empty()) {
+      std::memcpy(bytes.data(), text.data(), text.size());
+    }
+    return bytes;
+  }
+
+  static std::string decode(const std::vector<std::byte>& bytes) {
+    return std::string(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size());
+  }
+};
+
+/// Stable per-type identity used to verify matched receives.
+template <class T>
+std::size_t type_hash_of() {
+  return typeid(T).hash_code();
+}
+
+}  // namespace pblpar::mp

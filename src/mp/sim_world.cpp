@@ -1,0 +1,121 @@
+#include "mp/sim_world.hpp"
+
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+
+namespace {
+
+bool matches(const RawMessage& message, int source, int tag) {
+  return (source == kAnySource || message.source == source) &&
+         (tag == kAnyTag || message.tag == tag);
+}
+
+}  // namespace
+
+void SimComm::send_raw(int dest, int tag, std::size_t type_hash,
+                       std::vector<std::byte> payload) {
+  util::require(dest >= 0 && dest < size(),
+                "SimComm::send: destination rank out of range");
+
+  // The sender pays the software overhead plus the time to push the
+  // bytes onto the wire.
+  const std::size_t bytes = payload.size();
+  ctx_->compute(ctx_->spec().us_to_ops(
+      world_->spec.transfer_seconds(bytes) * 1e6));
+
+  detail::TimedMessage timed;
+  timed.message.source = rank_;
+  timed.message.tag = tag;
+  timed.message.type_hash = type_hash;
+  timed.message.payload = std::move(payload);
+  timed.arrival_s = ctx_->now() + world_->spec.net_latency_us * 1e-6;
+
+  sim::ScopedLock lock(
+      *ctx_, world_->inbox_mutexes[static_cast<std::size_t>(dest)]);
+  world_->inboxes[static_cast<std::size_t>(dest)].push_back(
+      std::move(timed));
+  world_->messages += 1;
+  world_->payload_bytes += bytes;
+  ctx_->notify_all(
+      world_->inbox_conditions[static_cast<std::size_t>(dest)]);
+}
+
+RawMessage SimComm::recv_raw(int source, int tag) {
+  util::require(source == kAnySource || (source >= 0 && source < size()),
+                "SimComm::recv: source rank out of range");
+  const auto index = static_cast<std::size_t>(rank_);
+  auto& inbox = world_->inboxes[index];
+  const sim::MutexHandle mutex = world_->inbox_mutexes[index];
+  const sim::ConditionHandle condition = world_->inbox_conditions[index];
+
+  ctx_->lock(mutex);
+  for (;;) {
+    for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+      if (matches(it->message, source, tag)) {
+        detail::TimedMessage timed = std::move(*it);
+        inbox.erase(it);
+        ctx_->unlock(mutex);
+        // A message cannot be consumed before it arrives: if we matched
+        // it while it is still in flight, wait out the remaining wire
+        // time in virtual time.
+        const double remaining_s = timed.arrival_s - ctx_->now();
+        if (remaining_s > 0.0) {
+          ctx_->compute(ctx_->spec().us_to_ops(remaining_s * 1e6));
+        }
+        return std::move(timed.message);
+      }
+    }
+    ctx_->wait(condition, mutex);
+  }
+}
+
+ClusterReport SimWorld::run(int num_ranks,
+                            const std::function<void(SimComm&)>& rank_main,
+                            ClusterSpec spec) {
+  util::require(num_ranks >= 1, "SimWorld::run: need at least one rank");
+  util::require(rank_main != nullptr,
+                "SimWorld::run: rank body must be callable");
+  util::require(spec.net_bandwidth_mb_s > 0.0,
+                "SimWorld::run: bandwidth must be positive");
+
+  // One rank per node: model the cluster as num_ranks independent cores
+  // with no shared-memory contention between them.
+  sim::MachineSpec machine_spec = spec.node;
+  machine_spec.name =
+      "pi-cluster-" + std::to_string(num_ranks) + "node";
+  machine_spec.cores = num_ranks;
+  machine_spec.mem_contention_beta = 0.0;
+  machine_spec.oversub_penalty = 0.0;
+  sim::Machine machine(machine_spec);
+
+  detail::SimWorldState state;
+  state.size = num_ranks;
+  state.spec = spec;
+  state.inboxes.resize(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    state.inbox_mutexes.push_back(machine.make_mutex());
+    state.inbox_conditions.push_back(machine.make_condition());
+  }
+
+  ClusterReport report;
+  report.machine = machine.run([&](sim::Context& root) {
+    std::vector<sim::ThreadHandle> ranks;
+    for (int r = 1; r < num_ranks; ++r) {
+      ranks.push_back(root.spawn([&state, &rank_main, r](sim::Context& ctx) {
+        SimComm comm(state, ctx, r);
+        rank_main(comm);
+      }));
+    }
+    SimComm comm(state, root, 0);
+    rank_main(comm);
+    for (const sim::ThreadHandle rank : ranks) {
+      root.join(rank);
+    }
+  });
+  report.messages = state.messages;
+  report.payload_bytes = state.payload_bytes;
+  return report;
+}
+
+}  // namespace pblpar::mp

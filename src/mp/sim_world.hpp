@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mp/collectives.hpp"
+#include "mp/comm.hpp"  // kAnySource/kAnyTag/RecvStatus shared with the host world
+#include "mp/message.hpp"
+#include "sim/machine.hpp"
+
+namespace pblpar::mp {
+
+/// A simulated cluster of single-board computers — the paper's future-
+/// work direction ("extend the module to ... distributed memory using
+/// Message Passing Interface (MPI)") made runnable: one virtual thread
+/// per node, connected by an alpha-beta network model.
+struct ClusterSpec {
+  /// Per-node machine (clock, overheads). One rank runs per node, so the
+  /// node's core count is ignored.
+  sim::MachineSpec node = sim::MachineSpec::raspberry_pi_3bplus();
+
+  /// One-way network latency (alpha), in microseconds. Default: small
+  /// switched Ethernet between Pis.
+  double net_latency_us = 200.0;
+
+  /// Network bandwidth (1/beta), in megabytes per second. The Pi 3B+'s
+  /// Ethernet tops out near 94 Mbit/s ~ 11 MB/s.
+  double net_bandwidth_mb_s = 11.0;
+
+  /// Per-message software overhead charged to the sender, microseconds.
+  double send_overhead_us = 25.0;
+
+  /// Transfer time for a message of `bytes`, excluding latency, seconds.
+  double transfer_seconds(std::size_t bytes) const {
+    return send_overhead_us * 1e-6 +
+           static_cast<double>(bytes) / (net_bandwidth_mb_s * 1e6);
+  }
+};
+
+/// Outcome of a cluster run.
+struct ClusterReport {
+  sim::ExecutionReport machine;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+namespace detail {
+
+/// One node's inbox on the simulated network: messages carry their
+/// arrival time (send completion + latency).
+struct TimedMessage {
+  RawMessage message;
+  double arrival_s = 0.0;
+};
+
+struct SimWorldState {
+  int size = 0;
+  ClusterSpec spec;
+  std::vector<std::deque<TimedMessage>> inboxes;
+  std::vector<sim::MutexHandle> inbox_mutexes;
+  std::vector<sim::ConditionHandle> inbox_conditions;
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+}  // namespace detail
+
+/// One rank's endpoint on the simulated cluster. Same API surface as the
+/// host-world Comm; timing comes from the machine model: sends charge the
+/// software overhead plus bytes/bandwidth to the sender, and a receive
+/// completes no earlier than send-completion + latency (the rank "waits
+/// for the wire" in virtual time).
+class SimComm {
+ public:
+  SimComm(detail::SimWorldState& world, sim::Context& ctx, int rank)
+      : world_(&world), ctx_(&ctx), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size; }
+
+  /// The simulated execution context of this rank's node (e.g. for
+  /// charging local compute).
+  sim::Context& context() { return *ctx_; }
+
+  template <class T>
+  void send(int dest, int tag, const T& value) {
+    util::require(tag >= 0, "SimComm::send: user tags must be non-negative");
+    send_raw(dest, tag, type_hash_of<T>(), Codec<T>::encode(value));
+  }
+
+  template <class T>
+  T recv(int source = kAnySource, int tag = kAnyTag,
+         RecvStatus* status = nullptr) {
+    RawMessage message = recv_raw(source, tag);
+    if (message.type_hash != type_hash_of<T>()) {
+      throw MpTypeError(
+          "SimComm::recv: matched message has a different payload type");
+    }
+    if (status != nullptr) {
+      status->source = message.source;
+      status->tag = message.tag;
+    }
+    return Codec<T>::decode(message.payload);
+  }
+
+  template <class T>
+  T sendrecv(int dest, int send_tag, const T& value, int source,
+             int recv_tag) {
+    send(dest, send_tag, value);
+    return recv<T>(source, recv_tag);
+  }
+
+  void barrier() { detail::barrier(*this); }
+
+  template <class T>
+  void bcast(T& value, int root = 0) {
+    detail::bcast(*this, value, root);
+  }
+
+  template <class T, class Op>
+  T reduce(const T& value, Op op, int root = 0) {
+    return detail::reduce(*this, value, op, root);
+  }
+
+  template <class T, class Op>
+  T allreduce(const T& value, Op op) {
+    return detail::allreduce(*this, value, op);
+  }
+
+  template <class T>
+  T scatter(const std::vector<T>& values, int root = 0) {
+    return detail::scatter(*this, values, root);
+  }
+
+  template <class T>
+  std::vector<T> gather(const T& value, int root = 0) {
+    return detail::gather(*this, value, root);
+  }
+
+  template <class T>
+  std::vector<T> allgather(const T& value) {
+    return detail::allgather(*this, value);
+  }
+
+  std::vector<double> ring_allreduce_sum(std::vector<double> data) {
+    return detail::ring_allreduce_sum(*this, std::move(data));
+  }
+
+  // --- raw transport (shared collective algorithms call these) ---------------
+
+  void send_raw(int dest, int tag, std::size_t type_hash,
+                std::vector<std::byte> payload);
+  RawMessage recv_raw(int source, int tag);
+
+ private:
+  detail::SimWorldState* world_;
+  sim::Context* ctx_;
+  int rank_;
+};
+
+/// Run `rank_main` once per rank on a simulated cluster of `num_ranks`
+/// nodes. Deterministic; missing messages surface as the machine's
+/// DeadlockError rather than a timeout.
+class SimWorld {
+ public:
+  static ClusterReport run(int num_ranks,
+                           const std::function<void(SimComm&)>& rank_main,
+                           ClusterSpec spec = {});
+};
+
+}  // namespace pblpar::mp

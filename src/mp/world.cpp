@@ -1,0 +1,50 @@
+#include "mp/world.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+
+void World::run(int num_ranks, const std::function<void(Comm&)>& rank_main,
+                WorldOptions options) {
+  util::require(num_ranks >= 1, "World::run: need at least one rank");
+  util::require(rank_main != nullptr, "World::run: rank body must be callable");
+  util::require(options.recv_timeout_s > 0.0,
+                "World::run: receive timeout must be positive");
+
+  detail::WorldState state(num_ranks, options.recv_timeout_s);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_ranks));
+
+  {
+    std::vector<std::jthread> ranks;
+    ranks.reserve(static_cast<std::size_t>(num_ranks));
+    for (int r = 0; r < num_ranks; ++r) {
+      ranks.emplace_back([&state, &errors, &rank_main, r] {
+        Comm comm(state, r);
+        try {
+          rank_main(comm);
+        } catch (const WorldAborted&) {
+          // Torn down because another rank failed.
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+          state.abort.aborted.store(true);
+          for (auto& mailbox : state.mailboxes) {
+            mailbox->interrupt();
+          }
+        }
+      });
+    }
+  }  // all ranks join
+
+  for (const std::exception_ptr& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+}  // namespace pblpar::mp

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <functional>
+
+#include "mp/comm.hpp"
+
+namespace pblpar::mp {
+
+/// World configuration.
+struct WorldOptions {
+  /// How long a receive may block before the world declares deadlock.
+  double recv_timeout_s = 10.0;
+};
+
+/// TeachMPI's MPI_Init/Finalize equivalent: run `rank_main` once per rank,
+/// each on its own thread, sharing an in-process message fabric.
+///
+/// If any rank's body throws, the world aborts: blocked receives unwind,
+/// all ranks join, and the first exception is rethrown to the caller.
+class World {
+ public:
+  static void run(int num_ranks, const std::function<void(Comm&)>& rank_main,
+                  WorldOptions options = {});
+};
+
+}  // namespace pblpar::mp

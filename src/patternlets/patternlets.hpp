@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rt/parallel.hpp"
+#include "rt/reduce.hpp"
+
+namespace pblpar::patternlets {
+
+/// Library form of the CSinParallel "Shared Memory Parallel Patternlets"
+/// the course's Assignments 2-4 build (paper reference [8]). Each
+/// function runs the patternlet on a TeachMP team and returns what the
+/// classroom version prints, so examples, tests, and benches can inspect
+/// the behaviour.
+
+// --- Assignment 2 -----------------------------------------------------------
+
+/// Fork-join: the master forks a team, every member "greets", the team
+/// joins back. `greeting_order` records thread ids in greeting order
+/// (deterministic on the Sim backend).
+struct ForkJoinResult {
+  std::vector<int> greeting_order;
+  rt::RunResult run;
+};
+ForkJoinResult fork_join(const rt::ParallelConfig& config);
+
+/// SPMD: every member reports (thread_num, num_threads) — the "single
+/// program multiple data" observation.
+struct SpmdResult {
+  std::vector<std::pair<int, int>> reports;  // in thread id order
+  rt::RunResult run;
+};
+SpmdResult spmd(const rt::ParallelConfig& config);
+
+/// The shared-memory concern: an unsynchronized shared counter update is
+/// a data race ("scope matters"). Runs the racy version and the fixed
+/// (private accumulation + critical publish) version on a simulated Pi
+/// with the race detector attached.
+struct DataRaceDemoResult {
+  long racy_final = 0;
+  std::size_t races_in_racy_version = 0;
+  long fixed_final = 0;
+  std::size_t races_in_fixed_version = 0;
+};
+DataRaceDemoResult shared_memory_race_demo(int threads,
+                                           int increments_per_thread);
+
+// --- Assignment 3 -----------------------------------------------------------
+
+/// Which thread executed which iteration (the classroom print-out of the
+/// loop patternlets).
+struct LoopAssignment {
+  std::vector<std::pair<int, std::int64_t>> executed;  // (thread, iteration)
+  rt::RunResult run;
+
+  /// Iterations run by one thread, in execution order.
+  std::vector<std::int64_t> iterations_of(int thread) const;
+};
+
+/// "Running Loops in Parallel": OpenMP's default parallel-for, equal
+/// contiguous chunks per thread.
+LoopAssignment parallel_loop_equal_chunks(const rt::ParallelConfig& config,
+                                          std::int64_t iterations,
+                                          const rt::CostModel& cost = {});
+
+/// "Scheduling of Parallel Loops": chunks of 1, 2, 3... static or
+/// dynamic, per the given schedule.
+LoopAssignment parallel_loop_chunks(const rt::ParallelConfig& config,
+                                    std::int64_t iterations,
+                                    rt::Schedule schedule,
+                                    const rt::CostModel& cost = {});
+
+/// "When Loops Have Dependencies": the reduction clause.
+struct ReductionResult {
+  long sum = 0;
+  rt::RunResult run;
+};
+ReductionResult reduction_sum(
+    const rt::ParallelConfig& config, std::int64_t n,
+    rt::ReduceStrategy strategy = rt::ReduceStrategy::PerThreadPartials,
+    const rt::CostModel& cost = {});
+
+// --- Assignment 4 -----------------------------------------------------------
+
+/// "Integration Using the Trapezoidal Rule": parallel for + private,
+/// shared, and reduction clauses. Integrates f over [a, b] with n
+/// trapezoids.
+struct TrapezoidResult {
+  double integral = 0.0;
+  rt::RunResult run;
+};
+TrapezoidResult trapezoid_integration(
+    const rt::ParallelConfig& config, double (*f)(double), double a,
+    double b, std::int64_t n,
+    rt::Schedule schedule = rt::Schedule::static_block(),
+    rt::ReduceStrategy strategy = rt::ReduceStrategy::PerThreadPartials);
+
+/// "Coordination: Synchronization with a Barrier": every member runs
+/// phase 1, hits the barrier, runs phase 2. Returns whether every phase-1
+/// mark was visible to every member in phase 2 (always true when the
+/// barrier works).
+struct BarrierDemoResult {
+  bool phases_separated = false;
+  rt::RunResult run;
+};
+BarrierDemoResult barrier_coordination(const rt::ParallelConfig& config);
+
+/// "The Master-Worker Implementation Strategy": thread 0 coordinates
+/// while the workers drain a shared task queue.
+struct MasterWorkerResult {
+  std::vector<std::int64_t> tasks_per_thread;  // index = thread id
+  std::int64_t tasks_processed = 0;
+  rt::RunResult run;
+};
+MasterWorkerResult master_worker(const rt::ParallelConfig& config,
+                                 std::int64_t num_tasks,
+                                 const rt::CostModel& cost = {});
+
+}  // namespace pblpar::patternlets

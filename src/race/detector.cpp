@@ -1,0 +1,157 @@
+#include "race/detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pblpar::race {
+
+std::string RaceReport::describe() const {
+  const char* kind_text = nullptr;
+  switch (kind) {
+    case Kind::WriteWrite:
+      kind_text = "write-write";
+      break;
+    case Kind::ReadThenWrite:
+      kind_text = "read-then-write";
+      break;
+    case Kind::WriteThenRead:
+      kind_text = "write-then-read";
+      break;
+  }
+  std::ostringstream out;
+  out << kind_text << " race on "
+      << (label.empty() ? "<unnamed variable>" : ("'" + label + "'"))
+      << " between tid" << first_tid << " and tid" << second_tid;
+  return out.str();
+}
+
+void Detector::label_address(const void* addr, std::string name) {
+  labels_[addr] = std::move(name);
+}
+
+void Detector::reset() {
+  thread_clocks_.clear();
+  mutex_clocks_.clear();
+  vars_.clear();
+  races_.clear();
+  seen_.clear();
+}
+
+VectorClock& Detector::clock_of(int tid) {
+  util::require(tid >= 0, "Detector: tid must be non-negative");
+  const auto index = static_cast<std::size_t>(tid);
+  if (index >= thread_clocks_.size()) {
+    const auto old_size = thread_clocks_.size();
+    thread_clocks_.resize(index + 1);
+    for (std::size_t t = old_size; t <= index; ++t) {
+      // A thread's own component starts at 1 so its accesses are never
+      // vacuously ordered before other threads' clocks.
+      thread_clocks_[t].set(static_cast<int>(t), 1);
+    }
+  }
+  return thread_clocks_[index];
+}
+
+void Detector::report(const void* addr, std::size_t size,
+                      RaceReport::Kind kind, int first, int second) {
+  // Dedup symmetrically: a ping-ponging pair of racing threads is one
+  // finding per variable and kind, not one per direction.
+  const auto key = std::make_tuple(addr, static_cast<int>(kind),
+                                   std::min(first, second),
+                                   std::max(first, second));
+  if (!seen_.insert(key).second) {
+    return;
+  }
+  RaceReport race;
+  race.addr = addr;
+  race.size = size;
+  race.kind = kind;
+  race.first_tid = first;
+  race.second_tid = second;
+  if (const auto it = labels_.find(addr); it != labels_.end()) {
+    race.label = it->second;
+  }
+  races_.push_back(std::move(race));
+}
+
+void Detector::on_spawn(int parent, int child) {
+  // Touch the higher tid first: clock_of may grow the vector, which would
+  // invalidate a previously taken reference.
+  clock_of(std::max(parent, child));
+  VectorClock& parent_clock = clock_of(parent);
+  VectorClock& child_clock = clock_of(child);
+  child_clock.merge(parent_clock);
+  // Both sides enter fresh epochs so later events on either side are not
+  // ordered with the other's.
+  parent_clock.tick(parent);
+  child_clock.tick(child);
+}
+
+void Detector::on_join(int parent, int child) {
+  clock_of(std::max(parent, child));
+  VectorClock& parent_clock = clock_of(parent);
+  parent_clock.merge(clock_of(child));
+  parent_clock.tick(parent);
+}
+
+void Detector::on_barrier(std::span<const int> participants) {
+  int max_tid = 0;
+  for (const int tid : participants) {
+    max_tid = std::max(max_tid, tid);
+  }
+  clock_of(max_tid);
+  VectorClock merged;
+  for (const int tid : participants) {
+    merged.merge(clock_of(tid));
+  }
+  for (const int tid : participants) {
+    VectorClock& clock = clock_of(tid);
+    clock.merge(merged);
+    clock.tick(tid);
+  }
+}
+
+void Detector::on_mutex_acquire(int tid, std::uint64_t mutex_id) {
+  VectorClock& clock = clock_of(tid);
+  if (const auto it = mutex_clocks_.find(mutex_id);
+      it != mutex_clocks_.end()) {
+    clock.merge(it->second);
+  }
+}
+
+void Detector::on_mutex_release(int tid, std::uint64_t mutex_id) {
+  VectorClock& clock = clock_of(tid);
+  mutex_clocks_[mutex_id] = clock;
+  clock.tick(tid);
+}
+
+void Detector::on_read(int tid, const void* addr, std::size_t size) {
+  const VectorClock& now = clock_of(tid);
+  VarState& var = vars_[addr];
+  if (var.last_write.valid() && var.last_write.tid != tid &&
+      !var.last_write.happens_before(now)) {
+    report(addr, size, RaceReport::Kind::WriteThenRead, var.last_write.tid,
+           tid);
+  }
+  var.reads[tid] = Epoch{tid, now.get(tid)};
+}
+
+void Detector::on_write(int tid, const void* addr, std::size_t size) {
+  const VectorClock& now = clock_of(tid);
+  VarState& var = vars_[addr];
+  if (var.last_write.valid() && var.last_write.tid != tid &&
+      !var.last_write.happens_before(now)) {
+    report(addr, size, RaceReport::Kind::WriteWrite, var.last_write.tid, tid);
+  }
+  for (const auto& [reader, epoch] : var.reads) {
+    if (reader != tid && !epoch.happens_before(now)) {
+      report(addr, size, RaceReport::Kind::ReadThenWrite, reader, tid);
+    }
+  }
+  var.last_write = Epoch{tid, now.get(tid)};
+  var.reads.clear();
+}
+
+}  // namespace pblpar::race

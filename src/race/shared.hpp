@@ -1,0 +1,50 @@
+#pragma once
+
+#include "sim/machine.hpp"
+
+namespace pblpar::race {
+
+/// A shared variable whose accesses are visible to the race detector.
+///
+/// This is the library form of the paper's Assignment 2 lesson: "by sharing
+/// one bank of memory, programmers need to be a bit more careful about
+/// declaring their variables (scope matters)". Code that updates a
+/// Shared<T> from multiple simulated threads without synchronization is
+/// reported by race::Detector; making the accumulation private-per-thread
+/// (see the patternlets) silences it.
+template <class T>
+class Shared {
+ public:
+  explicit Shared(T initial = T{}) : value_(initial) {}
+
+  /// Read under the detector's eye.
+  T read(sim::Context& ctx) const {
+    ctx.annotate_read(&value_, sizeof(T));
+    return value_;
+  }
+
+  /// Overwrite under the detector's eye.
+  void write(sim::Context& ctx, T value) {
+    ctx.annotate_write(&value_, sizeof(T));
+    value_ = value;
+  }
+
+  /// Read-modify-write (the classic racy "sum += x" shape: annotated as a
+  /// read followed by a write, so unsynchronized concurrent updates race).
+  void add(sim::Context& ctx, T delta) {
+    ctx.annotate_read(&value_, sizeof(T));
+    ctx.annotate_write(&value_, sizeof(T));
+    value_ += delta;
+  }
+
+  /// Unannotated peek, for checking final values after the run.
+  T unsafe_value() const { return value_; }
+
+  /// Stable address used to label this variable in race reports.
+  const void* address() const { return &value_; }
+
+ private:
+  T value_;
+};
+
+}  // namespace pblpar::race

@@ -1,0 +1,57 @@
+#include "race/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pblpar::race {
+
+std::uint64_t VectorClock::get(int tid) const {
+  util::require(tid >= 0, "VectorClock::get: tid must be non-negative");
+  const auto index = static_cast<std::size_t>(tid);
+  return index < components_.size() ? components_[index] : 0;
+}
+
+void VectorClock::set(int tid, std::uint64_t value) {
+  util::require(tid >= 0, "VectorClock::set: tid must be non-negative");
+  const auto index = static_cast<std::size_t>(tid);
+  if (index >= components_.size()) {
+    components_.resize(index + 1, 0);
+  }
+  components_[index] = value;
+}
+
+void VectorClock::tick(int tid) { set(tid, get(tid) + 1); }
+
+void VectorClock::merge(const VectorClock& other) {
+  if (other.components_.size() > components_.size()) {
+    components_.resize(other.components_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.components_.size(); ++i) {
+    components_[i] = std::max(components_[i], other.components_[i]);
+  }
+}
+
+bool VectorClock::happens_before_or_equal(const VectorClock& other) const {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const std::uint64_t theirs =
+        i < other.components_.size() ? other.components_[i] : 0;
+    if (components_[i] > theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    out << (i ? "," : "") << components_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace pblpar::race

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pblpar::race {
+
+/// A vector clock over thread ids. Component `t` counts the number of
+/// synchronization epochs thread `t` has passed through.
+class VectorClock {
+ public:
+  /// Clock component for `tid` (0 if never seen).
+  std::uint64_t get(int tid) const;
+
+  /// Set component `tid` to `value`.
+  void set(int tid, std::uint64_t value);
+
+  /// Increment component `tid`.
+  void tick(int tid);
+
+  /// Pointwise maximum with `other` (the "join" of the two clocks).
+  void merge(const VectorClock& other);
+
+  /// True if every component of *this is <= the matching one in `other`,
+  /// i.e. all events summarized by *this happen-before `other`.
+  bool happens_before_or_equal(const VectorClock& other) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> components_;
+};
+
+/// A single (thread, clock-value) pair — FastTrack's compressed
+/// representation of one access event.
+struct Epoch {
+  int tid = -1;
+  std::uint64_t clock = 0;
+
+  bool valid() const { return tid >= 0; }
+
+  /// This access happens-before the thread owning `now` iff the owner has
+  /// seen at least `clock` ticks of `tid`.
+  bool happens_before(const VectorClock& now) const {
+    return clock <= now.get(tid);
+  }
+};
+
+}  // namespace pblpar::race

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sim/spec.hpp"
+
+namespace pblpar::rt {
+
+/// Which substrate executes a parallel region.
+enum class BackendKind {
+  /// Real std::thread execution on the host. Results are real-time; on a
+  /// host with fewer cores than threads the speedup is bounded by the
+  /// host, not the model.
+  Host,
+
+  /// Deterministic virtual-time execution on the pblpar::sim machine.
+  /// This is the paper-faithful configuration: timings reflect the
+  /// simulated Raspberry Pi regardless of the host.
+  Sim,
+};
+
+/// Configuration of one parallel region (the TeachMP analogue of
+/// OMP_NUM_THREADS + the target machine).
+struct ParallelConfig {
+  int num_threads = 4;
+  BackendKind backend = BackendKind::Sim;
+
+  /// Machine model for the Sim backend (ignored by Host).
+  sim::MachineSpec machine = sim::MachineSpec::raspberry_pi_3bplus();
+
+  /// Run on an existing machine instead of a fresh one — e.g. one with a
+  /// race detector attached. Not owned; must outlive the call.
+  sim::Machine* external_machine = nullptr;
+
+  static ParallelConfig sim_pi(int num_threads = 4) {
+    ParallelConfig config;
+    config.num_threads = num_threads;
+    config.backend = BackendKind::Sim;
+    return config;
+  }
+
+  static ParallelConfig host(int num_threads = 4) {
+    ParallelConfig config;
+    config.num_threads = num_threads;
+    config.backend = BackendKind::Host;
+    return config;
+  }
+};
+
+/// Outcome of one parallel region.
+struct RunResult {
+  /// Host wall-clock of the region, in seconds (both backends).
+  double host_seconds = 0.0;
+
+  /// Virtual-time report (Sim backend only).
+  std::optional<sim::ExecutionReport> sim_report;
+
+  /// Virtual time if simulated, host time otherwise.
+  double elapsed_seconds() const {
+    return sim_report ? sim_report->makespan_s : host_seconds;
+  }
+};
+
+}  // namespace pblpar::rt

@@ -1,0 +1,169 @@
+#include "rt/host_backend.hpp"
+
+#include "rt/loops.hpp"
+
+#include <array>
+#include <chrono>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+AbortableBarrier::AbortableBarrier(int parties) : parties_(parties) {
+  util::require(parties >= 1, "AbortableBarrier: need at least one party");
+}
+
+void AbortableBarrier::arrive_and_wait() {
+  std::unique_lock lk(mu_);
+  if (aborted_) {
+    throw TeamAborted{};
+  }
+  const std::uint64_t my_generation = generation_;
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return generation_ != my_generation || aborted_; });
+  if (aborted_ && generation_ == my_generation) {
+    throw TeamAborted{};
+  }
+}
+
+void AbortableBarrier::abort() {
+  std::lock_guard guard(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+namespace {
+
+/// Worksharing bookkeeping shared by all members of a host team.
+/// Loop counters and single-arrival flags are preallocated so claims are
+/// lock-free; 256 worksharing constructs per region is far beyond any of
+/// the course workloads.
+constexpr int kMaxWorksharing = 256;
+
+struct HostTeam {
+  explicit HostTeam(int num_threads)
+      : num_threads(num_threads), barrier(num_threads) {
+    for (auto& counter : loop_counters) {
+      counter.store(0, std::memory_order_relaxed);
+    }
+    for (auto& flag : single_arrivals) {
+      flag.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  int num_threads;
+  AbortableBarrier barrier;
+  std::mutex critical_mu;
+  std::array<std::atomic<std::int64_t>, kMaxWorksharing> loop_counters;
+  std::array<std::atomic<int>, kMaxWorksharing> single_arrivals;
+  std::atomic<bool> aborted{false};
+};
+
+class HostTeamContext final : public TeamContext {
+ public:
+  HostTeamContext(HostTeam& team, int tid) : team_(&team), tid_(tid) {}
+
+  int thread_num() const override { return tid_; }
+  int num_threads() const override { return team_->num_threads; }
+
+  void barrier() override { team_->barrier.arrive_and_wait(); }
+
+  void critical(const std::function<void()>& body) override {
+    std::lock_guard guard(team_->critical_mu);
+    body();
+  }
+
+  void single(const std::function<void()>& body) override {
+    const int id = next_single_id_++;
+    util::require(id < kMaxWorksharing,
+                  "TeamContext::single: too many worksharing constructs");
+    if (team_->single_arrivals[static_cast<std::size_t>(id)].fetch_add(1) ==
+        0) {
+      body();
+    }
+    barrier();
+  }
+
+  void compute(double ops, double mem_intensity) override {
+    // Host execution is real work in real time; modelled cost is ignored.
+    (void)ops;
+    (void)mem_intensity;
+  }
+
+  std::pair<std::int64_t, std::int64_t> claim(
+      int loop_id, std::int64_t total, const Schedule& schedule) override {
+    util::require(loop_id >= 0 && loop_id < kMaxWorksharing,
+                  "TeamContext::claim: too many worksharing loops");
+    auto& counter = team_->loop_counters[static_cast<std::size_t>(loop_id)];
+    std::int64_t current = counter.load(std::memory_order_relaxed);
+    for (;;) {
+      if (current >= total) {
+        return {total, 0};
+      }
+      const std::int64_t size =
+          chunk_size_for(schedule, total - current, team_->num_threads);
+      if (counter.compare_exchange_weak(current, current + size,
+                                        std::memory_order_acq_rel)) {
+        return {current, size};
+      }
+    }
+  }
+
+ private:
+  HostTeam* team_;
+  int tid_;
+  int next_single_id_ = 0;
+};
+
+}  // namespace
+
+RunResult host_parallel(int num_threads,
+                        const std::function<void(TeamContext&)>& body) {
+  util::require(num_threads >= 1, "host_parallel: need at least one thread");
+  util::require(body != nullptr, "host_parallel: body must be callable");
+
+  HostTeam team(num_threads);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_threads));
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> members;
+    members.reserve(static_cast<std::size_t>(num_threads));
+    for (int tid = 0; tid < num_threads; ++tid) {
+      members.emplace_back([&team, &errors, &body, tid] {
+        HostTeamContext ctx(team, tid);
+        try {
+          body(ctx);
+        } catch (const TeamAborted&) {
+          // Another member failed; we just unwound past its barriers.
+        } catch (...) {
+          errors[static_cast<std::size_t>(tid)] = std::current_exception();
+          team.aborted.store(true);
+          team.barrier.abort();
+        }
+      });
+    }
+  }  // jthreads join here
+  const auto end = std::chrono::steady_clock::now();
+
+  for (const auto& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  RunResult result;
+  result.host_seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace pblpar::rt

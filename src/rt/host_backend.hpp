@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+
+#include "rt/config.hpp"
+#include "rt/team.hpp"
+
+namespace pblpar::rt {
+
+/// Thrown inside team members when the region aborts because another
+/// member's body threw; caught internally, never escapes to users.
+class TeamAborted : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "pblpar::rt::TeamAborted: parallel region is shutting down";
+  }
+};
+
+/// A cyclic barrier that can be aborted: when one team member dies, the
+/// others must not wait forever (CP.42: don't wait without a condition —
+/// the condition includes shutdown).
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(int parties);
+
+  /// Wait for all parties. Throws TeamAborted if abort() was called.
+  void arrive_and_wait();
+
+  /// Release all current and future waiters with TeamAborted.
+  void abort();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+/// Execute `body` as a team of `num_threads` real std::threads.
+/// Rethrows the first exception thrown by any member after the region.
+RunResult host_parallel(int num_threads,
+                        const std::function<void(TeamContext&)>& body);
+
+}  // namespace pblpar::rt

@@ -1,0 +1,112 @@
+#include "rt/loops.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+std::string Schedule::to_string() const {
+  switch (kind) {
+    case Kind::Static:
+      return chunk <= 0 ? "static" : "static," + std::to_string(chunk);
+    case Kind::Dynamic:
+      return "dynamic," + std::to_string(std::max<std::int64_t>(1, chunk));
+    case Kind::Guided:
+      return "guided," + std::to_string(std::max<std::int64_t>(1, chunk));
+  }
+  return "?";
+}
+
+std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
+                            int num_threads) {
+  util::require(num_threads >= 1, "chunk_size_for: need >= 1 thread");
+  if (remaining <= 0) {
+    return 0;
+  }
+  switch (schedule.kind) {
+    case Schedule::Kind::Static:
+      // Static claims are precomputed per thread; this path is only used
+      // if a static schedule is fed through the shared queue.
+      return std::min<std::int64_t>(remaining,
+                                    schedule.chunk > 0 ? schedule.chunk : 1);
+    case Schedule::Kind::Dynamic:
+      return std::min<std::int64_t>(
+          remaining, schedule.chunk > 0 ? schedule.chunk : 1);
+    case Schedule::Kind::Guided: {
+      // Classic guided: half the remaining work split across the team,
+      // bounded below by the requested minimum chunk.
+      const std::int64_t min_chunk = schedule.chunk > 0 ? schedule.chunk : 1;
+      const std::int64_t guided =
+          remaining / (2 * static_cast<std::int64_t>(num_threads));
+      return std::min<std::int64_t>(remaining,
+                                    std::max<std::int64_t>(min_chunk, guided));
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+void run_chunk(TeamContext& tc, std::int64_t begin, std::int64_t end,
+               const std::function<void(std::int64_t)>& body,
+               const CostModel& cost) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    body(i);
+  }
+  if (!cost.empty()) {
+    tc.compute(cost.total_ops(begin, end), cost.mem_intensity);
+  }
+}
+
+}  // namespace
+
+void for_loop(TeamContext& tc, Range range, Schedule schedule,
+              const std::function<void(std::int64_t)>& body,
+              const CostModel& cost, bool barrier_at_end) {
+  util::require(body != nullptr, "for_loop: body must be callable");
+  const std::int64_t total = range.size();
+  const int loop_id = tc.next_loop_id();
+  const int num_threads = tc.num_threads();
+  const int tid = tc.thread_num();
+
+  if (schedule.kind == Schedule::Kind::Static) {
+    if (schedule.chunk <= 0) {
+      // One contiguous block per thread, remainder spread over the first
+      // threads (OpenMP's default static split).
+      const std::int64_t base = total / num_threads;
+      const std::int64_t extra = total % num_threads;
+      const std::int64_t mine = base + (tid < extra ? 1 : 0);
+      const std::int64_t start =
+          range.begin + tid * base + std::min<std::int64_t>(tid, extra);
+      if (mine > 0) {
+        run_chunk(tc, start, start + mine, body, cost);
+      }
+    } else {
+      // Round-robin chunks of the given size.
+      for (std::int64_t chunk_start = schedule.chunk * tid;
+           chunk_start < total;
+           chunk_start += schedule.chunk * num_threads) {
+        const std::int64_t chunk_end =
+            std::min<std::int64_t>(total, chunk_start + schedule.chunk);
+        run_chunk(tc, range.begin + chunk_start, range.begin + chunk_end,
+                  body, cost);
+      }
+    }
+  } else {
+    for (;;) {
+      const auto [start, count] = tc.claim(loop_id, total, schedule);
+      if (count == 0) {
+        break;
+      }
+      run_chunk(tc, range.begin + start, range.begin + start + count, body,
+                cost);
+    }
+  }
+
+  if (barrier_at_end) {
+    tc.barrier();
+  }
+}
+
+}  // namespace pblpar::rt

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rt/schedule.hpp"
+#include "rt/team.hpp"
+
+namespace pblpar::rt {
+
+/// Chunk size the scheduler hands out when `remaining` iterations are left.
+/// Shared by every backend so host and sim agree on chunk shapes.
+std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
+                            int num_threads);
+
+/// Worksharing loop over `range` (OpenMP's `#pragma omp for`).
+///
+/// Must be encountered by every member of the team. Iterations are
+/// distributed according to `schedule`; `body` receives global iteration
+/// indices. `cost` is charged to the simulator per chunk (ignored on the
+/// host backend). Ends with an implicit team barrier unless
+/// `barrier_at_end` is false (OpenMP's nowait).
+void for_loop(TeamContext& tc, Range range, Schedule schedule,
+              const std::function<void(std::int64_t)>& body,
+              const CostModel& cost = {}, bool barrier_at_end = true);
+
+}  // namespace pblpar::rt

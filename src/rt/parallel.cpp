@@ -1,0 +1,37 @@
+#include "rt/parallel.hpp"
+
+#include "rt/host_backend.hpp"
+#include "rt/sim_backend.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+RunResult parallel(const ParallelConfig& config,
+                   const std::function<void(TeamContext&)>& body) {
+  util::require(config.num_threads >= 1,
+                "parallel: config.num_threads must be >= 1");
+  switch (config.backend) {
+    case BackendKind::Host:
+      return host_parallel(config.num_threads, body);
+    case BackendKind::Sim: {
+      if (config.external_machine != nullptr) {
+        return sim_parallel(*config.external_machine, config.num_threads,
+                            body);
+      }
+      sim::Machine machine(config.machine);
+      return sim_parallel(machine, config.num_threads, body);
+    }
+  }
+  throw util::PreconditionError("parallel: unknown backend");
+}
+
+RunResult parallel_for(const ParallelConfig& config, Range range,
+                       Schedule schedule,
+                       const std::function<void(std::int64_t)>& body,
+                       const CostModel& cost) {
+  return parallel(config, [&](TeamContext& tc) {
+    for_loop(tc, range, schedule, body, cost);
+  });
+}
+
+}  // namespace pblpar::rt

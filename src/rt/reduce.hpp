@@ -1,0 +1,78 @@
+#pragma once
+
+#include "rt/parallel.hpp"
+
+namespace pblpar::rt {
+
+/// Value + execution report of a parallel reduction.
+template <class T>
+struct ReduceResult {
+  T value{};
+  RunResult run;
+};
+
+/// How the reduction combines partial results — the paper's Assignment 4
+/// contrasts the reduction clause with a critical section per iteration.
+enum class ReduceStrategy {
+  /// OpenMP `reduction(...)` semantics: each thread accumulates privately
+  /// and partials merge once at the end.
+  PerThreadPartials,
+
+  /// The classroom anti-pattern: every iteration updates the shared result
+  /// inside a critical section. Correct but serialized.
+  CriticalPerIteration,
+};
+
+/// Worksharing reduction inside an existing team (OpenMP's
+/// `#pragma omp for reduction(...)`). Every member must call it.
+/// Ends with a team barrier; `result` is complete after that barrier.
+template <class T, class MapFn, class CombineFn>
+void reduce_loop(TeamContext& tc, Range range, Schedule schedule, T& result,
+                 MapFn map, CombineFn combine, const CostModel& cost = {},
+                 ReduceStrategy strategy = ReduceStrategy::PerThreadPartials) {
+  if (strategy == ReduceStrategy::PerThreadPartials) {
+    T local{};
+    bool has_local = false;
+    for_loop(
+        tc, range, schedule,
+        [&](std::int64_t i) {
+          if (has_local) {
+            local = combine(local, map(i));
+          } else {
+            local = map(i);
+            has_local = true;
+          }
+        },
+        cost, /*barrier_at_end=*/false);
+    if (has_local) {
+      tc.critical([&] { result = combine(result, local); });
+    }
+    tc.barrier();
+  } else {
+    for_loop(
+        tc, range, schedule,
+        [&](std::int64_t i) {
+          const T term = map(i);
+          tc.critical([&] { result = combine(result, term); });
+        },
+        cost, /*barrier_at_end=*/true);
+  }
+}
+
+/// Whole-region reduction (parallel + for + reduction), the TeachMP
+/// analogue of `#pragma omp parallel for reduction(...)`.
+template <class T, class MapFn, class CombineFn>
+ReduceResult<T> parallel_reduce(
+    const ParallelConfig& config, Range range, Schedule schedule, T identity,
+    MapFn map, CombineFn combine, const CostModel& cost = {},
+    ReduceStrategy strategy = ReduceStrategy::PerThreadPartials) {
+  ReduceResult<T> reduced;
+  reduced.value = identity;
+  reduced.run = parallel(config, [&](TeamContext& tc) {
+    reduce_loop(tc, range, schedule, reduced.value, map, combine, cost,
+                strategy);
+  });
+  return reduced;
+}
+
+}  // namespace pblpar::rt

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+/// Half-open iteration range [begin, end).
+struct Range {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  std::int64_t size() const { return end > begin ? end - begin : 0; }
+
+  static Range upto(std::int64_t n) { return Range{0, n}; }
+};
+
+/// Loop schedule, mirroring OpenMP's schedule(static|dynamic|guided, chunk).
+struct Schedule {
+  enum class Kind { Static, Dynamic, Guided };
+
+  Kind kind = Kind::Static;
+
+  /// Chunk size. For Static, 0 means one contiguous block per thread;
+  /// otherwise chunks are dealt round-robin. For Dynamic it is the grab
+  /// size (default 1). For Guided it is the minimum chunk (default 1).
+  std::int64_t chunk = 0;
+
+  static Schedule static_block() { return {Kind::Static, 0}; }
+  static Schedule static_chunk(std::int64_t chunk) {
+    util::require(chunk >= 1, "Schedule::static_chunk: chunk must be >= 1");
+    return {Kind::Static, chunk};
+  }
+  static Schedule dynamic(std::int64_t chunk = 1) {
+    util::require(chunk >= 1, "Schedule::dynamic: chunk must be >= 1");
+    return {Kind::Dynamic, chunk};
+  }
+  static Schedule guided(std::int64_t min_chunk = 1) {
+    util::require(min_chunk >= 1, "Schedule::guided: min chunk must be >= 1");
+    return {Kind::Guided, min_chunk};
+  }
+
+  std::string to_string() const;
+};
+
+/// Modelled cost of loop iterations, used by the simulator backend to
+/// charge virtual time (ignored by the host backend, where work is real).
+struct CostModel {
+  /// Constant abstract ops per iteration (used when ops_fn is empty).
+  double ops_per_iteration = 0.0;
+
+  /// Per-iteration cost function, for imbalanced loops.
+  std::function<double(std::int64_t)> ops_fn;
+
+  /// Memory-boundedness of the work in [0, 1]; scales the simulated
+  /// shared-memory contention penalty.
+  double mem_intensity = 0.0;
+
+  bool empty() const { return ops_per_iteration <= 0.0 && !ops_fn; }
+
+  double ops_for(std::int64_t i) const {
+    return ops_fn ? ops_fn(i) : ops_per_iteration;
+  }
+
+  /// Total modelled ops over global iteration indices [begin, end).
+  double total_ops(std::int64_t begin, std::int64_t end) const {
+    if (!ops_fn) {
+      return ops_per_iteration * static_cast<double>(end - begin);
+    }
+    double total = 0.0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      total += ops_fn(i);
+    }
+    return total;
+  }
+
+  static CostModel uniform(double ops, double mem_intensity = 0.0) {
+    CostModel cost;
+    cost.ops_per_iteration = ops;
+    cost.mem_intensity = mem_intensity;
+    return cost;
+  }
+};
+
+}  // namespace pblpar::rt

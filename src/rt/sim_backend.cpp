@@ -1,0 +1,131 @@
+#include "rt/sim_backend.hpp"
+
+#include "rt/loops.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+namespace {
+
+/// Worksharing bookkeeping shared by the members of a simulated team.
+/// Plain (non-atomic) state is safe here: the simulator serializes real
+/// code; virtual-time ordering of claims is enforced by claim_mutex.
+struct SimTeam {
+  int num_threads = 0;
+  sim::BarrierHandle barrier;
+  sim::MutexHandle critical_mutex;
+  sim::MutexHandle claim_mutex;
+  std::vector<std::int64_t> loop_counters;
+  std::vector<int> single_arrivals;
+};
+
+class SimTeamContext final : public TeamContext {
+ public:
+  SimTeamContext(SimTeam& team, sim::Context& ctx, int tid)
+      : team_(&team), ctx_(&ctx), tid_(tid) {}
+
+  int thread_num() const override { return tid_; }
+  int num_threads() const override { return team_->num_threads; }
+
+  void barrier() override { ctx_->barrier(team_->barrier); }
+
+  void critical(const std::function<void()>& body) override {
+    sim::ScopedLock lock(*ctx_, team_->critical_mutex);
+    body();
+  }
+
+  void single(const std::function<void()>& body) override {
+    const int id = next_single_id_++;
+    bool mine = false;
+    {
+      sim::ScopedLock lock(*ctx_, team_->claim_mutex);
+      auto& arrivals = team_->single_arrivals;
+      if (static_cast<std::size_t>(id) >= arrivals.size()) {
+        arrivals.resize(static_cast<std::size_t>(id) + 1, 0);
+      }
+      mine = arrivals[static_cast<std::size_t>(id)]++ == 0;
+    }
+    if (mine) {
+      body();
+    }
+    barrier();
+  }
+
+  void compute(double ops, double mem_intensity) override {
+    ctx_->compute(ops, mem_intensity);
+  }
+
+  std::pair<std::int64_t, std::int64_t> claim(
+      int loop_id, std::int64_t total, const Schedule& schedule) override {
+    sim::ScopedLock lock(*ctx_, team_->claim_mutex);
+    // The shared-counter update itself costs a trip through the work
+    // queue; charge it while holding the lock so claims serialize in
+    // virtual time exactly like a contended OpenMP dynamic schedule.
+    ctx_->compute_us(ctx_->spec().sched_chunk_cost_us);
+
+    auto& counters = team_->loop_counters;
+    if (static_cast<std::size_t>(loop_id) >= counters.size()) {
+      counters.resize(static_cast<std::size_t>(loop_id) + 1, 0);
+    }
+    std::int64_t& counter = counters[static_cast<std::size_t>(loop_id)];
+    if (counter >= total) {
+      return {total, 0};
+    }
+    const std::int64_t size =
+        chunk_size_for(schedule, total - counter, team_->num_threads);
+    const std::int64_t start = counter;
+    counter += size;
+    return {start, size};
+  }
+
+ private:
+  SimTeam* team_;
+  sim::Context* ctx_;
+  int tid_;
+  int next_single_id_ = 0;
+};
+
+}  // namespace
+
+RunResult sim_parallel(sim::Machine& machine, int num_threads,
+                       const std::function<void(TeamContext&)>& body) {
+  util::require(num_threads >= 1, "sim_parallel: need at least one thread");
+  util::require(body != nullptr, "sim_parallel: body must be callable");
+
+  SimTeam team;
+  team.num_threads = num_threads;
+  team.barrier = machine.make_barrier(num_threads);
+  team.critical_mutex = machine.make_mutex();
+  team.claim_mutex = machine.make_mutex();
+
+  const auto start = std::chrono::steady_clock::now();
+  sim::ExecutionReport report =
+      machine.run([&team, &body, num_threads](sim::Context& root) {
+        std::vector<sim::ThreadHandle> members;
+        members.reserve(static_cast<std::size_t>(num_threads) - 1);
+        for (int tid = 1; tid < num_threads; ++tid) {
+          members.push_back(
+              root.spawn([&team, &body, tid](sim::Context& ctx) {
+                SimTeamContext team_ctx(team, ctx, tid);
+                body(team_ctx);
+              }));
+        }
+        SimTeamContext master_ctx(team, root, 0);
+        body(master_ctx);
+        for (const sim::ThreadHandle member : members) {
+          root.join(member);
+        }
+      });
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.host_seconds = std::chrono::duration<double>(end - start).count();
+  result.sim_report = std::move(report);
+  return result;
+}
+
+}  // namespace pblpar::rt

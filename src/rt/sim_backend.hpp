@@ -1,0 +1,17 @@
+#pragma once
+
+#include <functional>
+
+#include "rt/config.hpp"
+#include "rt/team.hpp"
+#include "sim/machine.hpp"
+
+namespace pblpar::rt {
+
+/// Execute `body` as a team of `num_threads` virtual threads on the given
+/// simulated machine (thread 0 is the machine's root thread, mirroring
+/// OpenMP's master). Returns the machine's execution report.
+RunResult sim_parallel(sim::Machine& machine, int num_threads,
+                       const std::function<void(TeamContext&)>& body);
+
+}  // namespace pblpar::rt

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "rt/schedule.hpp"
+
+namespace pblpar::rt {
+
+/// The view a team member has of its parallel region — the TeachMP
+/// equivalent of OpenMP's implicit thread context.
+///
+/// A TeamContext is only valid inside the body it was passed to. All team
+/// members execute the same body (SPMD); worksharing constructs
+/// (for_loop, single) must be encountered by every member in the same
+/// order, as in OpenMP.
+class TeamContext {
+ public:
+  virtual ~TeamContext() = default;
+
+  /// This member's id in [0, num_threads()), 0 being the master.
+  virtual int thread_num() const = 0;
+  virtual int num_threads() const = 0;
+
+  /// Collective: wait until every team member arrives.
+  virtual void barrier() = 0;
+
+  /// Run `body` mutually exclusively with other members' critical sections.
+  virtual void critical(const std::function<void()>& body) = 0;
+
+  /// Worksharing single: exactly one member (the first to arrive) runs
+  /// `body`; an implicit barrier follows, as in OpenMP without nowait.
+  virtual void single(const std::function<void()>& body) = 0;
+
+  /// Only the master (thread 0) runs `body`; no implied barrier.
+  void master(const std::function<void()>& body) {
+    if (thread_num() == 0) {
+      body();
+    }
+  }
+
+  /// Charge modelled work to this member (no-op on the host backend).
+  virtual void compute(double ops, double mem_intensity = 0.0) = 0;
+
+  /// Claim the next chunk of loop `loop_id` over `total` iterations under
+  /// `schedule`. Returns {start, count}; count == 0 means the loop is
+  /// exhausted. Used by dynamic/guided scheduling.
+  virtual std::pair<std::int64_t, std::int64_t> claim(
+      int loop_id, std::int64_t total, const Schedule& schedule) = 0;
+
+  /// Per-member worksharing-loop sequence number. Every member encounters
+  /// loops in the same order, so equal ids refer to the same loop.
+  int next_loop_id() { return next_loop_id_++; }
+
+ private:
+  int next_loop_id_ = 0;
+};
+
+}  // namespace pblpar::rt

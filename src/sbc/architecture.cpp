@@ -1,0 +1,187 @@
+#include "sbc/architecture.hpp"
+
+#include "util/error.hpp"
+
+namespace pblpar::sbc {
+
+std::string to_string(FlynnClass flynn) {
+  switch (flynn) {
+    case FlynnClass::SISD:
+      return "SISD";
+    case FlynnClass::SIMD:
+      return "SIMD";
+    case FlynnClass::MISD:
+      return "MISD";
+    case FlynnClass::MIMD:
+      return "MIMD";
+  }
+  return "?";
+}
+
+std::string describe(FlynnClass flynn) {
+  switch (flynn) {
+    case FlynnClass::SISD:
+      return "Single instruction stream, single data stream: a classic "
+             "serial uniprocessor.";
+    case FlynnClass::SIMD:
+      return "Single instruction stream, multiple data streams: one "
+             "operation applied to many elements at once (vector units, "
+             "GPUs).";
+    case FlynnClass::MISD:
+      return "Multiple instruction streams, single data stream: rare in "
+             "practice (fault-tolerant redundant pipelines).";
+    case FlynnClass::MIMD:
+      return "Multiple instruction streams, multiple data streams: "
+             "independent cores on independent data — every multicore "
+             "CPU, including the Raspberry Pi's.";
+  }
+  return "?";
+}
+
+FlynnClass classify_streams(int instruction_streams, int data_streams) {
+  util::require(instruction_streams >= 1 && data_streams >= 1,
+                "classify_streams: stream counts must be positive");
+  if (instruction_streams == 1) {
+    return data_streams == 1 ? FlynnClass::SISD : FlynnClass::SIMD;
+  }
+  return data_streams == 1 ? FlynnClass::MISD : FlynnClass::MIMD;
+}
+
+std::string to_string(MemoryArchitecture architecture) {
+  switch (architecture) {
+    case MemoryArchitecture::SharedUMA:
+      return "Shared memory (UMA)";
+    case MemoryArchitecture::SharedNUMA:
+      return "Shared memory (NUMA)";
+    case MemoryArchitecture::Distributed:
+      return "Distributed memory";
+    case MemoryArchitecture::Hybrid:
+      return "Hybrid distributed-shared";
+  }
+  return "?";
+}
+
+std::string describe(MemoryArchitecture architecture) {
+  switch (architecture) {
+    case MemoryArchitecture::SharedUMA:
+      return "All processors address one memory with uniform access time "
+             "— the Raspberry Pi's four cores share one bank.";
+    case MemoryArchitecture::SharedNUMA:
+      return "One address space, but access time depends on which node "
+             "owns the memory.";
+    case MemoryArchitecture::Distributed:
+      return "Each processor has private memory; data moves via explicit "
+             "messages (MPI clusters).";
+    case MemoryArchitecture::Hybrid:
+      return "Message passing between nodes, shared memory within a node "
+             "— most modern clusters.";
+  }
+  return "?";
+}
+
+MemoryArchitecture openmp_architecture() {
+  return MemoryArchitecture::SharedUMA;
+}
+
+std::string to_string(ProgrammingModel model) {
+  switch (model) {
+    case ProgrammingModel::SharedMemory:
+      return "Shared memory / threads";
+    case ProgrammingModel::MessagePassing:
+      return "Message passing";
+    case ProgrammingModel::DataParallel:
+      return "Data parallel";
+    case ProgrammingModel::Hybrid:
+      return "Hybrid";
+  }
+  return "?";
+}
+
+std::string describe(ProgrammingModel model) {
+  switch (model) {
+    case ProgrammingModel::SharedMemory:
+      return "Threads cooperate through one address space; "
+             "synchronization guards shared data (OpenMP, C++11 "
+             "threads).";
+    case ProgrammingModel::MessagePassing:
+      return "Processes own their data and exchange explicit messages "
+             "(MPI); no data races by construction, communication is "
+             "visible cost.";
+    case ProgrammingModel::DataParallel:
+      return "The same operation maps over partitioned data; the "
+             "framework handles distribution (MapReduce, GPU kernels).";
+    case ProgrammingModel::Hybrid:
+      return "MPI across nodes combined with threads inside each node.";
+  }
+  return "?";
+}
+
+const BoardDescription& raspberry_pi_3bplus() {
+  static const BoardDescription kBoard = [] {
+    BoardDescription board;
+    board.name = "Raspberry Pi 3 Model B+";
+    board.soc = "Broadcom BCM2837B0";
+    board.cores = 4;
+    board.clock_ghz = 1.4;
+    board.isa = "ARMv8-A (Cortex-A53)";
+    board.ram_mb = 1024;
+    board.is_system_on_chip = true;
+    board.components = {
+        {"CPU", "4x ARM Cortex-A53 @ 1.4 GHz", true},
+        {"GPU", "Broadcom VideoCore IV", true},
+        {"RAM", "1 GB LPDDR2 (package-on-package, shared with GPU)", true},
+        {"Storage", "MicroSD card slot (boots RASPBIAN)", false},
+        {"Ethernet", "Gigabit over USB 2.0 (~300 Mb/s effective)", false},
+        {"Wireless", "2.4/5 GHz 802.11ac + Bluetooth 4.2", false},
+        {"USB", "4x USB 2.0 ports", false},
+        {"HDMI", "Full-size HDMI (connects the classroom monitor)", false},
+        {"GPIO", "40-pin header", false},
+    };
+    return board;
+  }();
+  return kBoard;
+}
+
+const std::vector<std::string>& soc_advantages() {
+  static const std::vector<std::string> kAdvantages = {
+      "Integration: CPU, GPU and memory controller share one die/package, "
+      "so the whole computer fits a credit card.",
+      "Cost: one part to fabricate and place instead of several discrete "
+      "chips — the Pi kit costs $59.",
+      "Power and heat: short on-die interconnects draw far less energy "
+      "than board-level buses, enabling fanless mobile devices.",
+      "Latency: components communicate across millimetres, not a "
+      "motherboard.",
+      "Reliability: fewer sockets and traces to fail.",
+  };
+  return kAdvantages;
+}
+
+const std::vector<IsaComparisonRow>& isa_comparison() {
+  static const std::vector<IsaComparisonRow> kRows = {
+      {"Design philosophy", "RISC: small set of simple, fixed-latency "
+                            "instructions",
+       "CISC: large set including multi-step memory-operand instructions"},
+      {"Data movement",
+       "Load/store architecture: only LDR/STR touch memory; arithmetic is "
+       "register-to-register",
+       "Most instructions may take a memory operand (e.g. ADD from "
+       "memory)"},
+      {"Instruction encoding", "Fixed 4-byte encodings (A32/A64)",
+       "Variable 1-15 byte encodings"},
+      {"Immediate values",
+       "Limited-width immediates (e.g. 12-bit, or 8-bit rotated); large "
+       "constants built in pieces or loaded",
+       "Full-width (up to 32/64-bit) immediates embedded in the "
+       "instruction"},
+      {"Registers", "31 general-purpose registers (A64)",
+       "16 general-purpose registers (x86-64)"},
+      {"Memory layout/addressing",
+       "Simple base+offset / indexed addressing; alignment preferred",
+       "Rich addressing modes (base + index*scale + displacement); "
+       "unaligned access routine"},
+  };
+  return kRows;
+}
+
+}  // namespace pblpar::sbc

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pblpar::sbc {
+
+/// Flynn's taxonomy (the Assignment 3 question: "Classify parallel
+/// computers based on Flynn's taxonomy").
+enum class FlynnClass { SISD, SIMD, MISD, MIMD };
+
+std::string to_string(FlynnClass flynn);
+std::string describe(FlynnClass flynn);
+
+/// Classify a machine by its instruction- and data-stream counts.
+FlynnClass classify_streams(int instruction_streams, int data_streams);
+
+/// Parallel computer memory architectures (Assignment 3: "List and
+/// briefly describe the types of Parallel Computer Memory Architecture.
+/// What type is used by OpenMP and why?").
+enum class MemoryArchitecture { SharedUMA, SharedNUMA, Distributed, Hybrid };
+
+std::string to_string(MemoryArchitecture architecture);
+std::string describe(MemoryArchitecture architecture);
+
+/// The architecture OpenMP targets (shared memory: every thread
+/// addresses one memory space, so no explicit messaging is needed).
+MemoryArchitecture openmp_architecture();
+
+/// Parallel programming models surveyed in the course readings.
+enum class ProgrammingModel {
+  SharedMemory,   // threads over one address space (OpenMP, C++11 threads)
+  MessagePassing, // explicit sends/receives (MPI)
+  DataParallel,   // same op over partitioned data (MapReduce, GPU)
+  Hybrid,         // MPI across nodes + threads within a node
+};
+
+std::string to_string(ProgrammingModel model);
+std::string describe(ProgrammingModel model);
+
+/// One hardware block of a single-board computer.
+struct Component {
+  std::string name;
+  std::string detail;
+  bool on_soc = false;  // integrated on the System-on-Chip die?
+};
+
+/// A single-board computer description (Assignment 2: "Identify the
+/// components on the Raspberry PI B+. How many cores...").
+struct BoardDescription {
+  std::string name;
+  std::string soc;
+  int cores = 0;
+  double clock_ghz = 0.0;
+  std::string isa;
+  int ram_mb = 0;
+  bool is_system_on_chip = false;
+  std::vector<Component> components;
+
+  FlynnClass flynn() const {
+    // A multicore CPU runs independent instruction streams on
+    // independent data: MIMD.
+    return classify_streams(cores, cores);
+  }
+};
+
+/// The classroom board: Raspberry Pi 3 Model B+ (the "B+" of the paper's
+/// assignments — 4 cores, ARM Cortex-A53, BCM2837B0 SoC).
+const BoardDescription& raspberry_pi_3bplus();
+
+/// Advantages of a System-on-Chip over discrete CPU/GPU/RAM (Assignment
+/// 3's question), as teachable bullet points.
+const std::vector<std::string>& soc_advantages();
+
+/// One row of the ARM (RISC) vs Intel x86 (CISC) comparison the course
+/// draws ("data movement, instruction encoding, immediate value
+/// representation, and memory layout").
+struct IsaComparisonRow {
+  std::string aspect;
+  std::string arm;   // the Pi's ARM (RISC) behaviour
+  std::string x86;   // the CSc 3210 lecture ISA (CISC)
+};
+
+const std::vector<IsaComparisonRow>& isa_comparison();
+
+}  // namespace pblpar::sbc

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pblpar::sim {
+
+/// Receives the happens-before events of a simulation run.
+///
+/// The race detector (pblpar::race) implements this interface; the machine
+/// invokes the callbacks under its internal lock, in deterministic virtual
+/// time order, so implementations need no synchronization of their own but
+/// must not call back into the machine.
+class HbObserver {
+ public:
+  virtual ~HbObserver() = default;
+
+  /// `parent` spawned `child` (child's first action happens-after).
+  virtual void on_spawn(int parent, int child) = 0;
+
+  /// `parent` joined `child` (child's last action happens-before).
+  virtual void on_join(int parent, int child) = 0;
+
+  /// All `participants` synchronized at a barrier.
+  virtual void on_barrier(std::span<const int> participants) = 0;
+
+  /// `tid` acquired mutex `mutex_id` (happens-after the previous release).
+  virtual void on_mutex_acquire(int tid, std::uint64_t mutex_id) = 0;
+
+  /// `tid` released mutex `mutex_id`.
+  virtual void on_mutex_release(int tid, std::uint64_t mutex_id) = 0;
+
+  /// Annotated memory accesses (issued by race::Shared instrumentation).
+  virtual void on_read(int tid, const void* addr, std::size_t size) = 0;
+  virtual void on_write(int tid, const void* addr, std::size_t size) = 0;
+};
+
+}  // namespace pblpar::sim

@@ -1,0 +1,41 @@
+#include "sim/report.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace pblpar::sim {
+
+double ExecutionReport::total_busy_s() const {
+  return std::accumulate(busy_s.begin(), busy_s.end(), 0.0);
+}
+
+double ExecutionReport::effective_parallelism() const {
+  return makespan_s > 0.0 ? total_busy_s() / makespan_s : 0.0;
+}
+
+double ExecutionReport::utilization() const {
+  return spec.cores > 0 ? effective_parallelism() / spec.cores : 0.0;
+}
+
+double ExecutionReport::speedup_vs(const ExecutionReport& baseline) const {
+  util::require(makespan_s > 0.0,
+                "ExecutionReport::speedup_vs: this run has zero makespan");
+  return baseline.makespan_s / makespan_s;
+}
+
+std::string ExecutionReport::summary() const {
+  std::ostringstream out;
+  out << spec.name << ": makespan "
+      << util::Table::num(makespan_s * 1e3, 3) << " ms, "
+      << busy_s.size() << " threads, effective parallelism "
+      << util::Table::num(effective_parallelism(), 2) << "/" << spec.cores
+      << " (" << util::Table::num(utilization() * 100.0, 1)
+      << "% utilization), " << spawns << " spawns, " << barrier_episodes
+      << " barriers, " << mutex_acquires << " lock acquires";
+  return out.str();
+}
+
+}  // namespace pblpar::sim

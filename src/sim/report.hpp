@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/spec.hpp"
+
+namespace pblpar::sim {
+
+/// One contiguous span of modelled execution by a virtual thread.
+struct TraceSegment {
+  int tid = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double ops = 0.0;
+};
+
+/// Summary of one Machine::run.
+struct ExecutionReport {
+  MachineSpec spec;
+
+  /// Virtual wall-clock of the whole run, in seconds.
+  double makespan_s = 0.0;
+
+  /// Total modelled operations executed across all threads.
+  double total_ops = 0.0;
+
+  /// Per-thread virtual busy time (seconds spent draining modelled work,
+  /// including charged synchronization overheads), indexed by tid.
+  std::vector<double> busy_s;
+
+  std::uint64_t spawns = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t barrier_episodes = 0;
+  std::uint64_t mutex_acquires = 0;
+  std::uint64_t compute_calls = 0;
+
+  /// Only populated when MachineSpec::record_trace is set.
+  std::vector<TraceSegment> trace;
+
+  /// Sum of busy time over all threads.
+  double total_busy_s() const;
+
+  /// total_busy / makespan: how many cores were kept busy on average.
+  double effective_parallelism() const;
+
+  /// total_busy / (cores * makespan), in [0, 1].
+  double utilization() const;
+
+  /// Speedup of this run relative to a baseline run (baseline / this).
+  double speedup_vs(const ExecutionReport& baseline) const;
+
+  /// Human-readable one-paragraph summary.
+  std::string summary() const;
+};
+
+}  // namespace pblpar::sim

@@ -1,0 +1,33 @@
+#include "sim/spec.hpp"
+
+#include "util/error.hpp"
+
+namespace pblpar::sim {
+
+MachineSpec MachineSpec::raspberry_pi_3bplus() {
+  MachineSpec spec;
+  spec.name = "raspberry-pi-3b+";
+  spec.cores = 4;
+  spec.clock_ghz = 1.4;
+  spec.ops_per_cycle = 1.0;
+  return spec;
+}
+
+MachineSpec MachineSpec::raspberry_pi_zero() {
+  MachineSpec spec;
+  spec.name = "raspberry-pi-zero";
+  spec.cores = 1;
+  spec.clock_ghz = 1.0;
+  spec.ops_per_cycle = 1.0;
+  return spec;
+}
+
+MachineSpec MachineSpec::with_cores(int cores) {
+  util::require(cores >= 1, "MachineSpec::with_cores: need at least 1 core");
+  MachineSpec spec = raspberry_pi_3bplus();
+  spec.name = "generic-" + std::to_string(cores) + "core";
+  spec.cores = cores;
+  return spec;
+}
+
+}  // namespace pblpar::sim

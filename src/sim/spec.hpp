@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+
+namespace pblpar::sim {
+
+/// Parameters of a simulated shared-memory multicore machine.
+///
+/// The simulator charges virtual time for *modelled work* (`compute` calls)
+/// and for synchronization primitives; real C++ code executed by virtual
+/// threads is free in virtual time, so all timing flows through this spec.
+/// Overhead magnitudes are loosely calibrated to a Raspberry Pi 3 B+
+/// (the paper's classroom hardware): pthread creation in the tens of
+/// microseconds, barriers in the low microseconds, cache-line transfer for
+/// a contended lock around a microsecond.
+struct MachineSpec {
+  std::string name = "generic-smp";
+
+  /// Number of physical cores.
+  int cores = 4;
+
+  /// Core clock in GHz.
+  double clock_ghz = 1.4;
+
+  /// Abstract operations retired per cycle (1.0 = scalar in-order, like
+  /// the Cortex-A53 on most integer code).
+  double ops_per_cycle = 1.0;
+
+  /// Cost charged to the parent when spawning a virtual thread.
+  double fork_cost_us = 25.0;
+
+  /// Cost charged to a joiner when its target thread finishes.
+  double join_cost_us = 5.0;
+
+  /// Barrier release cost charged to each participant, multiplied by the
+  /// number of participants (linear barrier, as in small OpenMP runtimes).
+  double barrier_cost_us_per_thread = 1.5;
+
+  /// Cost of acquiring a mutex (cache-line transfer + atomic RMW).
+  double mutex_acquire_cost_us = 0.8;
+
+  /// Cost the runtime charges for claiming one chunk from a shared work
+  /// queue (dynamic/guided loop schedules).
+  double sched_chunk_cost_us = 0.8;
+
+  /// Relative throughput penalty per oversubscribed thread:
+  /// rate *= 1 / (1 + oversub_penalty * max(0, runnable - cores) / cores).
+  /// Models context-switch and cache-pollution cost of time slicing.
+  double oversub_penalty = 0.06;
+
+  /// Memory-contention coefficient: a segment with memory intensity m
+  /// (in [0,1]) is slowed by 1 + beta * m * (active_cores - 1), modelling
+  /// the Pi's single shared memory bank.
+  double mem_contention_beta = 0.20;
+
+  /// Record a per-segment execution trace (costs memory; off by default).
+  bool record_trace = false;
+
+  /// Abstract operations per second of one core.
+  double ops_per_second() const { return clock_ghz * 1e9 * ops_per_cycle; }
+
+  /// Convert microseconds of overhead into abstract operations.
+  double us_to_ops(double us) const { return us * 1e-6 * ops_per_second(); }
+
+  // --- Presets -----------------------------------------------------------
+
+  /// The paper's classroom machine: 4x ARM Cortex-A53 @ 1.4 GHz, one
+  /// shared memory bank (Raspberry Pi 3 Model B+).
+  static MachineSpec raspberry_pi_3bplus();
+
+  /// A single-core SBC (Raspberry Pi Zero class) — useful as the "no
+  /// parallel hardware" baseline.
+  static MachineSpec raspberry_pi_zero();
+
+  /// Generic machine with the given core count (Pi-like clocks).
+  static MachineSpec with_cores(int cores);
+};
+
+}  // namespace pblpar::sim

@@ -1,0 +1,84 @@
+#include "stats/correlation.hpp"
+
+#include <cmath>
+
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::stats {
+
+GuilfordBand PearsonResult::band() const { return guilford_band(r); }
+
+PearsonResult pearson(std::span<const double> x, std::span<const double> y) {
+  util::require(x.size() == y.size(),
+                "pearson: samples must be the same size");
+  util::require(x.size() >= 3, "pearson: need at least three pairs");
+  const auto n = static_cast<double>(x.size());
+
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  util::require(sxx > 0.0 && syy > 0.0,
+                "pearson: a sample with zero variance has no correlation");
+
+  PearsonResult result;
+  result.n = x.size();
+  result.r = sxy / std::sqrt(sxx * syy);
+  result.df = n - 2.0;
+  // Guard |r| = 1 exactly: the t transform diverges.
+  const double r2 = std::min(result.r * result.r, 1.0 - 1e-15);
+  result.t = result.r * std::sqrt(result.df / (1.0 - r2));
+  result.p_two_tailed = student_t_two_tailed_p(result.t, result.df);
+  return result;
+}
+
+GuilfordBand guilford_band(double r) {
+  const double magnitude = std::fabs(r);
+  if (magnitude < 0.2) {
+    return GuilfordBand::Slight;
+  }
+  if (magnitude < 0.4) {
+    return GuilfordBand::Low;
+  }
+  if (magnitude < 0.7) {
+    return GuilfordBand::Moderate;
+  }
+  if (magnitude < 0.9) {
+    return GuilfordBand::High;
+  }
+  return GuilfordBand::VeryHigh;
+}
+
+std::string to_string(GuilfordBand band) {
+  switch (band) {
+    case GuilfordBand::Slight:
+      return "slight";
+    case GuilfordBand::Low:
+      return "low";
+    case GuilfordBand::Moderate:
+      return "moderate";
+    case GuilfordBand::High:
+      return "high";
+    case GuilfordBand::VeryHigh:
+      return "very high";
+  }
+  return "?";
+}
+
+}  // namespace pblpar::stats

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace pblpar::stats {
+
+/// Guilford's (1956) verbal bands for correlation strength, as the paper
+/// cites them: <0.2 slight, 0.2–0.4 low, 0.4–0.7 moderate, 0.7–0.9 high,
+/// 0.9–1.0 very high.
+enum class GuilfordBand { Slight, Low, Moderate, High, VeryHigh };
+
+/// Pearson product-moment correlation with significance via the
+/// t transform (df = n - 2).
+struct PearsonResult {
+  double r = 0.0;
+  double t = 0.0;
+  double df = 0.0;
+  double p_two_tailed = 1.0;
+  std::size_t n = 0;
+
+  GuilfordBand band() const;
+};
+
+PearsonResult pearson(std::span<const double> x, std::span<const double> y);
+
+GuilfordBand guilford_band(double r);
+std::string to_string(GuilfordBand band);
+
+}  // namespace pblpar::stats

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace pblpar::stats {
+
+/// Basic descriptive statistics of one sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double sd = 0.0;        // sample standard deviation (n-1 denominator)
+  double variance = 0.0;  // sample variance
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Standard error of the mean.
+  double standard_error() const;
+
+  std::string to_string() const;
+};
+
+/// Summarize a sample (requires at least one observation; sd is 0 for a
+/// single observation).
+Summary summarize(std::span<const double> sample);
+
+/// Arithmetic mean (requires non-empty sample).
+double mean_of(std::span<const double> sample);
+
+/// Sample standard deviation, n-1 denominator (requires n >= 2).
+double sample_sd(std::span<const double> sample);
+
+}  // namespace pblpar::stats

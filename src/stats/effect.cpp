@@ -1,0 +1,54 @@
+#include "stats/effect.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::stats {
+
+double cohens_d_pooled(double mean1, double sd1, double mean2, double sd2) {
+  util::require(sd1 >= 0.0 && sd2 >= 0.0,
+                "cohens_d_pooled: standard deviations must be non-negative");
+  const double pooled = std::sqrt((sd1 * sd1 + sd2 * sd2) / 2.0);
+  util::require(pooled > 0.0,
+                "cohens_d_pooled: both standard deviations are zero");
+  return (mean2 - mean1) / pooled;
+}
+
+double cohens_d(std::span<const double> first,
+                std::span<const double> second) {
+  const Summary a = summarize(first);
+  const Summary b = summarize(second);
+  return cohens_d_pooled(a.mean, a.sd, b.mean, b.sd);
+}
+
+EffectMagnitude interpret_cohens_d(double d) {
+  const double magnitude = std::fabs(d);
+  if (magnitude < 0.2) {
+    return EffectMagnitude::Trivial;
+  }
+  if (magnitude < 0.5) {
+    return EffectMagnitude::Small;
+  }
+  if (magnitude < 0.8) {
+    return EffectMagnitude::Medium;
+  }
+  return EffectMagnitude::Large;
+}
+
+std::string to_string(EffectMagnitude magnitude) {
+  switch (magnitude) {
+    case EffectMagnitude::Trivial:
+      return "trivial";
+    case EffectMagnitude::Small:
+      return "small";
+    case EffectMagnitude::Medium:
+      return "medium";
+    case EffectMagnitude::Large:
+      return "large";
+  }
+  return "?";
+}
+
+}  // namespace pblpar::stats

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace pblpar::stats {
+
+/// Cohen's qualitative bands for |d| (Cohen 1988, as used in the paper).
+enum class EffectMagnitude { Trivial, Small, Medium, Large };
+
+/// Cohen's d computed exactly as the paper does (Table 2/3 footnotes):
+///   d = (M2 - M1) / SDpooled,  SDpooled = sqrt((SD1^2 + SD2^2) / 2).
+double cohens_d_pooled(double mean1, double sd1, double mean2, double sd2);
+
+/// Cohen's d from two raw samples, using the paper's pooled-SD formula.
+double cohens_d(std::span<const double> first, std::span<const double> second);
+
+/// The paper's interpretation rule: 0.2 small, 0.5 medium, 0.8 large;
+/// below 0.2 the difference is "trivial although it is statistically
+/// significant".
+EffectMagnitude interpret_cohens_d(double d);
+
+/// Human label for an EffectMagnitude ("small" / "medium" / "large" ...).
+std::string to_string(EffectMagnitude magnitude);
+
+}  // namespace pblpar::stats

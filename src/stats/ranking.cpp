@@ -1,0 +1,57 @@
+#include "stats/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pblpar::stats {
+
+double composite_score(double definition_score,
+                       std::span<const double> component_scores) {
+  util::require(!component_scores.empty(),
+                "composite_score: need at least one component");
+  double component_sum = 0.0;
+  for (const double score : component_scores) {
+    component_sum += score;
+  }
+  const double component_mean =
+      component_sum / static_cast<double>(component_scores.size());
+  return (definition_score + component_mean) / 2.0;
+}
+
+std::vector<RankedItem> rank_descending(
+    std::span<const std::pair<std::string, double>> items) {
+  util::require(!items.empty(), "rank_descending: need at least one item");
+  std::vector<RankedItem> ranked;
+  ranked.reserve(items.size());
+  for (const auto& [name, value] : items) {
+    ranked.push_back(RankedItem{0, name, value});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedItem& a, const RankedItem& b) {
+                     return a.value > b.value;
+                   });
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    ranked[i].rank = static_cast<int>(i) + 1;
+  }
+  return ranked;
+}
+
+double max_gap(std::span<const RankedItem> emphasis,
+               std::span<const RankedItem> growth) {
+  util::require(emphasis.size() == growth.size(),
+                "max_gap: rankings must cover the same items");
+  double gap = 0.0;
+  for (const RankedItem& e : emphasis) {
+    const auto it = std::find_if(
+        growth.begin(), growth.end(),
+        [&](const RankedItem& g) { return g.name == e.name; });
+    util::require(it != growth.end(),
+                  "max_gap: item missing from the second ranking");
+    gap = std::max(gap, std::fabs(e.value - it->value));
+  }
+  return gap;
+}
+
+}  // namespace pblpar::stats

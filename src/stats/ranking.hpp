@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pblpar::stats {
+
+/// The Beyerlein et al. Composite Score: the average of the element's
+/// 'definition' item and the mean of its component items — "global from
+/// the definition and focused from the components".
+double composite_score(double definition_score,
+                       std::span<const double> component_scores);
+
+/// One ranked item.
+struct RankedItem {
+  int rank = 0;  // 1-based
+  std::string name;
+  double value = 0.0;
+};
+
+/// Rank items by value, descending (the paper's Tables 5 and 6). Ties keep
+/// their input order and receive distinct consecutive ranks.
+std::vector<RankedItem> rank_descending(
+    std::span<const std::pair<std::string, double>> items);
+
+/// Largest |value difference| between two rankings of the same items;
+/// the paper flags course redesign when emphasis - growth exceeds 0.2.
+double max_gap(std::span<const RankedItem> emphasis,
+               std::span<const RankedItem> growth);
+
+}  // namespace pblpar::stats

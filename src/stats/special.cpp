@@ -1,0 +1,133 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pblpar::stats {
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Numerical Recipes
+/// style modified Lentz algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) {
+    d = kTiny;
+  }
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) {
+      return h;
+    }
+  }
+  throw util::InvariantError(
+      "ibeta: continued fraction failed to converge (a or b too large?)");
+}
+
+}  // namespace
+
+double ibeta(double a, double b, double x) {
+  util::require(a > 0.0 && b > 0.0, "ibeta: a and b must be positive");
+  util::require(x >= 0.0 && x <= 1.0, "ibeta: x must be in [0, 1]");
+  if (x == 0.0) {
+    return 0.0;
+  }
+  if (x == 1.0) {
+    return 1.0;
+  }
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the continued fraction directly where it converges fast, else the
+  // symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  util::require(p > 0.0 && p < 1.0,
+                "normal_quantile: p must be in (0, 1)");
+  double lo = -40.0;
+  double hi = 40.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (normal_cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double student_t_cdf(double t, double df) {
+  util::require(df > 0.0, "student_t_cdf: df must be positive");
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * ibeta(0.5 * df, 0.5, x);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_two_tailed_p(double t, double df) {
+  util::require(df > 0.0, "student_t_two_tailed_p: df must be positive");
+  const double x = df / (df + t * t);
+  return ibeta(0.5 * df, 0.5, x);
+}
+
+double student_t_critical(double alpha, double df) {
+  util::require(alpha > 0.0 && alpha < 1.0,
+                "student_t_critical: alpha must be in (0, 1)");
+  double lo = 0.0;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_two_tailed_p(mid, df) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace pblpar::stats

@@ -1,0 +1,26 @@
+#pragma once
+
+namespace pblpar::stats {
+
+/// Regularized incomplete beta function I_x(a, b), for a, b > 0 and
+/// x in [0, 1]. Continued-fraction evaluation (modified Lentz), accurate
+/// to ~1e-13 over the parameter ranges used by the t distribution.
+double ibeta(double a, double b, double x);
+
+/// CDF of the standard normal distribution.
+double normal_cdf(double z);
+
+/// Standard normal quantile (inverse CDF), by bisection on normal_cdf.
+double normal_quantile(double p);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Two-tailed p-value for a t statistic with `df` degrees of freedom.
+double student_t_two_tailed_p(double t, double df);
+
+/// Two-tailed critical value: the t with the given tail probability
+/// (e.g. alpha = 0.05 gives the 97.5th percentile). Bisection.
+double student_t_critical(double alpha, double df);
+
+}  // namespace pblpar::stats

@@ -1,0 +1,97 @@
+#include "stats/tests.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::stats {
+
+TTestResult paired_t_test(std::span<const double> first,
+                          std::span<const double> second) {
+  util::require(first.size() == second.size(),
+                "paired_t_test: samples must be the same size");
+  util::require(first.size() >= 2,
+                "paired_t_test: need at least two pairs");
+  std::vector<double> differences(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    differences[i] = second[i] - first[i];
+  }
+  const Summary diff = summarize(differences);
+  util::require(diff.sd > 0.0,
+                "paired_t_test: zero variance in the differences");
+
+  TTestResult result;
+  result.mean_difference = diff.mean;
+  result.df = static_cast<double>(first.size() - 1);
+  result.t = diff.mean / diff.standard_error();
+  result.p_two_tailed = student_t_two_tailed_p(result.t, result.df);
+  return result;
+}
+
+TTestResult welch_t_test(std::span<const double> first,
+                         std::span<const double> second) {
+  util::require(first.size() >= 2 && second.size() >= 2,
+                "welch_t_test: need at least two observations per sample");
+  const Summary a = summarize(first);
+  const Summary b = summarize(second);
+  const double va_n = a.variance / static_cast<double>(a.n);
+  const double vb_n = b.variance / static_cast<double>(b.n);
+  util::require(va_n + vb_n > 0.0, "welch_t_test: both samples are constant");
+
+  TTestResult result;
+  result.mean_difference = b.mean - a.mean;
+  result.t = result.mean_difference / std::sqrt(va_n + vb_n);
+  // Welch–Satterthwaite degrees of freedom.
+  const double numerator = (va_n + vb_n) * (va_n + vb_n);
+  const double denominator =
+      va_n * va_n / static_cast<double>(a.n - 1) +
+      vb_n * vb_n / static_cast<double>(b.n - 1);
+  result.df = numerator / denominator;
+  result.p_two_tailed = student_t_two_tailed_p(result.t, result.df);
+  return result;
+}
+
+ConfidenceInterval paired_mean_difference_ci(std::span<const double> first,
+                                             std::span<const double> second,
+                                             double confidence) {
+  util::require(first.size() == second.size(),
+                "paired_mean_difference_ci: samples must be the same size");
+  util::require(first.size() >= 2,
+                "paired_mean_difference_ci: need at least two pairs");
+  util::require(confidence > 0.0 && confidence < 1.0,
+                "paired_mean_difference_ci: confidence must be in (0, 1)");
+  std::vector<double> differences(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    differences[i] = second[i] - first[i];
+  }
+  const Summary diff = summarize(differences);
+  const double df = static_cast<double>(first.size() - 1);
+  const double critical = student_t_critical(1.0 - confidence, df);
+  const double margin = critical * diff.standard_error();
+
+  ConfidenceInterval interval;
+  interval.confidence = confidence;
+  interval.lower = diff.mean - margin;
+  interval.upper = diff.mean + margin;
+  return interval;
+}
+
+TTestResult one_sample_t_test(std::span<const double> sample,
+                              double hypothesized_mean) {
+  util::require(sample.size() >= 2,
+                "one_sample_t_test: need at least two observations");
+  const Summary summary = summarize(sample);
+  util::require(summary.sd > 0.0, "one_sample_t_test: sample is constant");
+
+  TTestResult result;
+  result.mean_difference = summary.mean - hypothesized_mean;
+  result.df = static_cast<double>(sample.size() - 1);
+  result.t = result.mean_difference / summary.standard_error();
+  result.p_two_tailed = student_t_two_tailed_p(result.t, result.df);
+  return result;
+}
+
+}  // namespace pblpar::stats

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+
+namespace pblpar::stats {
+
+/// Outcome of a t-test.
+struct TTestResult {
+  double mean_difference = 0.0;  // second - first (the paper reports M2-M1)
+  double t = 0.0;
+  double df = 0.0;
+  double p_two_tailed = 0.0;
+
+  bool significant(double alpha = 0.05) const { return p_two_tailed < alpha; }
+};
+
+/// Paired (dependent samples) t-test — the paper's design: the same 124
+/// students answered the survey at mid-semester and at the end.
+TTestResult paired_t_test(std::span<const double> first,
+                          std::span<const double> second);
+
+/// Welch's unequal-variance t-test for independent samples.
+TTestResult welch_t_test(std::span<const double> first,
+                         std::span<const double> second);
+
+/// One-sample t-test against a hypothesized mean.
+TTestResult one_sample_t_test(std::span<const double> sample,
+                              double hypothesized_mean);
+
+/// Two-sided confidence interval for a mean difference.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double confidence = 0.95;
+
+  bool contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+  double width() const { return upper - lower; }
+};
+
+/// CI for the mean of the paired differences (second - first) — the
+/// companion to paired_t_test, per the paper's reference [16] on
+/// interpreting tests alongside intervals.
+ConfidenceInterval paired_mean_difference_ci(
+    std::span<const double> first, std::span<const double> second,
+    double confidence = 0.95);
+
+}  // namespace pblpar::stats

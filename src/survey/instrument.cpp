@@ -1,0 +1,172 @@
+#include "survey/instrument.hpp"
+
+#include "util/error.hpp"
+
+namespace pblpar::survey {
+
+std::string to_string(Element element) {
+  switch (element) {
+    case Element::Teamwork:
+      return "Teamwork";
+    case Element::InformationGathering:
+      return "Information Gathering";
+    case Element::ProblemDefinition:
+      return "Problem Definition";
+    case Element::IdeaGeneration:
+      return "Idea Generation";
+    case Element::EvaluationAndDecisionMaking:
+      return "Evaluation and Decision Making";
+    case Element::Implementation:
+      return "Implementation";
+    case Element::Communication:
+      return "Communication";
+  }
+  return "?";
+}
+
+std::size_t index_of(Element element) {
+  for (std::size_t i = 0; i < kAllElements.size(); ++i) {
+    if (kAllElements[i] == element) {
+      return i;
+    }
+  }
+  throw util::PreconditionError("index_of: unknown survey element");
+}
+
+std::string emphasis_scale_description(int score) {
+  switch (score) {
+    case 1:
+      return "Did not discuss";
+    case 2:
+      return "Minor emphasis";
+    case 3:
+      return "Some emphasis";
+    case 4:
+      return "Significant emphasis";
+    case 5:
+      return "Major emphasis";
+    default:
+      throw util::PreconditionError(
+          "emphasis_scale_description: score must be 1..5");
+  }
+}
+
+std::string growth_scale_description(int score) {
+  switch (score) {
+    case 1:
+      return "I did not use this skill within this class";
+    case 2:
+      return "I used previous skills and had little growth";
+    case 3:
+      return "I grew some and gained a few new skills";
+    case 4:
+      return "I experienced a significant growth and added several skills";
+    case 5:
+      return "I experienced a tremendous growth and added many new skills";
+    default:
+      throw util::PreconditionError(
+          "growth_scale_description: score must be 1..5");
+  }
+}
+
+const std::vector<ElementSpec>& instrument() {
+  static const std::vector<ElementSpec> kInstrument = {
+      {Element::Teamwork,
+       "Teamwork",
+       "Individuals participate effectively in groups or teams.",
+       {
+           // Quoted from the paper's Fig. 2.
+           "Individuals understand their own and other members' styles of "
+           "thinking and how they affect teamwork.",
+           "Individuals understand the different roles included in "
+           "effective teamwork and responsibilities of each role.",
+           "Individuals use effective group communication skills: "
+           "listening, speaking, visual communication.",
+           "Individuals cooperate to support effective teamwork.",
+       }},
+      {Element::InformationGathering,
+       "Information Gathering",
+       "Individuals locate, evaluate, and use relevant information "
+       "effectively.",
+       {
+           "Individuals identify what information is needed to make "
+           "progress on the problem.",
+           "Individuals search provided materials and external sources "
+           "systematically.",
+           "Individuals judge the credibility and relevance of sources.",
+           "Individuals organize gathered information so the team can "
+           "use it.",
+       }},
+      {Element::ProblemDefinition,
+       "Problem Definition",
+       "Individuals formulate clear, complete statements of the problem "
+       "to be solved.",
+       {
+           "Individuals identify the customer needs and constraints "
+           "behind an assignment.",
+           "Individuals separate the essential requirements from "
+           "incidental details.",
+           "Individuals state assumptions and success criteria "
+           "explicitly.",
+           "Individuals decompose a large problem into tractable parts.",
+       }},
+      {Element::IdeaGeneration,
+       "Idea Generation",
+       "Individuals generate a broad range of candidate ideas and "
+       "approaches.",
+       {
+           "Individuals brainstorm multiple alternative solutions before "
+           "committing.",
+           "Individuals build on and combine other members' ideas.",
+           "Individuals draw analogies from prior problems and examples.",
+           "Individuals defer judgment while generating options.",
+       }},
+      {Element::EvaluationAndDecisionMaking,
+       "Evaluation and Decision Making",
+       "Individuals evaluate alternatives objectively and converge on "
+       "sound decisions.",
+       {
+           "Individuals compare alternatives against the stated criteria.",
+           "Individuals weigh trade-offs (time, correctness, effort) "
+           "explicitly.",
+           "Individuals reach team decisions by consensus-oriented "
+           "processes.",
+           "Individuals revisit decisions when new evidence appears.",
+       }},
+      {Element::Implementation,
+       "Implementation",
+       "Individuals carry solutions through to working, tested results.",
+       {
+           "Individuals translate a chosen design into working code or "
+           "artifacts.",
+           "Individuals test and debug their work systematically.",
+           "Individuals follow the team's plan, schedule, and task "
+           "assignments.",
+           "Individuals document what was built and what was observed.",
+       }},
+      {Element::Communication,
+       "Communication",
+       "Individuals communicate ideas effectively in oral, written, and "
+       "visual form.",
+       {
+           "Individuals write clear technical reports of methods and "
+           "observations.",
+           "Individuals present results orally in an organized way.",
+           "Individuals use figures, screenshots, and code snippets to "
+           "support explanations.",
+           "Individuals keep teammates informed through the team's "
+           "communication channels.",
+       }},
+  };
+  return kInstrument;
+}
+
+std::size_t total_item_count() {
+  std::size_t total = 0;
+  for (const ElementSpec& spec : instrument()) {
+    total += spec.item_count();
+  }
+  return total;
+}
+
+}  // namespace pblpar::survey

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace pblpar::survey {
+
+/// The seven skill elements of the Team Design Skills Growth Survey
+/// (Beyerlein, Davishahl, Davis, Lyons & Gentili, ASEE 2005 — the paper's
+/// reference [12]).
+enum class Element {
+  Teamwork,
+  InformationGathering,
+  ProblemDefinition,
+  IdeaGeneration,
+  EvaluationAndDecisionMaking,
+  Implementation,
+  Communication,
+};
+
+inline constexpr std::array<Element, 7> kAllElements = {
+    Element::Teamwork,
+    Element::InformationGathering,
+    Element::ProblemDefinition,
+    Element::IdeaGeneration,
+    Element::EvaluationAndDecisionMaking,
+    Element::Implementation,
+    Element::Communication,
+};
+
+inline constexpr std::size_t kElementCount = kAllElements.size();
+
+std::string to_string(Element element);
+std::size_t index_of(Element element);
+
+/// The survey's two question categories.
+enum class Category { ClassEmphasis, PersonalGrowth };
+
+/// Verbal anchors of the five-point scales, as quoted in the paper.
+std::string emphasis_scale_description(int score);
+std::string growth_scale_description(int score);
+
+/// One element of the instrument: a definition item plus component
+/// ("performance indicator") items.
+struct ElementSpec {
+  Element element;
+  std::string name;
+  std::string definition;
+  std::vector<std::string> components;
+
+  /// definition + components.
+  std::size_t item_count() const { return 1 + components.size(); }
+};
+
+/// The full instrument. Teamwork's items are quoted from the paper's
+/// Fig. 2; the remaining elements' components are reconstructed from the
+/// Beyerlein et al. survey structure (documented in DESIGN.md).
+const std::vector<ElementSpec>& instrument();
+
+/// Total number of items per category across all elements.
+std::size_t total_item_count();
+
+}  // namespace pblpar::survey

@@ -1,0 +1,112 @@
+#include "survey/response.hpp"
+
+#include "util/error.hpp"
+
+namespace pblpar::survey {
+
+double ElementResponse::average() const {
+  util::require(!components.empty(),
+                "ElementResponse::average: no component items");
+  double sum = definition;
+  for (const int score : components) {
+    sum += score;
+  }
+  return sum / static_cast<double>(1 + components.size());
+}
+
+double ElementResponse::composite() const {
+  util::require(!components.empty(),
+                "ElementResponse::composite: no component items");
+  double component_sum = 0.0;
+  for (const int score : components) {
+    component_sum += score;
+  }
+  const double component_mean =
+      component_sum / static_cast<double>(components.size());
+  return (static_cast<double>(definition) + component_mean) / 2.0;
+}
+
+double StudentResponse::overall_average(Category which) const {
+  const auto& elements = category(which);
+  double sum = 0.0;
+  std::size_t items = 0;
+  for (const ElementResponse& element : elements) {
+    sum += element.definition;
+    ++items;
+    for (const int score : element.components) {
+      sum += score;
+      ++items;
+    }
+  }
+  util::require(items > 0, "StudentResponse::overall_average: empty sheet");
+  return sum / static_cast<double>(items);
+}
+
+double StudentResponse::element_average(Category which,
+                                        Element element) const {
+  return category(which)[index_of(element)].average();
+}
+
+void validate(const StudentResponse& response) {
+  const auto check_category =
+      [&](const std::array<ElementResponse, kElementCount>& answers) {
+        const auto& specs = instrument();
+        for (std::size_t e = 0; e < kElementCount; ++e) {
+          const ElementResponse& answer = answers[e];
+          util::require(answer.definition >= 1 && answer.definition <= 5,
+                        "validate: definition item out of 1..5");
+          util::require(
+              answer.components.size() == specs[e].components.size(),
+              "validate: component count does not match the instrument");
+          for (const int score : answer.components) {
+            util::require(score >= 1 && score <= 5,
+                          "validate: component item out of 1..5");
+          }
+        }
+      };
+  check_category(response.emphasis);
+  check_category(response.growth);
+}
+
+std::vector<double> Administration::per_student_overall(Category which) const {
+  std::vector<double> values;
+  values.reserve(responses.size());
+  for (const StudentResponse& response : responses) {
+    values.push_back(response.overall_average(which));
+  }
+  return values;
+}
+
+std::vector<double> Administration::per_student_element(
+    Category which, Element element) const {
+  std::vector<double> values;
+  values.reserve(responses.size());
+  for (const StudentResponse& response : responses) {
+    values.push_back(response.element_average(which, element));
+  }
+  return values;
+}
+
+double Administration::cohort_element_mean(Category which,
+                                           Element element) const {
+  util::require(!responses.empty(),
+                "Administration::cohort_element_mean: no responses");
+  double sum = 0.0;
+  for (const StudentResponse& response : responses) {
+    sum += response.element_average(which, element);
+  }
+  return sum / static_cast<double>(responses.size());
+}
+
+double Administration::cohort_element_composite(Category which,
+                                                Element element) const {
+  util::require(!responses.empty(),
+                "Administration::cohort_element_composite: no responses");
+  double sum = 0.0;
+  for (const StudentResponse& response : responses) {
+    sum += response.category(which)[index_of(element)].composite();
+  }
+  return sum / static_cast<double>(responses.size());
+}
+
+}  // namespace pblpar::survey

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "survey/instrument.hpp"
+
+namespace pblpar::survey {
+
+/// One student's answers for one element in one category: the definition
+/// item plus each component item, all on the 1..5 scale.
+struct ElementResponse {
+  int definition = 0;
+  std::vector<int> components;
+
+  /// Mean of every item (the paper: "Each skill score was created by
+  /// averaging all question scores under each skill").
+  double average() const;
+
+  /// Beyerlein Composite Score: average of the definition item and the
+  /// mean of the component items.
+  double composite() const;
+};
+
+/// One student's full answer sheet for one administration: every element,
+/// both categories.
+struct StudentResponse {
+  std::array<ElementResponse, kElementCount> emphasis;
+  std::array<ElementResponse, kElementCount> growth;
+
+  const std::array<ElementResponse, kElementCount>& category(
+      Category which) const {
+    return which == Category::ClassEmphasis ? emphasis : growth;
+  }
+
+  /// Mean over every item of every element in the category (the variable
+  /// behind the paper's Table 1 t-tests).
+  double overall_average(Category which) const;
+
+  /// Mean over the items of one element (the per-skill score of Table 4).
+  double element_average(Category which, Element element) const;
+};
+
+/// Throws util::PreconditionError unless the response matches the
+/// instrument's shape and every item is within 1..5.
+void validate(const StudentResponse& response);
+
+/// One sitting of the survey by the whole cohort (mid-semester or end).
+struct Administration {
+  std::vector<StudentResponse> responses;
+
+  std::size_t cohort_size() const { return responses.size(); }
+
+  /// Per-student overall averages (input to the paired t-test).
+  std::vector<double> per_student_overall(Category which) const;
+
+  /// Per-student per-element averages (input to Pearson correlations).
+  std::vector<double> per_student_element(Category which,
+                                          Element element) const;
+
+  /// Cohort mean of an element's per-student averages (Tables 5/6 cells).
+  double cohort_element_mean(Category which, Element element) const;
+
+  /// Cohort mean of the Beyerlein composite for an element.
+  double cohort_element_composite(Category which, Element element) const;
+};
+
+}  // namespace pblpar::survey

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pblpar::util {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is broken (a library bug, not user error).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Validate a documented precondition on a public entry point.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw PreconditionError(std::string(message));
+  }
+}
+
+/// Check an internal invariant; failure indicates a bug in this library.
+inline void ensure(bool condition, std::string_view message) {
+  if (!condition) {
+    throw InvariantError(std::string(message));
+  }
+}
+
+}  // namespace pblpar::util

@@ -1,0 +1,191 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pblpar::util {
+
+namespace {
+
+std::string repeat(char fill, std::size_t count) {
+  return std::string(count, fill);
+}
+
+std::string pad(const std::string& text, std::size_t width, Align align) {
+  if (text.size() >= width) {
+    return text;
+  }
+  const std::string fill = repeat(' ', width - text.size());
+  return align == Align::Left ? text + fill : fill + text;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    return cell;
+  }
+  std::string escaped = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      escaped += '"';
+    }
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+}  // namespace
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::columns(std::vector<std::string> names,
+                      std::vector<Align> aligns) {
+  require(!names.empty(), "Table::columns: at least one column required");
+  require(aligns.empty() || aligns.size() == names.size(),
+          "Table::columns: alignment count must match column count");
+  headers_ = std::move(names);
+  if (aligns.empty()) {
+    aligns_.assign(headers_.size(), Align::Left);
+  } else {
+    aligns_ = std::move(aligns);
+  }
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "Table::row: cell count must match column count");
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+Table& Table::note(std::string text) {
+  notes_.push_back(std::move(text));
+  return *this;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.is_separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += repeat('-', w + 2) + "+";
+    }
+    return line + "\n";
+  }();
+
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << title_ << "\n";
+  }
+  out << rule << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << ' ' << pad(headers_[c], widths[c], Align::Left) << " |";
+  }
+  out << "\n" << rule;
+  for (const Row& r : rows_) {
+    if (r.is_separator) {
+      out << rule;
+      continue;
+    }
+    out << "|";
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      out << ' ' << pad(r.cells[c], widths[c], aligns_[c]) << " |";
+    }
+    out << "\n";
+  }
+  out << rule;
+  for (const std::string& n : notes_) {
+    out << "  " << n << "\n";
+  }
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << "### " << title_ << "\n\n";
+  }
+  out << "|";
+  for (const std::string& h : headers_) {
+    out << ' ' << h << " |";
+  }
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (aligns_[c] == Align::Right ? " ---: |" : " --- |");
+  }
+  out << "\n";
+  for (const Row& r : rows_) {
+    if (r.is_separator) {
+      continue;
+    }
+    out << "|";
+    for (const std::string& cell : r.cells) {
+      out << ' ' << cell << " |";
+    }
+    out << "\n";
+  }
+  for (const std::string& n : notes_) {
+    out << "\n> " << n << "\n";
+  }
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c ? "," : "") << csv_escape(headers_[c]);
+  }
+  out << "\n";
+  for (const Row& r : rows_) {
+    if (r.is_separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      out << (c ? "," : "") << csv_escape(r.cells[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Table::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::pvalue(double p) {
+  if (p < 0.001) {
+    return "p < 0.001";
+  }
+  return "p = " + num(p, 3);
+}
+
+std::ostream& operator<<(std::ostream& out, const Table& table) {
+  return out << table.to_ascii();
+}
+
+}  // namespace pblpar::util

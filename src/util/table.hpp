@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pblpar::util {
+
+/// Column alignment for rendered tables.
+enum class Align { Left, Right };
+
+/// A small report table used by the experiment harnesses to print
+/// paper-style tables (ASCII box drawing, Markdown, or CSV).
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Define the header row. Must be called before adding rows.
+  Table& columns(std::vector<std::string> names,
+                 std::vector<Align> aligns = {});
+
+  /// Append a data row; must match the number of columns.
+  Table& row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator between row groups.
+  Table& separator();
+
+  /// Footnote lines printed under the table.
+  Table& note(std::string text);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  std::string to_ascii() const;
+  std::string to_markdown() const;
+  std::string to_csv() const;
+
+  /// Format helpers used throughout the harnesses.
+  static std::string num(double value, int precision);
+  static std::string pvalue(double p);  // "p < 0.001" style when tiny
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+};
+
+std::ostream& operator<<(std::ostream& out, const Table& table);
+
+}  // namespace pblpar::util

@@ -1,0 +1,116 @@
+#include "util/text.hpp"
+
+#include <cctype>
+
+namespace pblpar::util {
+
+namespace {
+
+bool is_word_char(unsigned char ch) {
+  return std::isalnum(ch) != 0 || ch == '\'';
+}
+
+}  // namespace
+
+std::string to_lower(std::string_view text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (const char ch : text) {
+    lowered += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return lowered;
+}
+
+std::vector<std::string> split(std::string_view text,
+                               std::string_view delimiters) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (const char ch : text) {
+    if (delimiters.find(ch) != std::string_view::npos) {
+      if (!current.empty()) {
+        pieces.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) {
+    pieces.push_back(std::move(current));
+  }
+  return pieces;
+}
+
+std::vector<std::string> tokenize_words(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (const char ch : text) {
+    if (is_word_char(static_cast<unsigned char>(ch))) {
+      current += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    words.push_back(std::move(current));
+  }
+  return words;
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char ch : text) {
+    if (ch == '\n') {
+      if (!current.empty() && current.back() == '\r') {
+        current.pop_back();
+      }
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) {
+    if (current.back() == '\r') {
+      current.pop_back();
+    }
+    lines.push_back(std::move(current));
+  }
+  return lines;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string joined;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) {
+      joined += separator;
+    }
+    joined += pieces[i];
+  }
+  return joined;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+}  // namespace pblpar::util

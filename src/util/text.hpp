@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pblpar::util {
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// Split on any of the given delimiter characters; empty pieces dropped.
+std::vector<std::string> split(std::string_view text,
+                               std::string_view delimiters);
+
+/// Tokenize into lower-cased words (runs of [A-Za-z0-9']).
+std::vector<std::string> tokenize_words(std::string_view text);
+
+/// Split into lines (handles both "\n" and "\r\n").
+std::vector<std::string> split_lines(std::string_view text);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+}  // namespace pblpar::util

@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "classroom/analysis.hpp"
+#include "classroom/calibrate.hpp"
+#include "classroom/model.hpp"
+#include "classroom/study.hpp"
+#include "classroom/targets.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::classroom {
+namespace {
+
+// --- Targets -------------------------------------------------------------------
+
+TEST(TargetsTest, OverallMeansMatchTable2And3) {
+  const PaperTargets& targets = PaperTargets::published();
+  // Table 2's means are the averages of Table 5's element means (and
+  // likewise Tables 3/6); verify the transcription is self-consistent.
+  EXPECT_NEAR(targets.emphasis_overall_mean(0), 4.023068, 0.01);
+  EXPECT_NEAR(targets.emphasis_overall_mean(1), 4.124365, 0.01);
+  EXPECT_NEAR(targets.growth_overall_mean(0), 3.81, 0.01);
+  EXPECT_NEAR(targets.growth_overall_mean(1), 4.01, 0.01);
+}
+
+TEST(TargetsTest, TeamworkIsTopRankedEverywhere) {
+  const PaperTargets& targets = PaperTargets::published();
+  const ElementTargets& teamwork = targets.of(survey::Element::Teamwork);
+  for (const ElementTargets& element : targets.elements) {
+    EXPECT_LE(element.emphasis_mean[0], teamwork.emphasis_mean[0]);
+    EXPECT_LE(element.growth_mean[1], teamwork.growth_mean[1]);
+  }
+}
+
+TEST(TargetsTest, EveryMeanRisesInSecondHalf) {
+  for (const ElementTargets& element : PaperTargets::published().elements) {
+    EXPECT_GT(element.emphasis_mean[1], element.emphasis_mean[0]);
+    EXPECT_GT(element.growth_mean[1], element.growth_mean[0]);
+  }
+}
+
+// --- Discretized mean map ---------------------------------------------------------
+
+TEST(DiscretizedMeanTest, MidScaleIsIdentityLike) {
+  // Far from the clamp boundaries the rounding is unbiased.
+  EXPECT_NEAR(discretized_mean(3.0, 0.9), 3.0, 1e-9);
+}
+
+TEST(DiscretizedMeanTest, MonotoneInMu) {
+  double previous = 0.0;
+  for (double mu = 1.0; mu <= 5.0; mu += 0.25) {
+    const double value = discretized_mean(mu, 0.9);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+}
+
+TEST(DiscretizedMeanTest, ClampPullsExtremeMeansInward) {
+  EXPECT_GT(discretized_mean(0.0, 0.9), 1.0);
+  EXPECT_LT(discretized_mean(6.5, 0.9), 5.0);
+  EXPECT_LT(discretized_mean(4.8, 0.9), 4.8);  // ceiling effect
+}
+
+TEST(DiscretizedMeanTest, RejectsBadSd) {
+  EXPECT_THROW(discretized_mean(3.0, 0.0), util::PreconditionError);
+}
+
+// --- Generator -----------------------------------------------------------------
+
+TEST(GeneratorTest, ResponsesAreValidAndDeterministic) {
+  CohortConfig config;
+  config.cohort_size = 50;
+  config.seed = 123;
+  const GeneratedStudy a = generate_cohort(calibrated_paper_params(), config);
+  const GeneratedStudy b = generate_cohort(calibrated_paper_params(), config);
+
+  ASSERT_EQ(a.first_half.cohort_size(), 50u);
+  ASSERT_EQ(a.second_half.cohort_size(), 50u);
+  for (const auto& response : a.first_half.responses) {
+    EXPECT_NO_THROW(survey::validate(response));
+  }
+  // Bitwise deterministic.
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.first_half.responses[i].emphasis[0].definition,
+              b.first_half.responses[i].emphasis[0].definition);
+    EXPECT_EQ(a.second_half.responses[i].growth[3].components,
+              b.second_half.responses[i].growth[3].components);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  CohortConfig a_config;
+  a_config.cohort_size = 30;
+  a_config.seed = 1;
+  CohortConfig b_config = a_config;
+  b_config.seed = 2;
+  const GeneratedStudy a =
+      generate_cohort(calibrated_paper_params(), a_config);
+  const GeneratedStudy b =
+      generate_cohort(calibrated_paper_params(), b_config);
+  int differences = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (a.first_half.responses[i].emphasis[0].definition !=
+        b.first_half.responses[i].emphasis[0].definition) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(GeneratorTest, RejectsTinyCohort) {
+  CohortConfig config;
+  config.cohort_size = 1;
+  EXPECT_THROW(generate_cohort(calibrated_paper_params(), config),
+               util::PreconditionError);
+}
+
+// --- Calibration quality ----------------------------------------------------------
+// These are the acceptance gates of the reproduction: a large generated
+// cohort must land on the paper's published statistics.
+
+class CalibrationQualityTest : public ::testing::Test {
+ protected:
+  static const GeneratedStudy& big_cohort() {
+    static const GeneratedStudy kStudy = [] {
+      CohortConfig config;
+      config.cohort_size = 20000;
+      config.seed = 777;
+      return generate_cohort(calibrated_paper_params(), config);
+    }();
+    return kStudy;
+  }
+};
+
+TEST_F(CalibrationQualityTest, ElementMeansWithinFiveHundredths) {
+  const PaperTargets& targets = PaperTargets::published();
+  const GeneratedStudy& study = big_cohort();
+  for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+    const survey::Element element = survey::kAllElements[e];
+    const auto& sittings = {&study.first_half, &study.second_half};
+    int half = 0;
+    for (const auto* sitting : sittings) {
+      EXPECT_NEAR(sitting->cohort_element_mean(
+                      survey::Category::ClassEmphasis, element),
+                  targets.elements[e].emphasis_mean[
+                      static_cast<std::size_t>(half)],
+                  0.05)
+          << survey::to_string(element) << " emphasis half " << half;
+      EXPECT_NEAR(sitting->cohort_element_mean(
+                      survey::Category::PersonalGrowth, element),
+                  targets.elements[e].growth_mean[
+                      static_cast<std::size_t>(half)],
+                  0.05)
+          << survey::to_string(element) << " growth half " << half;
+      ++half;
+    }
+  }
+}
+
+TEST_F(CalibrationQualityTest, CorrelationsWithinEightHundredths) {
+  const PaperTargets& targets = PaperTargets::published();
+  const StudyAnalysis analysis =
+      analyze(big_cohort().first_half, big_cohort().second_half);
+  for (std::size_t e = 0; e < survey::kElementCount; ++e) {
+    EXPECT_NEAR(analysis.correlations[e].first_half.r,
+                targets.elements[e].correlation[0], 0.08)
+        << survey::to_string(survey::kAllElements[e]) << " half 1";
+    EXPECT_NEAR(analysis.correlations[e].second_half.r,
+                targets.elements[e].correlation[1], 0.08)
+        << survey::to_string(survey::kAllElements[e]) << " half 2";
+  }
+}
+
+TEST_F(CalibrationQualityTest, OverallSdsWithinFifteenPercent) {
+  const PaperTargets& targets = PaperTargets::published();
+  const StudyAnalysis analysis =
+      analyze(big_cohort().first_half, big_cohort().second_half);
+  EXPECT_NEAR(analysis.emphasis_effect.sd_first,
+              targets.emphasis_overall_sd[0],
+              0.15 * targets.emphasis_overall_sd[0]);
+  EXPECT_NEAR(analysis.emphasis_effect.sd_second,
+              targets.emphasis_overall_sd[1],
+              0.15 * targets.emphasis_overall_sd[1]);
+  EXPECT_NEAR(analysis.growth_effect.sd_first,
+              targets.growth_overall_sd[0],
+              0.15 * targets.growth_overall_sd[0]);
+  EXPECT_NEAR(analysis.growth_effect.sd_second,
+              targets.growth_overall_sd[1],
+              0.15 * targets.growth_overall_sd[1]);
+}
+
+TEST_F(CalibrationQualityTest, EffectSizesMatchTables2And3) {
+  const StudyAnalysis analysis =
+      analyze(big_cohort().first_half, big_cohort().second_half);
+  // Paper: emphasis d = 0.50 (medium), growth d = 0.86 (large).
+  EXPECT_NEAR(analysis.emphasis_effect.cohens_d, 0.50, 0.08);
+  EXPECT_NEAR(analysis.growth_effect.cohens_d, 0.86, 0.10);
+  EXPECT_GT(analysis.growth_effect.cohens_d,
+            analysis.emphasis_effect.cohens_d);
+}
+
+// --- Full paper-scale study -------------------------------------------------------
+
+class SemesterStudyTest : public ::testing::Test {
+ protected:
+  static const SemesterStudy& study() {
+    static const SemesterStudy kStudy = SemesterStudy::simulate();
+    return kStudy;
+  }
+};
+
+TEST_F(SemesterStudyTest, CohortAndTeamsMatchPaperSetup) {
+  EXPECT_EQ(study().roster.size(), 124u);
+  EXPECT_EQ(study().teams.size(), 26u);
+  EXPECT_EQ(study().first_survey.cohort_size(), 124u);
+  EXPECT_EQ(study().second_survey.cohort_size(), 124u);
+}
+
+TEST_F(SemesterStudyTest, Table1BothShiftsSignificantAndPositive) {
+  const StudyAnalysis& analysis = study().analysis;
+  // The paper reports the difference as (first - second) = -0.10/-0.20;
+  // our mean_difference is (second - first), so signs flip.
+  EXPECT_GT(analysis.emphasis_ttest.mean_difference, 0.0);
+  EXPECT_GT(analysis.growth_ttest.mean_difference, 0.0);
+  EXPECT_TRUE(analysis.emphasis_ttest.significant(0.05));
+  EXPECT_TRUE(analysis.growth_ttest.significant(0.05));
+  EXPECT_GT(analysis.growth_ttest.t, analysis.emphasis_ttest.t);
+}
+
+TEST_F(SemesterStudyTest, Table1MeanDifferencesNearPaper) {
+  const StudyAnalysis& analysis = study().analysis;
+  EXPECT_NEAR(analysis.emphasis_ttest.mean_difference, 0.10, 0.06);
+  EXPECT_NEAR(analysis.growth_ttest.mean_difference, 0.20, 0.08);
+}
+
+TEST_F(SemesterStudyTest, Tables2And3EffectBands) {
+  const StudyAnalysis& analysis = study().analysis;
+  // At N=124 the sampling noise is real; require the paper's bands, not
+  // its point values: emphasis at least small-to-medium, growth large.
+  EXPECT_GT(analysis.emphasis_effect.cohens_d, 0.25);
+  EXPECT_LT(analysis.emphasis_effect.cohens_d, 0.80);
+  EXPECT_GT(analysis.growth_effect.cohens_d, 0.55);
+  EXPECT_LT(analysis.growth_effect.cohens_d, 1.20);
+}
+
+TEST_F(SemesterStudyTest, Table4AllPositiveAndSignificant) {
+  for (const CorrelationRow& row : study().analysis.correlations) {
+    EXPECT_GT(row.first_half.r, 0.15) << survey::to_string(row.element);
+    EXPECT_GT(row.second_half.r, 0.15) << survey::to_string(row.element);
+    EXPECT_LT(row.first_half.p_two_tailed, 0.001);
+    EXPECT_LT(row.second_half.p_two_tailed, 0.001);
+  }
+}
+
+TEST_F(SemesterStudyTest, Table4TeamworkWeakestEvalStrongest) {
+  const auto& correlations = study().analysis.correlations;
+  const auto r_of = [&](survey::Element element, int half) {
+    for (const CorrelationRow& row : correlations) {
+      if (row.element == element) {
+        return half == 0 ? row.first_half.r : row.second_half.r;
+      }
+    }
+    throw util::InvariantError("element missing");
+  };
+  // Paper: Teamwork is the weakest link in half 1 (r = 0.38, 'low');
+  // Evaluation & Decision Making the strongest (r = 0.73, 'high').
+  for (const CorrelationRow& row : correlations) {
+    EXPECT_LE(r_of(survey::Element::Teamwork, 0), row.first_half.r + 1e-9);
+  }
+  EXPECT_GT(r_of(survey::Element::EvaluationAndDecisionMaking, 0),
+            r_of(survey::Element::Teamwork, 0) + 0.15);
+}
+
+TEST_F(SemesterStudyTest, Tables5And6RankingShape) {
+  const StudyAnalysis& analysis = study().analysis;
+  for (int half = 0; half < 2; ++half) {
+    // Teamwork tops every ranking (Tables 5 and 6).
+    EXPECT_EQ(analysis.emphasis_ranking[static_cast<std::size_t>(half)]
+                  .front()
+                  .name,
+              "Teamwork");
+    EXPECT_EQ(
+        analysis.growth_ranking[static_cast<std::size_t>(half)].front().name,
+        "Teamwork");
+    // Implementation ranks second.
+    EXPECT_EQ(analysis.emphasis_ranking[static_cast<std::size_t>(half)][1]
+                  .name,
+              "Implementation");
+  }
+  // Growth half 1 bottom: Evaluation and Decision Making (3.36).
+  EXPECT_EQ(analysis.growth_ranking[0].back().name,
+            "Evaluation and Decision Making");
+}
+
+TEST_F(SemesterStudyTest, GrowthSpreadShrinksInSecondHalf) {
+  // Table 6's narrative: selective growth in half 1 (large spread),
+  // more equal growth in half 2.
+  const auto spread = [](const std::vector<stats::RankedItem>& ranking) {
+    return ranking.front().value - ranking.back().value;
+  };
+  const StudyAnalysis& analysis = study().analysis;
+  EXPECT_GT(spread(analysis.growth_ranking[0]),
+            spread(analysis.growth_ranking[1]));
+}
+
+TEST_F(SemesterStudyTest, ImplementationGapSmallInSecondHalf) {
+  // Discussion section: Implementation's emphasis-growth gap in the
+  // second half was 0.03 — essentially closed.
+  for (const EmphasisGrowthGap& gap : study().analysis.second_half_gaps) {
+    if (gap.element == survey::Element::Implementation) {
+      EXPECT_LT(std::fabs(gap.gap), 0.15);
+    }
+  }
+}
+
+TEST_F(SemesterStudyTest, DeterministicAcrossCalls) {
+  const SemesterStudy again = SemesterStudy::simulate();
+  EXPECT_DOUBLE_EQ(again.analysis.growth_effect.cohens_d,
+                   study().analysis.growth_effect.cohens_d);
+  EXPECT_DOUBLE_EQ(again.analysis.emphasis_ttest.t,
+                   study().analysis.emphasis_ttest.t);
+}
+
+TEST(AnalyzeTest, RejectsMismatchedCohorts) {
+  survey::Administration a;
+  survey::Administration b;
+  a.responses.resize(5);
+  b.responses.resize(4);
+  EXPECT_THROW(analyze(a, b), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::classroom

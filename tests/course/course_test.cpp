@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "course/assignments.hpp"
+#include "course/grading.hpp"
+#include "course/student.hpp"
+#include "course/teams.hpp"
+#include "course/timeline.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::course {
+namespace {
+
+std::vector<Student> paper_roster(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return generate_roster(RosterConfig::paper_cohort(), rng);
+}
+
+// --- Roster ------------------------------------------------------------------
+
+TEST(RosterTest, PaperCohortShape) {
+  const auto roster = paper_roster();
+  EXPECT_EQ(roster.size(), 124u);
+  int females = 0;
+  for (const Student& student : roster) {
+    EXPECT_GE(student.gpa, 1.8);
+    EXPECT_LE(student.gpa, 4.3);
+    EXPECT_GE(student.programming_experience, 1);
+    EXPECT_LE(student.programming_experience, 5);
+    if (student.gender == Gender::Female) {
+      ++females;
+    }
+  }
+  EXPECT_EQ(females, 26);  // 26 of 124 (20.97%)
+}
+
+TEST(RosterTest, IdsAreSequential) {
+  const auto roster = paper_roster();
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    EXPECT_EQ(roster[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(RosterTest, DeterministicInSeed) {
+  const auto a = paper_roster(42);
+  const auto b = paper_roster(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].gpa, b[i].gpa);
+    EXPECT_EQ(a[i].gender, b[i].gender);
+  }
+}
+
+TEST(RosterTest, AbilityIndexInRange) {
+  for (const Student& student : paper_roster()) {
+    EXPECT_GT(student.ability_index(), 0.0);
+    EXPECT_LE(student.ability_index(), 5.0);
+  }
+}
+
+TEST(RosterTest, Validation) {
+  util::Rng rng(1);
+  RosterConfig bad;
+  bad.size = 0;
+  EXPECT_THROW(generate_roster(bad, rng), util::PreconditionError);
+  bad.size = 10;
+  bad.female_fraction = 1.5;
+  EXPECT_THROW(generate_roster(bad, rng), util::PreconditionError);
+}
+
+// --- Team formation -----------------------------------------------------------
+
+TEST(TeamFormationTest, PartitionIsCompleteAndSized) {
+  const auto roster = paper_roster();
+  util::Rng rng(7);
+  const FormationResult result =
+      form_teams(roster, 26, FormationConfig{}, rng);
+  ASSERT_EQ(result.teams.size(), 26u);
+
+  std::set<int> seen;
+  for (const Team& team : result.teams) {
+    EXPECT_GE(team.member_ids.size(), 4u);  // 124 across 26 teams: 4 or 5
+    EXPECT_LE(team.member_ids.size(), 5u);
+    for (const int id : team.member_ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate member " << id;
+    }
+  }
+  EXPECT_EQ(seen.size(), 124u);
+}
+
+TEST(TeamFormationTest, BalancedBeatsRandomOnAbilitySpread) {
+  const auto roster = paper_roster();
+  util::Rng rng_balanced(7);
+  util::Rng rng_random(7);
+  const auto balanced =
+      form_teams(roster, 26, FormationConfig{}, rng_balanced);
+  const auto random = form_random_teams(roster, 26, rng_random);
+  const BalanceMetrics bm = measure_balance(roster, balanced.teams);
+  const BalanceMetrics rm = measure_balance(roster, random.teams);
+  EXPECT_LT(bm.ability_spread, rm.ability_spread);
+}
+
+TEST(TeamFormationTest, GenderIsSpreadAcrossTeams) {
+  const auto roster = paper_roster();
+  util::Rng rng(7);
+  const auto result = form_teams(roster, 26, FormationConfig{}, rng);
+  const BalanceMetrics metrics = measure_balance(roster, result.teams);
+  // 26 females over 26 teams. The objective follows Oakley et al.: never
+  // leave a woman isolated on a team (so females cluster in 2s, not
+  // spread 1 each), while keeping the clusters small.
+  EXPECT_EQ(metrics.isolated_females, 0);
+  EXPECT_LE(metrics.max_female_gap, 3);
+}
+
+TEST(TeamFormationTest, FriendPairsAreSeparated) {
+  const auto roster = paper_roster();
+  const std::vector<std::pair<int, int>> friends{{0, 1}, {2, 3}, {10, 20}};
+  util::Rng rng(7);
+  const auto result =
+      form_teams(roster, 26, FormationConfig{}, rng, friends);
+  const BalanceMetrics metrics =
+      measure_balance(roster, result.teams, friends);
+  EXPECT_EQ(metrics.friend_pairs_together, 0);
+}
+
+TEST(TeamFormationTest, LocalSearchImprovesCost) {
+  const auto roster = paper_roster();
+  FormationConfig no_search;
+  no_search.local_search_iterations = 0;
+  FormationConfig with_search;
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  const double cost_before =
+      form_teams(roster, 26, no_search, rng1).cost;
+  const double cost_after = form_teams(roster, 26, with_search, rng2).cost;
+  EXPECT_LE(cost_after, cost_before);
+}
+
+TEST(TeamFormationTest, RejectsOverfullRoster) {
+  const auto roster = paper_roster();
+  util::Rng rng(7);
+  FormationConfig config;
+  config.max_team_size = 4;
+  EXPECT_THROW(form_teams(roster, 26, config, rng),
+               util::PreconditionError);  // 26*4 = 104 < 124
+}
+
+TEST(TeamTest, CoordinatorRotatesAcrossAssignments) {
+  Team team;
+  team.member_ids = {10, 11, 12, 13};
+  std::set<int> coordinators;
+  for (int assignment = 0; assignment < 4; ++assignment) {
+    coordinators.insert(team.coordinator_for(assignment));
+  }
+  EXPECT_EQ(coordinators.size(), 4u);  // every member got the role
+  EXPECT_EQ(team.coordinator_for(0), team.coordinator_for(4));  // wraps
+}
+
+// --- Assignments & timeline ----------------------------------------------------
+
+TEST(AssignmentsTest, FiveTwoWeekAssignments) {
+  const auto& assignments = five_assignments();
+  ASSERT_EQ(assignments.size(), 5u);
+  for (std::size_t a = 0; a < assignments.size(); ++a) {
+    EXPECT_EQ(assignments[a].number, static_cast<int>(a) + 1);
+    EXPECT_EQ(assignments[a].duration_weeks, 2);
+    EXPECT_FALSE(assignments[a].study_questions.empty());
+  }
+}
+
+TEST(AssignmentsTest, FirstIsSoftSkillsOnlyRestAreProgramming) {
+  const auto& assignments = five_assignments();
+  EXPECT_FALSE(assignments[0].has_programming());
+  for (std::size_t a = 1; a < assignments.size(); ++a) {
+    EXPECT_TRUE(assignments[a].has_programming()) << "assignment " << a + 1;
+  }
+}
+
+TEST(AssignmentsTest, MaterialsMatchPaperMapping) {
+  const auto& assignments = five_assignments();
+  EXPECT_EQ(assignments[0].materials,
+            std::vector<Material>{Material::TeamworkBasics});
+  // Assignment 3 adds CPU vs SOC.
+  EXPECT_NE(std::find(assignments[2].materials.begin(),
+                      assignments[2].materials.end(), Material::CpuVsSoc),
+            assignments[2].materials.end());
+  // Assignment 5 uses the MapReduce reading.
+  EXPECT_NE(std::find(assignments[4].materials.begin(),
+                      assignments[4].materials.end(),
+                      Material::IntroParallelMapReduce),
+            assignments[4].materials.end());
+}
+
+TEST(AssignmentsTest, ProgrammingTasksCoverThePatternlets) {
+  const auto& assignments = five_assignments();
+  const auto has_task = [&](int index, const std::string& name) {
+    const auto& tasks =
+        assignments[static_cast<std::size_t>(index)].programming_tasks;
+    return std::find(tasks.begin(), tasks.end(), name) != tasks.end();
+  };
+  EXPECT_TRUE(has_task(1, "fork-join"));
+  EXPECT_TRUE(has_task(1, "spmd"));
+  EXPECT_TRUE(has_task(2, "reduction"));
+  EXPECT_TRUE(has_task(3, "trapezoid-integration"));
+  EXPECT_TRUE(has_task(3, "master-worker"));
+  EXPECT_TRUE(has_task(4, "drug-design-openmp"));
+}
+
+TEST(AssignmentsTest, DeliverablesAndVideoGuide) {
+  EXPECT_EQ(standard_deliverables().size(), 4u);
+  EXPECT_EQ(video_presentation_guide().size(), 4u);
+}
+
+TEST(TimelineTest, FigOneShape) {
+  const auto events = semester_timeline();
+  int surveys = 0;
+  int assignment_starts = 0;
+  int quizzes = 0;
+  for (const TimelineEvent& event : events) {
+    EXPECT_GE(event.week, 1);
+    EXPECT_LE(event.week, kSemesterWeeks);
+    switch (event.kind) {
+      case EventKind::Survey:
+        ++surveys;
+        break;
+      case EventKind::AssignmentStart:
+        ++assignment_starts;
+        break;
+      case EventKind::Quiz:
+        ++quizzes;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(surveys, 2);
+  EXPECT_EQ(assignment_starts, 5);
+  EXPECT_EQ(quizzes, 5);
+}
+
+TEST(TimelineTest, SurveysAtMidAndEnd) {
+  const auto events = semester_timeline();
+  std::vector<int> survey_weeks;
+  for (const TimelineEvent& event : events) {
+    if (event.kind == EventKind::Survey) {
+      survey_weeks.push_back(event.week);
+    }
+  }
+  ASSERT_EQ(survey_weeks.size(), 2u);
+  EXPECT_EQ(survey_weeks[0], kFirstSurveyWeek);
+  EXPECT_EQ(survey_weeks[1], kSecondSurveyWeek);
+}
+
+TEST(TimelineTest, AssignmentsAreBackToBackTwoWeeks) {
+  const auto events = semester_timeline();
+  std::vector<int> starts;
+  for (const TimelineEvent& event : events) {
+    if (event.kind == EventKind::AssignmentStart) {
+      starts.push_back(event.week);
+    }
+  }
+  ASSERT_EQ(starts.size(), 5u);
+  for (std::size_t a = 1; a < starts.size(); ++a) {
+    EXPECT_EQ(starts[a] - starts[a - 1], 2);
+  }
+}
+
+// --- Grading --------------------------------------------------------------------
+
+TEST(GradingTest, PolicyWeights) {
+  const GradingPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.module_weight, 0.25);
+  EXPECT_DOUBLE_EQ(policy.per_assignment_weight(), 0.05);
+}
+
+TEST(GradingTest, CooperationGates) {
+  EXPECT_DOUBLE_EQ(assignment_grade(90.0, Cooperation::Full), 90.0);
+  EXPECT_DOUBLE_EQ(assignment_grade(90.0, Cooperation::Partial), 0.0);
+  EXPECT_DOUBLE_EQ(assignment_grade(90.0, Cooperation::None), 0.0);
+  EXPECT_THROW(assignment_grade(101.0, Cooperation::Full),
+               util::PreconditionError);
+}
+
+TEST(GradingTest, ModuleScoreFullCooperation) {
+  const std::vector<double> grades{80, 90, 100, 70, 60};
+  const std::vector<Cooperation> coop(5, Cooperation::Full);
+  EXPECT_DOUBLE_EQ(module_score(grades, coop), 80.0);
+}
+
+TEST(GradingTest, PersistentNonCooperationZeroesRemaining) {
+  const std::vector<double> grades{100, 100, 100, 100, 100};
+  const std::vector<Cooperation> coop{
+      Cooperation::Full, Cooperation::None, Cooperation::None,
+      Cooperation::Full, Cooperation::Full};
+  // A1 counts (100); A2, A3 are None (zero); the problem persisted, so A4
+  // and A5 are zeroed too: 100 / 5 = 20.
+  EXPECT_DOUBLE_EQ(module_score(grades, coop), 20.0);
+}
+
+TEST(GradingTest, SingleLapseDoesNotZeroRemaining) {
+  const std::vector<double> grades{100, 100, 100, 100, 100};
+  const std::vector<Cooperation> coop{
+      Cooperation::Full, Cooperation::None, Cooperation::Full,
+      Cooperation::Full, Cooperation::Full};
+  EXPECT_DOUBLE_EQ(module_score(grades, coop), 80.0);
+}
+
+TEST(GradingTest, PeerRatingMean) {
+  const std::vector<PeerRating> ratings{
+      {1, 0, 5}, {2, 0, 4}, {3, 0, 3}, {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(mean_peer_rating(ratings, 0), 4.0);
+  EXPECT_DOUBLE_EQ(mean_peer_rating(ratings, 1), 2.0);
+  EXPECT_DOUBLE_EQ(mean_peer_rating(ratings, 9), 0.0);
+}
+
+}  // namespace
+}  // namespace pblpar::course

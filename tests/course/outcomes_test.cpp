@@ -1,0 +1,175 @@
+#include "course/outcomes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pblpar::course {
+namespace {
+
+struct CourseFixture {
+  std::vector<Student> students;
+  std::vector<Team> teams;
+};
+
+CourseFixture paper_setup(std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  CourseFixture setup;
+  setup.students =
+      generate_roster(RosterConfig::paper_cohort(), rng);
+  setup.teams =
+      form_teams(setup.students, 26, FormationConfig{}, rng).teams;
+  return setup;
+}
+
+TEST(OutcomesTest, EveryStudentGetsATeamAndAScore) {
+  CourseFixture setup = paper_setup();
+  util::Rng rng(9);
+  const ModuleOutcomes outcomes =
+      simulate_module(setup.students, setup.teams, OutcomeConfig{}, rng);
+
+  ASSERT_EQ(outcomes.students.size(), 124u);
+  ASSERT_EQ(outcomes.teams.size(), 26u);
+  for (const StudentOutcome& student : outcomes.students) {
+    EXPECT_GE(student.team_id, 0);
+    EXPECT_GE(student.module_score, 0.0);
+    EXPECT_LE(student.module_score, 100.0);
+    EXPECT_EQ(student.cooperation.size(), 5u);
+    EXPECT_GE(student.mean_peer_rating, 0.0);
+    EXPECT_LE(student.mean_peer_rating, 5.0);
+  }
+}
+
+TEST(OutcomesTest, FiveGradedAssignmentsPerTeamInRange) {
+  CourseFixture setup = paper_setup();
+  util::Rng rng(9);
+  const ModuleOutcomes outcomes =
+      simulate_module(setup.students, setup.teams, OutcomeConfig{}, rng);
+  for (const TeamOutcome& team : outcomes.teams) {
+    ASSERT_EQ(team.assignment_grades.size(), 5u);
+    for (const double grade : team.assignment_grades) {
+      EXPECT_GE(grade, 0.0);
+      EXPECT_LE(grade, 100.0);
+    }
+  }
+}
+
+TEST(OutcomesTest, CoordinatorRoleRotates) {
+  CourseFixture setup = paper_setup();
+  util::Rng rng(9);
+  const ModuleOutcomes outcomes =
+      simulate_module(setup.students, setup.teams, OutcomeConfig{}, rng);
+  // 5 assignments over teams of 4-5: every member coordinates at least
+  // once, nobody more than twice.
+  for (const StudentOutcome& student : outcomes.students) {
+    EXPECT_GE(student.coordinator_count, 1) << student.student_id;
+    EXPECT_LE(student.coordinator_count, 2) << student.student_id;
+  }
+}
+
+TEST(OutcomesTest, FullCooperatorsEarnTheTeamGrade) {
+  CourseFixture setup = paper_setup();
+  OutcomeConfig config;
+  config.partial_cooperation_rate = 0.0;
+  config.non_cooperation_rate = 0.0;
+  util::Rng rng(9);
+  const ModuleOutcomes outcomes =
+      simulate_module(setup.students, setup.teams, config, rng);
+  for (const TeamOutcome& team : outcomes.teams) {
+    double mean_grade = 0.0;
+    for (const double grade : team.assignment_grades) {
+      mean_grade += grade;
+    }
+    mean_grade /= 5.0;
+    const Team& members = setup.teams[static_cast<std::size_t>(team.team_id)];
+    for (const int id : members.member_ids) {
+      EXPECT_NEAR(outcomes.students[static_cast<std::size_t>(id)]
+                      .module_score,
+                  mean_grade, 1e-9);
+    }
+  }
+}
+
+TEST(OutcomesTest, NonCooperationCostsTheIndividualNotTheTeam) {
+  CourseFixture setup = paper_setup();
+  OutcomeConfig config;
+  config.non_cooperation_rate = 0.30;  // exaggerate to guarantee cases
+  util::Rng rng(42);
+  const ModuleOutcomes outcomes =
+      simulate_module(setup.students, setup.teams, config, rng);
+
+  int penalized = 0;
+  for (const StudentOutcome& student : outcomes.students) {
+    const bool lapsed =
+        std::any_of(student.cooperation.begin(), student.cooperation.end(),
+                    [](Cooperation c) { return c != Cooperation::Full; });
+    const TeamOutcome& team =
+        outcomes.teams[static_cast<std::size_t>(student.team_id)];
+    double mean_grade = 0.0;
+    for (const double grade : team.assignment_grades) {
+      mean_grade += grade;
+    }
+    mean_grade /= 5.0;
+    if (lapsed) {
+      EXPECT_LT(student.module_score, mean_grade);
+      ++penalized;
+    }
+  }
+  EXPECT_GT(penalized, 20);  // at 30% lapse rate, many are penalized
+}
+
+TEST(OutcomesTest, PeerRatingsTrackCooperation) {
+  CourseFixture setup = paper_setup();
+  OutcomeConfig config;
+  config.non_cooperation_rate = 0.20;
+  util::Rng rng(7);
+  const ModuleOutcomes outcomes =
+      simulate_module(setup.students, setup.teams, config, rng);
+
+  double cooperative_sum = 0.0;
+  int cooperative_count = 0;
+  double lapsing_sum = 0.0;
+  int lapsing_count = 0;
+  for (const StudentOutcome& student : outcomes.students) {
+    const int lapses = static_cast<int>(
+        std::count_if(student.cooperation.begin(), student.cooperation.end(),
+                      [](Cooperation c) { return c != Cooperation::Full; }));
+    if (lapses == 0) {
+      cooperative_sum += student.mean_peer_rating;
+      ++cooperative_count;
+    } else if (lapses >= 2) {
+      lapsing_sum += student.mean_peer_rating;
+      ++lapsing_count;
+    }
+  }
+  ASSERT_GT(cooperative_count, 0);
+  ASSERT_GT(lapsing_count, 0);
+  EXPECT_GT(cooperative_sum / cooperative_count,
+            lapsing_sum / lapsing_count + 0.5);
+}
+
+TEST(OutcomesTest, DeterministicInSeed) {
+  CourseFixture setup = paper_setup();
+  util::Rng rng_a(11);
+  util::Rng rng_b(11);
+  const ModuleOutcomes a =
+      simulate_module(setup.students, setup.teams, OutcomeConfig{}, rng_a);
+  const ModuleOutcomes b =
+      simulate_module(setup.students, setup.teams, OutcomeConfig{}, rng_b);
+  EXPECT_DOUBLE_EQ(a.mean_module_score(), b.mean_module_score());
+}
+
+TEST(OutcomesTest, Validation) {
+  CourseFixture setup = paper_setup();
+  util::Rng rng(1);
+  OutcomeConfig bad;
+  bad.partial_cooperation_rate = 0.8;
+  bad.non_cooperation_rate = 0.5;  // sums beyond 1
+  EXPECT_THROW(simulate_module(setup.students, setup.teams, bad, rng),
+               util::PreconditionError);
+  EXPECT_THROW(simulate_module(setup.students, {}, OutcomeConfig{}, rng),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::course

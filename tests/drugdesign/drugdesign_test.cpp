@@ -1,0 +1,194 @@
+#include "drugdesign/drugdesign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pblpar::drugdesign {
+namespace {
+
+Config small_config() {
+  Config config;
+  config.num_ligands = 60;
+  config.max_ligand_len = 5;
+  config.protein_len = 200;
+  config.seed = 99;
+  config.threads = 4;
+  return config;
+}
+
+// --- Generators ----------------------------------------------------------------
+
+TEST(GeneratorsTest, LigandsRespectLengthBounds) {
+  util::Rng rng(5);
+  const auto ligands = generate_ligands(500, 7, rng);
+  ASSERT_EQ(ligands.size(), 500u);
+  std::set<std::size_t> lengths;
+  for (const std::string& ligand : ligands) {
+    EXPECT_GE(ligand.size(), 1u);
+    EXPECT_LE(ligand.size(), 7u);
+    lengths.insert(ligand.size());
+    for (const char ch : ligand) {
+      EXPECT_GE(ch, 'a');
+      EXPECT_LE(ch, 'z');
+    }
+  }
+  EXPECT_EQ(lengths.size(), 7u);  // all lengths occur at 500 samples
+}
+
+TEST(GeneratorsTest, ProteinHasRequestedLength) {
+  util::Rng rng(5);
+  EXPECT_EQ(generate_protein(750, rng).size(), 750u);
+  EXPECT_THROW(generate_protein(0, rng), util::PreconditionError);
+  EXPECT_THROW(generate_ligands(0, 5, rng), util::PreconditionError);
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  util::Rng a(42);
+  util::Rng b(42);
+  EXPECT_EQ(generate_ligands(20, 5, a), generate_ligands(20, 5, b));
+}
+
+// --- Scoring ---------------------------------------------------------------------
+
+TEST(MatchScoreTest, KnownLcsValues) {
+  EXPECT_EQ(match_score("abc", "abc"), 3);
+  EXPECT_EQ(match_score("abc", "xaxbxcx"), 3);
+  EXPECT_EQ(match_score("ace", "abcde"), 3);
+  EXPECT_EQ(match_score("zzz", "abcde"), 0);
+  EXPECT_EQ(match_score("", "abc"), 0);
+  EXPECT_EQ(match_score("abc", ""), 0);
+  EXPECT_EQ(match_score("ba", "ab"), 1);
+}
+
+TEST(MatchScoreTest, BoundedByLigandLength) {
+  util::Rng rng(7);
+  const std::string protein = generate_protein(300, rng);
+  for (const std::string& ligand : generate_ligands(50, 6, rng)) {
+    const int score = match_score(ligand, protein);
+    EXPECT_GE(score, 0);
+    EXPECT_LE(score, static_cast<int>(ligand.size()));
+  }
+}
+
+TEST(MatchScoreTest, SymmetricInArguments) {
+  // LCS is symmetric; the cost is not (rows vs columns), but the score is.
+  EXPECT_EQ(match_score("abcde", "badec"), match_score("badec", "abcde"));
+}
+
+TEST(MatchCostTest, ExponentialInLigandLinearInProtein) {
+  // The exemplar's recursive scorer: doubling the ligand length squares
+  // the 2^m factor; protein length enters linearly.
+  EXPECT_DOUBLE_EQ(match_cost_ops(7, 750), 4.0 * match_cost_ops(5, 750));
+  EXPECT_DOUBLE_EQ(match_cost_ops(3, 200), 2.0 * match_cost_ops(3, 100));
+}
+
+// --- Solvers agree ----------------------------------------------------------------
+
+TEST(SolversTest, AllFourSolversFindTheSameBestScore) {
+  const Config config = small_config();
+  const Result sequential = solve_sequential(config);
+  const Result teachmp = solve_teachmp(config);
+  const Result threads = solve_cxx11_threads(config);
+  const Result mapreduce = solve_mapreduce(config);
+
+  EXPECT_EQ(sequential.best_score, teachmp.best_score);
+  EXPECT_EQ(sequential.best_score, threads.best_score);
+  EXPECT_EQ(sequential.best_score, mapreduce.best_score);
+
+  // Same winning ligand set (sorted for comparison).
+  auto sorted = [](std::vector<std::string> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(sequential.best_ligands), sorted(teachmp.best_ligands));
+  EXPECT_EQ(sorted(sequential.best_ligands), sorted(threads.best_ligands));
+  EXPECT_EQ(sorted(sequential.best_ligands),
+            sorted(mapreduce.best_ligands));
+}
+
+TEST(SolversTest, SimulatedTimesAreDeterministic) {
+  const Config config = small_config();
+  EXPECT_DOUBLE_EQ(solve_teachmp(config).elapsed_seconds,
+                   solve_teachmp(config).elapsed_seconds);
+  EXPECT_DOUBLE_EQ(solve_cxx11_threads(config).elapsed_seconds,
+                   solve_cxx11_threads(config).elapsed_seconds);
+}
+
+// --- The paper's in-text observations ----------------------------------------------
+
+class Assignment5ShapeTest : public ::testing::Test {
+ protected:
+  static Config config() {
+    Config c;
+    c.num_ligands = 120;
+    c.protein_len = 800;
+    c.seed = 2018;
+    c.threads = 4;
+    return c;
+  }
+};
+
+TEST_F(Assignment5ShapeTest, ParallelBeatsSequentialByNearCoreCount) {
+  Config c = config();
+  const double seq = solve_sequential(c).elapsed_seconds;
+  const double omp = solve_teachmp(c).elapsed_seconds;
+  const double speedup = seq / omp;
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LT(speedup, 4.2);
+}
+
+TEST_F(Assignment5ShapeTest, DynamicOpenMpBeatsNaiveThreadPartition) {
+  // Ligand lengths are irregular; OpenMP's dynamic schedule balances,
+  // the fixed block partition does not.
+  Config c = config();
+  const double omp = solve_teachmp(c).elapsed_seconds;
+  const double naive = solve_cxx11_threads(c).elapsed_seconds;
+  EXPECT_LT(omp, naive);
+}
+
+TEST_F(Assignment5ShapeTest, FifthThreadDoesNotHelp) {
+  Config c = config();
+  c.threads = 4;
+  const double four = solve_teachmp(c).elapsed_seconds;
+  c.threads = 5;
+  const double five = solve_teachmp(c).elapsed_seconds;
+  EXPECT_GE(five, four * 0.98);  // no gain beyond noise-free tolerance
+}
+
+TEST_F(Assignment5ShapeTest, LongerLigandsCostMore) {
+  Config c = config();
+  c.max_ligand_len = 5;
+  const double len5 = solve_teachmp(c).elapsed_seconds;
+  c.max_ligand_len = 7;
+  const double len7 = solve_teachmp(c).elapsed_seconds;
+  EXPECT_GT(len7, len5 * 1.15);
+}
+
+TEST(ExperimentTest, ProducesAllRows) {
+  Config c;
+  c.num_ligands = 40;
+  c.protein_len = 150;
+  const auto rows = run_assignment5_experiment(c);
+  // 2 ligand lengths x (sequential + 2 approaches x 2 thread counts).
+  ASSERT_EQ(rows.size(), 10u);
+  for (const ExperimentRow& row : rows) {
+    EXPECT_GT(row.time_seconds, 0.0);
+    EXPECT_GT(row.best_score, 0);
+  }
+  // Within a ligand length, every approach agrees on the best score.
+  EXPECT_EQ(rows[0].best_score, rows[1].best_score);
+  EXPECT_EQ(rows[0].best_score, rows[2].best_score);
+}
+
+TEST(SourceLinesTest, OpenMpIsBarelyLongerThanSequential) {
+  const SourceLines lines = exemplar_source_lines();
+  EXPECT_GT(lines.openmp, lines.sequential);
+  EXPECT_LT(lines.openmp - lines.sequential, 20);
+  EXPECT_GT(lines.cxx11_threads, lines.openmp + 20);
+}
+
+}  // namespace
+}  // namespace pblpar::drugdesign

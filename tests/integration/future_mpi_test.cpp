@@ -1,0 +1,118 @@
+// Integration tests of the future-work experiment's claims: distributed
+// trapezoid scaling on the simulated Pi cluster, and the ring-vs-tree
+// allreduce crossover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mp/sim_world.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pblpar {
+namespace {
+
+double curve(double x) { return 4.0 / (1.0 + x * x); }
+
+double cluster_trapezoid_seconds(int ranks, std::int64_t n,
+                                 double* integral_out = nullptr) {
+  const mp::ClusterReport report = mp::SimWorld::run(
+      ranks, [&](mp::SimComm& comm) {
+        const std::int64_t begin = comm.rank() * n / comm.size();
+        const std::int64_t end = (comm.rank() + 1) * n / comm.size();
+        const double h = 1.0 / static_cast<double>(n);
+        double local = 0.0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const double x0 = h * static_cast<double>(i);
+          local += 0.5 * h * (curve(x0) + curve(x0 + h));
+        }
+        comm.context().compute(10.0 * static_cast<double>(end - begin));
+        const double total =
+            comm.allreduce(local, [](double a, double b) { return a + b; });
+        if (comm.rank() == 0 && integral_out != nullptr) {
+          *integral_out = total;
+        }
+      });
+  return report.machine.makespan_s;
+}
+
+TEST(FutureMpiIntegration, DistributedResultIsCorrect) {
+  double integral = 0.0;
+  cluster_trapezoid_seconds(4, 200000, &integral);
+  EXPECT_NEAR(integral, M_PI, 1e-6);
+}
+
+TEST(FutureMpiIntegration, ClusterScalesPastOnePi) {
+  constexpr std::int64_t kN = 4'000'000;
+  const double shared_4threads =
+      patternlets::trapezoid_integration(rt::ParallelConfig::sim_pi(4),
+                                         &curve, 0.0, 1.0, kN)
+          .run.elapsed_seconds();
+  const double cluster8 = cluster_trapezoid_seconds(8, kN);
+  const double cluster16 = cluster_trapezoid_seconds(16, kN);
+  // Eight single-core nodes beat one quad-core Pi on this compute-bound
+  // problem, and sixteen beat eight — the case for teaching MPI.
+  EXPECT_LT(cluster8, shared_4threads);
+  EXPECT_LT(cluster16, cluster8);
+}
+
+TEST(FutureMpiIntegration, LatencyBoundsSmallProblems) {
+  // On a tiny problem, communication dominates: more nodes are slower.
+  constexpr std::int64_t kTinyN = 2000;
+  const double one = cluster_trapezoid_seconds(1, kTinyN);
+  const double eight = cluster_trapezoid_seconds(8, kTinyN);
+  EXPECT_GT(eight, one);
+}
+
+TEST(FutureMpiIntegration, RingVsTreeAllreduceCrossover) {
+  const auto allreduce_seconds = [](std::size_t elements, bool ring) {
+    const mp::ClusterReport report = mp::SimWorld::run(
+        8, [&](mp::SimComm& comm) {
+          std::vector<double> data(elements, 1.0);
+          if (ring) {
+            (void)comm.ring_allreduce_sum(std::move(data));
+          } else {
+            (void)comm.allreduce(
+                data,
+                [](std::vector<double> a, const std::vector<double>& b) {
+                  for (std::size_t i = 0; i < a.size(); ++i) {
+                    a[i] += b[i];
+                  }
+                  return a;
+                });
+          }
+        });
+    return report.machine.makespan_s;
+  };
+  // Latency-bound regime: the binomial tree (log2 n rounds) wins.
+  EXPECT_LT(allreduce_seconds(64, false), allreduce_seconds(64, true));
+  // Bandwidth-bound regime: the ring wins, by a lot.
+  EXPECT_LT(allreduce_seconds(16384, true),
+            allreduce_seconds(16384, false) * 0.6);
+}
+
+TEST(FutureMpiIntegration, RingAllreduceValuesMatchTree) {
+  mp::SimWorld::run(4, [](mp::SimComm& comm) {
+    std::vector<double> data(16);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<double>(comm.rank() + 1) *
+                static_cast<double>(i);
+    }
+    const std::vector<double> tree = comm.allreduce(
+        data, [](std::vector<double> a, const std::vector<double>& b) {
+          for (std::size_t i = 0; i < a.size(); ++i) {
+            a[i] += b[i];
+          }
+          return a;
+        });
+    const std::vector<double> ring = comm.ring_allreduce_sum(data);
+    ASSERT_EQ(tree.size(), ring.size());
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tree[i], ring[i]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pblpar

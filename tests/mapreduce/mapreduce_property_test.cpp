@@ -1,0 +1,90 @@
+// Property tests: the parallel MapReduce jobs must agree exactly with
+// straightforward serial references on randomized corpora.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mapreduce/jobs.hpp"
+#include "util/rng.hpp"
+#include "util/text.hpp"
+
+namespace pblpar::mapreduce {
+namespace {
+
+std::vector<std::string> random_corpus(std::uint64_t seed, int documents) {
+  static const char* kWords[] = {"alpha", "beta",  "gamma", "delta",
+                                 "pi",    "core",  "team",  "openmp",
+                                 "race",  "sum"};
+  util::Rng rng(seed);
+  std::vector<std::string> docs;
+  for (int d = 0; d < documents; ++d) {
+    std::string text;
+    const int words = static_cast<int>(rng.uniform_int(0, 40));
+    for (int w = 0; w < words; ++w) {
+      text += kWords[rng.next_below(10)];
+      text += rng.bernoulli(0.2) ? ", " : " ";
+    }
+    docs.push_back(std::move(text));
+  }
+  return docs;
+}
+
+class MapReducePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MapReducePropertyTest, WordCountMatchesSerialReference) {
+  const auto docs = random_corpus(GetParam(), 50);
+
+  std::map<std::string, long> reference;
+  for (const std::string& doc : docs) {
+    for (const std::string& word : util::tokenize_words(doc)) {
+      ++reference[word];
+    }
+  }
+
+  const auto parallel = word_count(docs, 4);
+  const std::map<std::string, long> actual(parallel.begin(), parallel.end());
+  EXPECT_EQ(actual, reference);
+}
+
+TEST_P(MapReducePropertyTest, InvertedIndexMatchesSerialReference) {
+  const auto docs = random_corpus(GetParam() + 100, 30);
+
+  std::map<std::string, std::vector<int>> reference;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    std::set<std::string> unique;
+    for (const std::string& word : util::tokenize_words(docs[d])) {
+      unique.insert(word);
+    }
+    for (const std::string& word : unique) {
+      reference[word].push_back(static_cast<int>(d));
+    }
+  }
+
+  const auto parallel = inverted_index(docs, 3);
+  const std::map<std::string, std::vector<int>> actual(parallel.begin(),
+                                                       parallel.end());
+  EXPECT_EQ(actual, reference);
+}
+
+TEST_P(MapReducePropertyTest, GrepMatchesSerialReference) {
+  const auto docs = random_corpus(GetParam() + 200, 60);
+  const std::string pattern = "pi";
+
+  std::vector<std::pair<int, std::string>> reference;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    if (docs[i].find(pattern) != std::string::npos) {
+      reference.emplace_back(static_cast<int>(i), docs[i]);
+    }
+  }
+
+  EXPECT_EQ(distributed_grep(docs, pattern, 5), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapReducePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace pblpar::mapreduce

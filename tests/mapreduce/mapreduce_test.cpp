@@ -1,0 +1,197 @@
+#include "mapreduce/job.hpp"
+#include "mapreduce/jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace pblpar::mapreduce {
+namespace {
+
+TEST(JobTest, RequiresMapAndReduce) {
+  Job<int, int, int, int> job;
+  EXPECT_THROW(job.run({}), util::PreconditionError);
+  job.map([](const int&, const int&, Emitter<int, int>&) {});
+  EXPECT_THROW(job.run({}), util::PreconditionError);
+}
+
+TEST(JobTest, EmptyInputGivesEmptyOutput) {
+  Job<int, int, int, int> job;
+  job.map([](const int& k, const int& v, Emitter<int, int>& out) {
+       out.emit(k, v);
+     })
+      .reduce([](const int&, const std::vector<int>& vs) {
+        return vs.front();
+      });
+  EXPECT_TRUE(job.run({}).empty());
+}
+
+TEST(JobTest, IdentityJobGroupsByKey) {
+  Job<int, int, int, int> job;
+  job.threads(3)
+      .reducers(2)
+      .map([](const int& k, const int& v, Emitter<int, int>& out) {
+        out.emit(k % 3, v);
+      })
+      .reduce([](const int&, const std::vector<int>& vs) {
+        int sum = 0;
+        for (const int v : vs) {
+          sum += v;
+        }
+        return sum;
+      });
+  std::vector<std::pair<int, int>> inputs;
+  for (int i = 0; i < 30; ++i) {
+    inputs.emplace_back(i, 1);
+  }
+  const auto output = job.run(inputs);
+  ASSERT_EQ(output.size(), 3u);
+  for (const auto& [key, count] : output) {
+    EXPECT_EQ(count, 10) << "key " << key;
+  }
+  // Sorted by key.
+  EXPECT_EQ(output[0].first, 0);
+  EXPECT_EQ(output[1].first, 1);
+  EXPECT_EQ(output[2].first, 2);
+}
+
+TEST(JobTest, CombinerDoesNotChangeResult) {
+  const auto build = [](bool with_combiner) {
+    Job<int, std::string, std::string, long> job;
+    job.threads(4).reducers(3).map(
+        [](const int&, const std::string& text,
+           Emitter<std::string, long>& out) {
+          for (const std::string& word : util::tokenize_words(text)) {
+            out.emit(word, 1L);
+          }
+        });
+    if (with_combiner) {
+      job.combine([](const std::string&, const std::vector<long>& counts) {
+        long sum = 0;
+        for (const long c : counts) {
+          sum += c;
+        }
+        return sum;
+      });
+    }
+    job.reduce([](const std::string&, const std::vector<long>& counts) {
+      long sum = 0;
+      for (const long c : counts) {
+        sum += c;
+      }
+      return sum;
+    });
+    return job;
+  };
+
+  std::vector<std::pair<int, std::string>> inputs;
+  for (int i = 0; i < 20; ++i) {
+    inputs.emplace_back(i, "the quick brown fox jumps over the lazy dog the");
+  }
+  const auto with = build(true).run(inputs);
+  const auto without = build(false).run(inputs);
+  EXPECT_EQ(with, without);
+}
+
+TEST(JobTest, ThreadCountInvariance) {
+  std::vector<std::pair<int, std::string>> inputs;
+  for (int i = 0; i < 40; ++i) {
+    inputs.emplace_back(i, "alpha beta gamma alpha");
+  }
+  const auto run_with = [&](int threads) {
+    Job<int, std::string, std::string, long> job;
+    job.threads(threads)
+        .map([](const int&, const std::string& text,
+                Emitter<std::string, long>& out) {
+          for (const std::string& word : util::tokenize_words(text)) {
+            out.emit(word, 1L);
+          }
+        })
+        .reduce([](const std::string&, const std::vector<long>& counts) {
+          return static_cast<long>(counts.size());
+        });
+    return job.run(inputs);
+  };
+  const auto t1 = run_with(1);
+  const auto t4 = run_with(4);
+  const auto t7 = run_with(7);
+  EXPECT_EQ(t1, t4);
+  EXPECT_EQ(t4, t7);
+}
+
+TEST(WordCountTest, CountsAcrossDocuments) {
+  const std::vector<std::string> docs{
+      "To be or not to be",
+      "that is the question",
+      "Whether tis nobler to suffer",
+  };
+  const auto counts = word_count(docs);
+  std::map<std::string, long> lookup(counts.begin(), counts.end());
+  EXPECT_EQ(lookup["to"], 3);
+  EXPECT_EQ(lookup["be"], 2);
+  EXPECT_EQ(lookup["question"], 1);
+  EXPECT_EQ(lookup.count("zzz"), 0u);
+  // Output is sorted by word.
+  EXPECT_TRUE(std::is_sorted(
+      counts.begin(), counts.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(InvertedIndexTest, MapsWordsToDocuments) {
+  const std::vector<std::string> docs{
+      "apple banana",
+      "banana cherry",
+      "apple cherry apple",
+  };
+  const auto index = inverted_index(docs);
+  std::map<std::string, std::vector<int>> lookup(index.begin(), index.end());
+  EXPECT_EQ(lookup["apple"], (std::vector<int>{0, 2}));
+  EXPECT_EQ(lookup["banana"], (std::vector<int>{0, 1}));
+  EXPECT_EQ(lookup["cherry"], (std::vector<int>{1, 2}));
+}
+
+TEST(UrlAccessTest, CountsFirstField) {
+  const std::vector<std::string> log{
+      "/home 200 GET",
+      "/about 200 GET",
+      "/home 404 GET",
+      "/home 200 POST",
+      "",
+  };
+  const auto counts = url_access_counts(log);
+  std::map<std::string, long> lookup(counts.begin(), counts.end());
+  EXPECT_EQ(lookup["/home"], 3);
+  EXPECT_EQ(lookup["/about"], 1);
+  EXPECT_EQ(lookup.size(), 2u);
+}
+
+TEST(DistributedGrepTest, FindsLinesInOrder) {
+  const std::vector<std::string> lines{
+      "error: disk full",
+      "all good",
+      "another error: timeout",
+      "ok",
+  };
+  const auto matches = distributed_grep(lines, "error");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].first, 0);
+  EXPECT_EQ(matches[1].first, 2);
+  EXPECT_EQ(matches[1].second, "another error: timeout");
+}
+
+TEST(MeanPerKeyTest, Averages) {
+  const std::vector<std::pair<std::string, double>> samples{
+      {"quiz", 8.0}, {"quiz", 10.0}, {"exam", 70.0}, {"exam", 90.0},
+      {"exam", 80.0},
+  };
+  const auto means = mean_per_key(samples);
+  std::map<std::string, double> lookup(means.begin(), means.end());
+  EXPECT_DOUBLE_EQ(lookup["quiz"], 9.0);
+  EXPECT_DOUBLE_EQ(lookup["exam"], 80.0);
+}
+
+}  // namespace
+}  // namespace pblpar::mapreduce

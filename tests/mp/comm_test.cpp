@@ -1,0 +1,332 @@
+#include "mp/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+namespace {
+
+WorldOptions fast_timeout() {
+  WorldOptions options;
+  options.recv_timeout_s = 2.0;
+  return options;
+}
+
+TEST(WorldTest, RanksAreDistinctAndComplete) {
+  std::mutex mu;
+  std::set<int> seen;
+  World::run(6, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 6);
+    std::lock_guard guard(mu);
+    seen.insert(comm.rank());
+  });
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(WorldTest, SingleRankWorldWorks) {
+  int visits = 0;
+  World::run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(WorldTest, RejectsBadArguments) {
+  EXPECT_THROW(World::run(0, [](Comm&) {}), util::PreconditionError);
+  EXPECT_THROW(World::run(2, nullptr), util::PreconditionError);
+}
+
+TEST(PointToPointTest, ScalarRoundTrip) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, 42);
+      EXPECT_EQ(comm.recv<int>(1, 8), 43);
+    } else {
+      const int got = comm.recv<int>(0, 7);
+      comm.send(0, 8, got + 1);
+    }
+  });
+}
+
+TEST(PointToPointTest, VectorAndStringPayloads) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<double>{1.5, 2.5, 3.5});
+      comm.send(1, 2, std::string("hello rank one"));
+    } else {
+      const auto values = comm.recv<std::vector<double>>(0, 1);
+      EXPECT_EQ(values, (std::vector<double>{1.5, 2.5, 3.5}));
+      EXPECT_EQ(comm.recv<std::string>(0, 2), "hello rank one");
+    }
+  });
+}
+
+TEST(PointToPointTest, TagSelectionOutOfOrder) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 10, 100);
+      comm.send(1, 20, 200);
+    } else {
+      // Receive the later-tagged message first.
+      EXPECT_EQ(comm.recv<int>(0, 20), 200);
+      EXPECT_EQ(comm.recv<int>(0, 10), 100);
+    }
+  });
+}
+
+TEST(PointToPointTest, SameTagPreservesFifoOrder) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send(1, 3, i);
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv<int>(0, 3), i);
+      }
+    }
+  });
+}
+
+TEST(PointToPointTest, AnySourceReportsStatus) {
+  World::run(3, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::set<int> sources;
+      for (int i = 0; i < 2; ++i) {
+        RecvStatus status;
+        (void)comm.recv<int>(kAnySource, 5, &status);
+        sources.insert(status.source);
+        EXPECT_EQ(status.tag, 5);
+      }
+      EXPECT_EQ(sources, (std::set<int>{1, 2}));
+    } else {
+      comm.send(0, 5, comm.rank());
+    }
+  });
+}
+
+TEST(PointToPointTest, SelfSendIsBuffered) {
+  World::run(1, [](Comm& comm) {
+    comm.send(0, 9, 77);
+    EXPECT_EQ(comm.recv<int>(0, 9), 77);
+  });
+}
+
+TEST(PointToPointTest, TypeMismatchThrows) {
+  EXPECT_THROW(World::run(2,
+                          [](Comm& comm) {
+                            if (comm.rank() == 0) {
+                              comm.send(1, 1, 3.14);
+                            } else {
+                              (void)comm.recv<int>(0, 1);
+                            }
+                          },
+                          fast_timeout()),
+               MpTypeError);
+}
+
+TEST(PointToPointTest, NegativeUserTagRejected) {
+  EXPECT_THROW(World::run(2,
+                          [](Comm& comm) {
+                            if (comm.rank() == 0) {
+                              comm.send(1, -5, 1);
+                            } else {
+                              (void)comm.recv<int>(0, kAnyTag);
+                            }
+                          },
+                          fast_timeout()),
+               util::PreconditionError);
+}
+
+TEST(PointToPointTest, MissingMessageTimesOutAsDeadlock) {
+  EXPECT_THROW(World::run(2,
+                          [](Comm& comm) {
+                            if (comm.rank() == 1) {
+                              (void)comm.recv<int>(0, 1);  // never sent
+                            }
+                          },
+                          fast_timeout()),
+               MpDeadlockError);
+}
+
+TEST(PointToPointTest, SendRecvRingShiftDoesNotDeadlock) {
+  World::run(4, [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() - 1 + comm.size()) % comm.size();
+    const int got = comm.sendrecv(next, 11, comm.rank(), prev, 11);
+    EXPECT_EQ(got, prev);
+  });
+}
+
+TEST(WorldTest, ExceptionInOneRankAbortsAndPropagates) {
+  EXPECT_THROW(World::run(3,
+                          [](Comm& comm) {
+                            if (comm.rank() == 2) {
+                              throw std::runtime_error("rank 2 died");
+                            }
+                            // Other ranks block; abort must wake them.
+                            (void)comm.recv<int>(kAnySource, 1);
+                          },
+                          fast_timeout()),
+               std::runtime_error);
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, BarrierCompletes) {
+  const int ranks = GetParam();
+  std::atomic<int> arrived{0};
+  World::run(ranks, [&](Comm& comm) {
+    arrived.fetch_add(1);
+    comm.barrier();
+    // After the barrier, every rank must have arrived.
+    EXPECT_EQ(arrived.load(), ranks);
+  });
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int ranks = GetParam();
+  for (int root = 0; root < ranks; ++root) {
+    World::run(ranks, [&](Comm& comm) {
+      int value = comm.rank() == root ? 1000 + root : -1;
+      comm.bcast(value, root);
+      EXPECT_EQ(value, 1000 + root);
+    });
+  }
+}
+
+TEST_P(CollectiveTest, BcastVectorPayload) {
+  const int ranks = GetParam();
+  World::run(ranks, [&](Comm& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 0) {
+      data = {1, 2, 3, 4, 5};
+    }
+    comm.bcast(data, 0);
+    EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4, 5}));
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSumToEveryRoot) {
+  const int ranks = GetParam();
+  const int expected = ranks * (ranks - 1) / 2;
+  for (int root = 0; root < ranks; ++root) {
+    World::run(ranks, [&](Comm& comm) {
+      const int total = comm.reduce(
+          comm.rank(), [](int a, int b) { return a + b; }, root);
+      if (comm.rank() == root) {
+        EXPECT_EQ(total, expected);
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveTest, AllreduceMax) {
+  const int ranks = GetParam();
+  World::run(ranks, [&](Comm& comm) {
+    const int maximum = comm.allreduce(
+        comm.rank() * 10, [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(maximum, (ranks - 1) * 10);
+  });
+}
+
+TEST_P(CollectiveTest, ScatterGatherRoundTrip) {
+  const int ranks = GetParam();
+  World::run(ranks, [&](Comm& comm) {
+    std::vector<int> parts;
+    if (comm.rank() == 0) {
+      parts.resize(static_cast<std::size_t>(ranks));
+      std::iota(parts.begin(), parts.end(), 100);
+    }
+    const int mine = comm.scatter(parts, 0);
+    EXPECT_EQ(mine, 100 + comm.rank());
+
+    const std::vector<int> collected = comm.gather(mine * 2, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(collected.size(), static_cast<std::size_t>(ranks));
+      for (int r = 0; r < ranks; ++r) {
+        EXPECT_EQ(collected[static_cast<std::size_t>(r)], (100 + r) * 2);
+      }
+    } else {
+      EXPECT_TRUE(collected.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllgatherEveryoneSeesAll) {
+  const int ranks = GetParam();
+  World::run(ranks, [&](Comm& comm) {
+    const std::vector<int> all = comm.allgather(comm.rank() * comm.rank());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r * r);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, RingAllreduceSumMatchesNaive) {
+  const int ranks = GetParam();
+  const std::size_t elements = 2 * static_cast<std::size_t>(ranks) * 3;
+  World::run(ranks, [&](Comm& comm) {
+    std::vector<double> data(elements);
+    for (std::size_t i = 0; i < elements; ++i) {
+      data[i] = static_cast<double>(comm.rank()) +
+                0.5 * static_cast<double>(i);
+    }
+    const std::vector<double> reduced = comm.ring_allreduce_sum(data);
+    ASSERT_EQ(reduced.size(), elements);
+    const double rank_sum = ranks * (ranks - 1) / 2.0;
+    for (std::size_t i = 0; i < elements; ++i) {
+      const double expected =
+          rank_sum + 0.5 * static_cast<double>(i) * ranks;
+      EXPECT_NEAR(reduced[i], expected, 1e-12) << "element " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CollectiveTest2, RingAllreduceRejectsIndivisibleData) {
+  EXPECT_THROW(World::run(3,
+                          [](Comm& comm) {
+                            std::vector<double> data(4);  // 4 % 3 != 0
+                            (void)comm.ring_allreduce_sum(data);
+                          },
+                          fast_timeout()),
+               util::PreconditionError);
+}
+
+TEST(CollectiveTest2, ReduceWithNonCommutativeUseStillDeterministic) {
+  // The tree combines in a fixed order, so even order-sensitive ops give
+  // reproducible (if mathematically arbitrary) results.
+  std::vector<std::string> results;
+  std::mutex mu;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    World::run(4, [&](Comm& comm) {
+      const std::string combined = comm.reduce(
+          std::string(1, static_cast<char>('a' + comm.rank())),
+          [](const std::string& a, const std::string& b) { return a + b; },
+          0);
+      if (comm.rank() == 0) {
+        std::lock_guard guard(mu);
+        results.push_back(combined);
+      }
+    });
+  }
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+}  // namespace
+}  // namespace pblpar::mp

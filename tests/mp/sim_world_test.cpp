@@ -1,0 +1,226 @@
+#include "mp/sim_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+namespace {
+
+ClusterSpec fast_net() {
+  // A cluster with negligible network costs: pure semantics testing.
+  ClusterSpec spec;
+  spec.net_latency_us = 0.0;
+  spec.net_bandwidth_mb_s = 1e9;
+  spec.send_overhead_us = 0.0;
+  spec.node.fork_cost_us = 0.0;
+  spec.node.join_cost_us = 0.0;
+  spec.node.mutex_acquire_cost_us = 0.0;
+  return spec;
+}
+
+TEST(SimWorldTest, RanksRunAndComplete) {
+  std::set<int> seen;
+  const ClusterReport report = SimWorld::run(5, [&](SimComm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    seen.insert(comm.rank());  // serialized real code: safe
+  });
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(report.machine.spec.cores, 5);
+}
+
+TEST(SimWorldTest, PointToPointRoundTrip) {
+  SimWorld::run(
+      2,
+      [](SimComm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 7, 42);
+          EXPECT_EQ(comm.recv<int>(1, 8), 43);
+        } else {
+          comm.send(0, 8, comm.recv<int>(0, 7) + 1);
+        }
+      },
+      fast_net());
+}
+
+TEST(SimWorldTest, CollectivesMatchHostSemantics) {
+  for (const int ranks : {1, 2, 3, 4, 7}) {
+    SimWorld::run(
+        ranks,
+        [ranks](SimComm& comm) {
+          // bcast
+          int token = comm.rank() == 0 ? 99 : -1;
+          comm.bcast(token, 0);
+          EXPECT_EQ(token, 99);
+          // allreduce sum of ranks
+          const int total = comm.allreduce(
+              comm.rank(), [](int a, int b) { return a + b; });
+          EXPECT_EQ(total, ranks * (ranks - 1) / 2);
+          // gather at 1 (if it exists)
+          const int root = ranks > 1 ? 1 : 0;
+          const std::vector<int> all = comm.gather(comm.rank() * 2, root);
+          if (comm.rank() == root) {
+            ASSERT_EQ(all.size(), static_cast<std::size_t>(ranks));
+            for (int r = 0; r < ranks; ++r) {
+              EXPECT_EQ(all[static_cast<std::size_t>(r)], 2 * r);
+            }
+          }
+          comm.barrier();
+        },
+        fast_net());
+  }
+}
+
+TEST(SimWorldTest, RingAllreduceOnCluster) {
+  const int ranks = 4;
+  SimWorld::run(
+      ranks,
+      [ranks](SimComm& comm) {
+        std::vector<double> data(8, static_cast<double>(comm.rank()));
+        const std::vector<double> reduced = comm.ring_allreduce_sum(data);
+        for (const double v : reduced) {
+          EXPECT_DOUBLE_EQ(v, ranks * (ranks - 1) / 2.0);
+        }
+      },
+      fast_net());
+}
+
+TEST(SimWorldTest, MissingMessageIsDeadlockNotTimeout) {
+  EXPECT_THROW(SimWorld::run(
+                   2,
+                   [](SimComm& comm) {
+                     if (comm.rank() == 1) {
+                       (void)comm.recv<int>(0, 5);  // never sent
+                     }
+                   },
+                   fast_net()),
+               sim::DeadlockError);
+}
+
+TEST(SimWorldTest, TypeMismatchThrows) {
+  EXPECT_THROW(SimWorld::run(
+                   2,
+                   [](SimComm& comm) {
+                     if (comm.rank() == 0) {
+                       comm.send(1, 1, 3.5);
+                     } else {
+                       (void)comm.recv<int>(0, 1);
+                     }
+                   },
+                   fast_net()),
+               MpTypeError);
+}
+
+// --- network timing model ------------------------------------------------------
+
+TEST(SimWorldTiming, LatencyIsChargedToTheReceiver) {
+  ClusterSpec spec = fast_net();
+  spec.net_latency_us = 500.0;
+  double received_at = -1.0;
+  const ClusterReport report = SimWorld::run(
+      2,
+      [&](SimComm& comm) {
+        if (comm.rank() == 0) {
+          comm.send(1, 1, 7);
+        } else {
+          (void)comm.recv<int>(0, 1);
+          received_at = comm.context().now();
+        }
+      },
+      spec);
+  EXPECT_NEAR(received_at, 500e-6, 1e-9);
+  EXPECT_GE(report.machine.makespan_s, 500e-6);
+}
+
+TEST(SimWorldTiming, BandwidthScalesWithPayload) {
+  ClusterSpec spec = fast_net();
+  spec.net_bandwidth_mb_s = 10.0;  // 10 bytes per microsecond
+  const auto time_for = [&](std::size_t doubles) {
+    double done_at = 0.0;
+    SimWorld::run(
+        2,
+        [&](SimComm& comm) {
+          if (comm.rank() == 0) {
+            comm.send(1, 1, std::vector<double>(doubles, 1.0));
+          } else {
+            (void)comm.recv<std::vector<double>>(0, 1);
+            done_at = comm.context().now();
+          }
+        },
+        spec);
+    return done_at;
+  };
+  const double small = time_for(1000);    // 8 KB
+  const double large = time_for(4000);    // 32 KB
+  EXPECT_NEAR(large / small, 4.0, 0.05);  // ~linear in bytes
+}
+
+TEST(SimWorldTiming, MessageCountersTrack) {
+  const ClusterReport report = SimWorld::run(
+      3,
+      [](SimComm& comm) {
+        if (comm.rank() != 0) {
+          comm.send(0, 1, std::vector<double>(16, 0.0));
+        } else {
+          for (int i = 0; i < 2; ++i) {
+            (void)comm.recv<std::vector<double>>(kAnySource, 1);
+          }
+        }
+      },
+      fast_net());
+  EXPECT_EQ(report.messages, 2u);
+  EXPECT_EQ(report.payload_bytes, 2u * 16u * sizeof(double));
+}
+
+TEST(SimWorldTiming, ComputeAndCommunicationCompose) {
+  // A rank that computes 1 ms then sends; the receiver finishes after
+  // compute + transfer + latency.
+  ClusterSpec spec = fast_net();
+  spec.net_latency_us = 100.0;
+  spec.send_overhead_us = 10.0;
+  double done = 0.0;
+  SimWorld::run(
+      2,
+      [&](SimComm& comm) {
+        if (comm.rank() == 0) {
+          comm.context().compute_us(1000.0);
+          comm.send(1, 1, 42);
+        } else {
+          (void)comm.recv<int>(0, 1);
+          done = comm.context().now();
+        }
+      },
+      spec);
+  // 1000us compute + 10us overhead + ~0 transfer + 100us latency.
+  EXPECT_NEAR(done, 1110e-6, 1e-8);
+}
+
+TEST(SimWorldTiming, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    return SimWorld::run(4, [](SimComm& comm) {
+             const int total = comm.allreduce(
+                 comm.rank() + 1, [](int a, int b) { return a + b; });
+             (void)total;
+             comm.context().compute_us(50.0 * (comm.rank() + 1));
+             comm.barrier();
+           })
+        .machine.makespan_s;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(SimWorldTest, Validation) {
+  EXPECT_THROW(SimWorld::run(0, [](SimComm&) {}), util::PreconditionError);
+  EXPECT_THROW(SimWorld::run(2, nullptr), util::PreconditionError);
+  ClusterSpec bad;
+  bad.net_bandwidth_mb_s = 0.0;
+  EXPECT_THROW(SimWorld::run(2, [](SimComm&) {}, bad),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::mp

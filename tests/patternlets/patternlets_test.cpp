@@ -1,0 +1,205 @@
+#include "patternlets/patternlets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace pblpar::patternlets {
+namespace {
+
+rt::ParallelConfig sim_config(int threads) {
+  return rt::ParallelConfig::sim_pi(threads);
+}
+
+// --- Assignment 2 ------------------------------------------------------------
+
+TEST(ForkJoinTest, EveryThreadGreetsOnce) {
+  const ForkJoinResult result = fork_join(sim_config(4));
+  ASSERT_EQ(result.greeting_order.size(), 4u);
+  std::set<int> distinct(result.greeting_order.begin(),
+                         result.greeting_order.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  ASSERT_TRUE(result.run.sim_report.has_value());
+  EXPECT_EQ(result.run.sim_report->spawns, 3u);  // master + 3 forks
+}
+
+TEST(ForkJoinTest, HostBackendAlsoWorks) {
+  const ForkJoinResult result = fork_join(rt::ParallelConfig::host(3));
+  EXPECT_EQ(result.greeting_order.size(), 3u);
+  EXPECT_FALSE(result.run.sim_report.has_value());
+}
+
+TEST(SpmdTest, EachThreadKnowsIdAndTeamSize) {
+  const SpmdResult result = spmd(sim_config(5));
+  ASSERT_EQ(result.reports.size(), 5u);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(t)].first, t);
+    EXPECT_EQ(result.reports[static_cast<std::size_t>(t)].second, 5);
+  }
+}
+
+TEST(DataRaceDemoTest, RacyVersionRacesFixedVersionDoesNot) {
+  const DataRaceDemoResult demo = shared_memory_race_demo(4, 10);
+  // The simulator serializes real code, so even the racy version's value
+  // is "right" — the lesson is that the detector still flags it.
+  EXPECT_EQ(demo.racy_final, 40);
+  EXPECT_GT(demo.races_in_racy_version, 0u);
+  EXPECT_EQ(demo.fixed_final, 40);
+  EXPECT_EQ(demo.races_in_fixed_version, 0u);
+}
+
+TEST(DataRaceDemoTest, Validation) {
+  EXPECT_THROW(shared_memory_race_demo(1, 10), util::PreconditionError);
+  EXPECT_THROW(shared_memory_race_demo(2, 0), util::PreconditionError);
+}
+
+// --- Assignment 3 ------------------------------------------------------------
+
+TEST(LoopPatternletTest, EqualChunksAreContiguousBlocks) {
+  const LoopAssignment assignment =
+      parallel_loop_equal_chunks(sim_config(4), 16);
+  EXPECT_EQ(assignment.executed.size(), 16u);
+  for (int t = 0; t < 4; ++t) {
+    const auto mine = assignment.iterations_of(t);
+    ASSERT_EQ(mine.size(), 4u) << "thread " << t;
+    // Contiguous block starting at t*4.
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      EXPECT_EQ(mine[k], t * 4 + static_cast<std::int64_t>(k));
+    }
+  }
+}
+
+TEST(LoopPatternletTest, StaticChunksRoundRobin) {
+  // Chunk size 2 across 3 threads: thread 0 gets {0,1,6,7,...}.
+  const LoopAssignment assignment = parallel_loop_chunks(
+      sim_config(3), 12, rt::Schedule::static_chunk(2));
+  const auto t0 = assignment.iterations_of(0);
+  EXPECT_EQ(t0, (std::vector<std::int64_t>{0, 1, 6, 7}));
+  const auto t2 = assignment.iterations_of(2);
+  EXPECT_EQ(t2, (std::vector<std::int64_t>{4, 5, 10, 11}));
+}
+
+class ChunkSweepTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ChunkSweepTest, AssignmentThreeChunkSizes) {
+  // The paper's Assignment 3 asks for chunks of size one, two, and three,
+  // static and dynamic.
+  const std::int64_t chunk = GetParam();
+  for (const rt::Schedule schedule :
+       {rt::Schedule::static_chunk(chunk), rt::Schedule::dynamic(chunk)}) {
+    const LoopAssignment assignment =
+        parallel_loop_chunks(sim_config(4), 24, schedule);
+    std::set<std::int64_t> covered;
+    for (const auto& [tid, i] : assignment.executed) {
+      EXPECT_TRUE(covered.insert(i).second) << "duplicate iteration " << i;
+    }
+    EXPECT_EQ(covered.size(), 24u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkSweepTest, ::testing::Values(1, 2, 3));
+
+TEST(ReductionPatternletTest, SumMatchesClosedForm) {
+  const ReductionResult result = reduction_sum(sim_config(4), 1000);
+  EXPECT_EQ(result.sum, 999L * 1000 / 2);
+}
+
+TEST(ReductionPatternletTest, CriticalStrategySameValueMoreTime) {
+  const ReductionResult fast = reduction_sum(
+      sim_config(4), 2000, rt::ReduceStrategy::PerThreadPartials);
+  const ReductionResult slow = reduction_sum(
+      sim_config(4), 2000, rt::ReduceStrategy::CriticalPerIteration);
+  EXPECT_EQ(fast.sum, slow.sum);
+  EXPECT_GT(slow.run.elapsed_seconds(), fast.run.elapsed_seconds());
+}
+
+// --- Assignment 4 ------------------------------------------------------------
+
+double quadratic(double x) { return x * x; }
+double half_circle(double x) {
+  return std::sqrt(std::max(0.0, 1.0 - x * x));
+}
+
+TEST(TrapezoidTest, IntegratesQuadratic) {
+  const TrapezoidResult result =
+      trapezoid_integration(sim_config(4), &quadratic, 0.0, 3.0, 100000);
+  EXPECT_NEAR(result.integral, 9.0, 1e-6);
+}
+
+TEST(TrapezoidTest, IntegratesHalfCircleToPi) {
+  const TrapezoidResult result = trapezoid_integration(
+      sim_config(4), &half_circle, -1.0, 1.0, 200000);
+  EXPECT_NEAR(result.integral, std::numbers::pi / 2.0, 1e-4);
+}
+
+TEST(TrapezoidTest, SameAnswerAcrossSchedulesAndThreads) {
+  const TrapezoidResult reference =
+      trapezoid_integration(sim_config(1), &quadratic, 0.0, 1.0, 10000);
+  for (const int threads : {2, 4, 5}) {
+    for (const rt::Schedule schedule :
+         {rt::Schedule::static_block(), rt::Schedule::dynamic(64)}) {
+      const TrapezoidResult result = trapezoid_integration(
+          sim_config(threads), &quadratic, 0.0, 1.0, 10000, schedule);
+      EXPECT_NEAR(result.integral, reference.integral, 1e-9)
+          << threads << " threads, " << schedule.to_string();
+    }
+  }
+}
+
+TEST(TrapezoidTest, ParallelIsFasterInVirtualTime) {
+  const TrapezoidResult serial =
+      trapezoid_integration(sim_config(1), &quadratic, 0.0, 1.0, 400000);
+  const TrapezoidResult parallel =
+      trapezoid_integration(sim_config(4), &quadratic, 0.0, 1.0, 400000);
+  EXPECT_GT(serial.run.elapsed_seconds() /
+                parallel.run.elapsed_seconds(),
+            3.0);
+}
+
+TEST(TrapezoidTest, Validation) {
+  EXPECT_THROW(
+      trapezoid_integration(sim_config(2), nullptr, 0.0, 1.0, 10),
+      util::PreconditionError);
+  EXPECT_THROW(
+      trapezoid_integration(sim_config(2), &quadratic, 1.0, 0.0, 10),
+      util::PreconditionError);
+  EXPECT_THROW(
+      trapezoid_integration(sim_config(2), &quadratic, 0.0, 1.0, 0),
+      util::PreconditionError);
+}
+
+TEST(BarrierDemoTest, PhasesAreSeparated) {
+  for (const int threads : {2, 4, 8}) {
+    const BarrierDemoResult result = barrier_coordination(
+        sim_config(threads));
+    EXPECT_TRUE(result.phases_separated) << threads << " threads";
+  }
+  const BarrierDemoResult host =
+      barrier_coordination(rt::ParallelConfig::host(4));
+  EXPECT_TRUE(host.phases_separated);
+}
+
+TEST(MasterWorkerTest, MasterCoordinatesWorkersProcessEverything) {
+  const MasterWorkerResult result =
+      master_worker(sim_config(4), 100, rt::CostModel::uniform(1e5));
+  EXPECT_EQ(result.tasks_processed, 100);
+  EXPECT_EQ(result.tasks_per_thread[0], 0);  // the master does no tasks
+  std::int64_t sum = 0;
+  for (std::size_t t = 1; t < result.tasks_per_thread.size(); ++t) {
+    EXPECT_GT(result.tasks_per_thread[t], 0) << "worker " << t;
+    sum += result.tasks_per_thread[t];
+  }
+  EXPECT_EQ(sum, 100);
+}
+
+TEST(MasterWorkerTest, NeedsAtLeastTwoThreads) {
+  EXPECT_THROW(master_worker(sim_config(1), 10), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::patternlets

@@ -1,0 +1,341 @@
+#include "race/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "race/shared.hpp"
+#include "race/vector_clock.hpp"
+#include "sim/machine.hpp"
+
+namespace pblpar::race {
+namespace {
+
+sim::MachineSpec quiet_spec() {
+  sim::MachineSpec spec = sim::MachineSpec::raspberry_pi_3bplus();
+  spec.fork_cost_us = 0.0;
+  return spec;
+}
+
+// --- VectorClock unit tests -------------------------------------------------
+
+TEST(VectorClockTest, GetOfUnseenTidIsZero) {
+  VectorClock clock;
+  EXPECT_EQ(clock.get(5), 0u);
+}
+
+TEST(VectorClockTest, SetAndTick) {
+  VectorClock clock;
+  clock.set(2, 7);
+  EXPECT_EQ(clock.get(2), 7u);
+  clock.tick(2);
+  EXPECT_EQ(clock.get(2), 8u);
+  clock.tick(0);
+  EXPECT_EQ(clock.get(0), 1u);
+}
+
+TEST(VectorClockTest, MergeTakesPointwiseMax) {
+  VectorClock a;
+  a.set(0, 3);
+  a.set(1, 1);
+  VectorClock b;
+  b.set(1, 5);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 3u);
+  EXPECT_EQ(a.get(1), 5u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClockTest, HappensBeforeOrEqual) {
+  VectorClock a;
+  a.set(0, 1);
+  VectorClock b;
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.happens_before_or_equal(b));
+  EXPECT_FALSE(b.happens_before_or_equal(a));
+  EXPECT_TRUE(a.happens_before_or_equal(a));
+}
+
+TEST(VectorClockTest, IncomparableClocks) {
+  VectorClock a;
+  a.set(0, 2);
+  VectorClock b;
+  b.set(1, 2);
+  EXPECT_FALSE(a.happens_before_or_equal(b));
+  EXPECT_FALSE(b.happens_before_or_equal(a));
+}
+
+TEST(EpochTest, HappensBeforeChecksOwnComponent) {
+  VectorClock now;
+  now.set(3, 4);
+  EXPECT_TRUE((Epoch{3, 4}).happens_before(now));
+  EXPECT_FALSE((Epoch{3, 5}).happens_before(now));
+  EXPECT_FALSE((Epoch{1, 1}).happens_before(now));
+}
+
+// --- Detector driven manually ----------------------------------------------
+
+TEST(DetectorManualTest, UnorderedWritesRace) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_write(1, &x, sizeof x);
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_EQ(detector.races()[0].kind, RaceReport::Kind::WriteWrite);
+}
+
+TEST(DetectorManualTest, WriteThenReadRace) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_read(1, &x, sizeof x);
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_EQ(detector.races()[0].kind, RaceReport::Kind::WriteThenRead);
+}
+
+TEST(DetectorManualTest, ReadThenWriteRace) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_read(0, &x, sizeof x);
+  detector.on_write(1, &x, sizeof x);
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_EQ(detector.races()[0].kind, RaceReport::Kind::ReadThenWrite);
+}
+
+TEST(DetectorManualTest, ConcurrentReadsDoNotRace) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_read(0, &x, sizeof x);
+  detector.on_read(1, &x, sizeof x);
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorManualTest, SpawnOrdersParentBeforeChild) {
+  Detector detector;
+  int x = 0;
+  detector.on_write(0, &x, sizeof x);
+  detector.on_spawn(0, 1);
+  detector.on_write(1, &x, sizeof x);  // ordered by the spawn edge
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorManualTest, JoinOrdersChildBeforeParent) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_write(1, &x, sizeof x);
+  detector.on_join(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorManualTest, MutexOrdersCriticalSections) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_mutex_acquire(0, 7);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_mutex_release(0, 7);
+  detector.on_mutex_acquire(1, 7);
+  detector.on_write(1, &x, sizeof x);
+  detector.on_mutex_release(1, 7);
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorManualTest, DifferentMutexesDoNotOrder) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_mutex_acquire(0, 7);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_mutex_release(0, 7);
+  detector.on_mutex_acquire(1, 8);
+  detector.on_write(1, &x, sizeof x);
+  detector.on_mutex_release(1, 8);
+  ASSERT_EQ(detector.races().size(), 1u);
+}
+
+TEST(DetectorManualTest, BarrierOrdersAllParticipants) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  const int participants[] = {0, 1};
+  detector.on_barrier(participants);
+  detector.on_write(1, &x, sizeof x);
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorManualTest, DuplicateRacesAreDeduplicated) {
+  Detector detector;
+  int x = 0;
+  detector.on_spawn(0, 1);
+  for (int i = 0; i < 10; ++i) {
+    detector.on_write(0, &x, sizeof x);
+    detector.on_write(1, &x, sizeof x);
+  }
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(DetectorManualTest, DistinctVariablesReportSeparately) {
+  Detector detector;
+  int x = 0;
+  int y = 0;
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_write(1, &x, sizeof x);
+  detector.on_write(0, &y, sizeof y);
+  detector.on_write(1, &y, sizeof y);
+  EXPECT_EQ(detector.races().size(), 2u);
+}
+
+TEST(DetectorManualTest, LabelAppearsInDescription) {
+  Detector detector;
+  int x = 0;
+  detector.label_address(&x, "sum");
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_write(1, &x, sizeof x);
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_NE(detector.races()[0].describe().find("'sum'"), std::string::npos);
+  EXPECT_NE(detector.races()[0].describe().find("write-write"),
+            std::string::npos);
+}
+
+TEST(DetectorManualTest, ResetClearsHistoryButKeepsLabels) {
+  Detector detector;
+  int x = 0;
+  detector.label_address(&x, "sum");
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_write(1, &x, sizeof x);
+  detector.reset();
+  EXPECT_TRUE(detector.race_free());
+  detector.on_spawn(0, 1);
+  detector.on_write(0, &x, sizeof x);
+  detector.on_write(1, &x, sizeof x);
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_EQ(detector.races()[0].label, "sum");
+}
+
+// --- Detector attached to the simulator -------------------------------------
+
+TEST(DetectorSimTest, UnsynchronizedSharedCounterRaces) {
+  sim::Machine machine(quiet_spec());
+  Detector detector;
+  machine.set_observer(&detector);
+
+  Shared<int> counter(0);
+  detector.label_address(counter.address(), "counter");
+
+  machine.run([&](sim::Context& root) {
+    auto worker = [&](sim::Context& ctx) {
+      for (int i = 0; i < 5; ++i) {
+        counter.add(ctx, 1);
+        ctx.yield();
+      }
+    };
+    const sim::ThreadHandle a = root.spawn(worker);
+    const sim::ThreadHandle b = root.spawn(worker);
+    root.join(a);
+    root.join(b);
+  });
+
+  EXPECT_FALSE(detector.race_free());
+  // The simulator serializes real code, so the *value* is right even
+  // though the program is racy — exactly the trap the paper's Assignment
+  // 2 teaches about ("difficult to reproduce and debug").
+  EXPECT_EQ(counter.unsafe_value(), 10);
+}
+
+TEST(DetectorSimTest, MutexProtectedCounterIsRaceFree) {
+  sim::Machine machine(quiet_spec());
+  Detector detector;
+  machine.set_observer(&detector);
+  const sim::MutexHandle mutex = machine.make_mutex();
+
+  Shared<int> counter(0);
+  machine.run([&](sim::Context& root) {
+    auto worker = [&](sim::Context& ctx) {
+      for (int i = 0; i < 5; ++i) {
+        sim::ScopedLock lock(ctx, mutex);
+        counter.add(ctx, 1);
+      }
+    };
+    const sim::ThreadHandle a = root.spawn(worker);
+    const sim::ThreadHandle b = root.spawn(worker);
+    root.join(a);
+    root.join(b);
+  });
+
+  EXPECT_TRUE(detector.race_free()) << detector.races()[0].describe();
+  EXPECT_EQ(counter.unsafe_value(), 10);
+}
+
+TEST(DetectorSimTest, JoinMakesParentReadSafe) {
+  sim::Machine machine(quiet_spec());
+  Detector detector;
+  machine.set_observer(&detector);
+
+  Shared<long> result(0);
+  machine.run([&](sim::Context& root) {
+    const sim::ThreadHandle child = root.spawn(
+        [&](sim::Context& ctx) { result.write(ctx, 42); });
+    root.join(child);
+    EXPECT_EQ(result.read(root), 42);
+  });
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorSimTest, BarrierSeparatesPhases) {
+  sim::Machine machine(quiet_spec());
+  Detector detector;
+  machine.set_observer(&detector);
+  const sim::BarrierHandle barrier = machine.make_barrier(2);
+
+  Shared<int> cell(0);
+  machine.run([&](sim::Context& root) {
+    const sim::ThreadHandle child = root.spawn([&](sim::Context& ctx) {
+      cell.write(ctx, 1);
+      ctx.barrier(barrier);
+    });
+    root.barrier(barrier);
+    EXPECT_EQ(cell.read(root), 1);  // happens-after the child's write
+    root.join(child);
+  });
+  EXPECT_TRUE(detector.race_free());
+}
+
+TEST(DetectorSimTest, PerThreadPrivateAccumulatorsAreRaceFree) {
+  // The "fix" students learn: keep partial sums private, publish under a
+  // lock once.
+  sim::Machine machine(quiet_spec());
+  Detector detector;
+  machine.set_observer(&detector);
+  const sim::MutexHandle mutex = machine.make_mutex();
+
+  Shared<int> total(0);
+  machine.run([&](sim::Context& root) {
+    auto worker = [&](sim::Context& ctx) {
+      int private_sum = 0;  // untracked: thread-private by construction
+      for (int i = 0; i < 100; ++i) {
+        private_sum += 1;
+      }
+      sim::ScopedLock lock(ctx, mutex);
+      total.add(ctx, private_sum);
+    };
+    const sim::ThreadHandle a = root.spawn(worker);
+    const sim::ThreadHandle b = root.spawn(worker);
+    root.join(a);
+    root.join(b);
+  });
+  EXPECT_TRUE(detector.race_free());
+  EXPECT_EQ(total.unsafe_value(), 200);
+}
+
+}  // namespace
+}  // namespace pblpar::race

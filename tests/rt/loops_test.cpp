@@ -1,0 +1,94 @@
+#include "rt/loops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+namespace {
+
+TEST(ChunkSizeTest, DynamicDefaultIsOne) {
+  EXPECT_EQ(chunk_size_for(Schedule::dynamic(), 100, 4), 1);
+}
+
+TEST(ChunkSizeTest, DynamicHonorsChunk) {
+  EXPECT_EQ(chunk_size_for(Schedule::dynamic(8), 100, 4), 8);
+}
+
+TEST(ChunkSizeTest, DynamicCapsAtRemaining) {
+  EXPECT_EQ(chunk_size_for(Schedule::dynamic(8), 5, 4), 5);
+}
+
+TEST(ChunkSizeTest, ZeroRemainingYieldsZero) {
+  EXPECT_EQ(chunk_size_for(Schedule::dynamic(8), 0, 4), 0);
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 0, 4), 0);
+}
+
+TEST(ChunkSizeTest, GuidedHalvesRemainingAcrossTeam) {
+  // remaining / (2 * threads)
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 800, 4), 100);
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 80, 4), 10);
+}
+
+TEST(ChunkSizeTest, GuidedRespectsMinimumChunk) {
+  EXPECT_EQ(chunk_size_for(Schedule::guided(16), 40, 4), 16);
+}
+
+TEST(ChunkSizeTest, GuidedCapsAtRemaining) {
+  EXPECT_EQ(chunk_size_for(Schedule::guided(16), 7, 4), 7);
+}
+
+TEST(ChunkSizeTest, GuidedShrinksAsWorkDrains) {
+  std::int64_t remaining = 1000;
+  std::int64_t previous = chunk_size_for(Schedule::guided(), remaining, 4);
+  while (remaining > 100) {
+    remaining -= previous;
+    const std::int64_t next = chunk_size_for(Schedule::guided(), remaining, 4);
+    EXPECT_LE(next, previous);
+    previous = next;
+  }
+}
+
+TEST(ScheduleTest, FactoryValidation) {
+  EXPECT_THROW(Schedule::static_chunk(0), util::PreconditionError);
+  EXPECT_THROW(Schedule::dynamic(0), util::PreconditionError);
+  EXPECT_THROW(Schedule::guided(-1), util::PreconditionError);
+}
+
+TEST(ScheduleTest, ToString) {
+  EXPECT_EQ(Schedule::static_block().to_string(), "static");
+  EXPECT_EQ(Schedule::static_chunk(2).to_string(), "static,2");
+  EXPECT_EQ(Schedule::dynamic(3).to_string(), "dynamic,3");
+  EXPECT_EQ(Schedule::guided(4).to_string(), "guided,4");
+}
+
+TEST(RangeTest, SizeAndUpto) {
+  EXPECT_EQ((Range{3, 10}).size(), 7);
+  EXPECT_EQ((Range{5, 5}).size(), 0);
+  EXPECT_EQ((Range{7, 3}).size(), 0);  // inverted ranges are empty
+  EXPECT_EQ(Range::upto(12).begin, 0);
+  EXPECT_EQ(Range::upto(12).end, 12);
+}
+
+TEST(CostModelTest, UniformTotals) {
+  const CostModel cost = CostModel::uniform(10.0, 0.5);
+  EXPECT_DOUBLE_EQ(cost.total_ops(0, 5), 50.0);
+  EXPECT_DOUBLE_EQ(cost.ops_for(3), 10.0);
+  EXPECT_DOUBLE_EQ(cost.mem_intensity, 0.5);
+  EXPECT_FALSE(cost.empty());
+}
+
+TEST(CostModelTest, PerIterationFunction) {
+  CostModel cost;
+  cost.ops_fn = [](std::int64_t i) { return static_cast<double>(i); };
+  EXPECT_DOUBLE_EQ(cost.total_ops(0, 4), 0 + 1 + 2 + 3);
+  EXPECT_DOUBLE_EQ(cost.ops_for(7), 7.0);
+  EXPECT_FALSE(cost.empty());
+}
+
+TEST(CostModelTest, DefaultIsEmpty) {
+  EXPECT_TRUE(CostModel{}.empty());
+}
+
+}  // namespace
+}  // namespace pblpar::rt

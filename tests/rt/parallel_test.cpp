@@ -1,0 +1,353 @@
+#include "rt/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "rt/host_backend.hpp"
+
+namespace pblpar::rt {
+namespace {
+
+ParallelConfig make_config(BackendKind backend, int threads) {
+  ParallelConfig config;
+  config.backend = backend;
+  config.num_threads = threads;
+  if (backend == BackendKind::Sim) {
+    // Zero oversubscription penalty keeps virtual timing simple; the
+    // timing-focused tests configure their own machines.
+    config.machine = sim::MachineSpec::raspberry_pi_3bplus();
+  }
+  return config;
+}
+
+struct Case {
+  BackendKind backend;
+  int threads;
+  Schedule schedule;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const BackendKind backend : {BackendKind::Host, BackendKind::Sim}) {
+    for (const int threads : {1, 2, 3, 4, 7}) {
+      for (const Schedule schedule :
+           {Schedule::static_block(), Schedule::static_chunk(1),
+            Schedule::static_chunk(3), Schedule::dynamic(1),
+            Schedule::dynamic(4), Schedule::guided(1), Schedule::guided(2)}) {
+        cases.push_back(Case{backend, threads, schedule});
+      }
+    }
+  }
+  return cases;
+}
+
+class ForLoopCoverageTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ForLoopCoverageTest, EveryIterationRunsExactlyOnce) {
+  const Case c = GetParam();
+  constexpr std::int64_t kN = 137;  // awkward size: not divisible by team
+  std::vector<std::atomic<int>> counts(kN);
+  parallel_for(make_config(c.backend, c.threads), Range::upto(kN), c.schedule,
+               [&](std::int64_t i) {
+                 ASSERT_GE(i, 0);
+                 ASSERT_LT(i, kN);
+                 counts[static_cast<std::size_t>(i)].fetch_add(1);
+               });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  std::string name =
+      c.backend == BackendKind::Host ? "host" : "sim";
+  name += "_t" + std::to_string(c.threads) + "_";
+  std::string sched = c.schedule.to_string();
+  for (char& ch : sched) {
+    if (ch == ',') {
+      ch = '_';
+    }
+  }
+  return name + sched;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ForLoopCoverageTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+class BackendTest : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(BackendTest, ThreadNumsAreDistinctAndInRange) {
+  const int threads = 5;
+  std::set<int> seen;
+  parallel(make_config(GetParam(), threads), [&](TeamContext& tc) {
+    EXPECT_EQ(tc.num_threads(), threads);
+    tc.critical([&] { seen.insert(tc.thread_num()); });
+  });
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST_P(BackendTest, MasterRunsOnlyOnThreadZero) {
+  std::atomic<int> runs{0};
+  std::atomic<int> master_tid{-1};
+  parallel(make_config(GetParam(), 4), [&](TeamContext& tc) {
+    tc.master([&] {
+      runs.fetch_add(1);
+      master_tid.store(tc.thread_num());
+    });
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(master_tid.load(), 0);
+}
+
+TEST_P(BackendTest, SingleRunsExactlyOncePerCallSite) {
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  std::atomic<int> third{0};
+  parallel(make_config(GetParam(), 4), [&](TeamContext& tc) {
+    tc.single([&] { first.fetch_add(1); });
+    tc.single([&] { second.fetch_add(1); });
+    tc.single([&] { third.fetch_add(1); });
+  });
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 1);
+  EXPECT_EQ(third.load(), 1);
+}
+
+TEST_P(BackendTest, CriticalSectionsAreMutuallyExclusive) {
+  // Non-atomic shared counter: only correct if critical really excludes.
+  long counter = 0;
+  const int threads = 4;
+  const int per_thread = 2000;
+  parallel(make_config(GetParam(), threads), [&](TeamContext& tc) {
+    for (int i = 0; i < per_thread; ++i) {
+      tc.critical([&] { counter += 1; });
+    }
+  });
+  EXPECT_EQ(counter, static_cast<long>(threads) * per_thread);
+}
+
+TEST_P(BackendTest, BarrierSeparatesPhases) {
+  const int threads = 4;
+  std::vector<std::atomic<int>> phase_one(static_cast<std::size_t>(threads));
+  std::atomic<bool> all_seen{true};
+  parallel(make_config(GetParam(), threads), [&](TeamContext& tc) {
+    phase_one[static_cast<std::size_t>(tc.thread_num())].store(1);
+    tc.barrier();
+    for (int t = 0; t < threads; ++t) {
+      if (phase_one[static_cast<std::size_t>(t)].load() != 1) {
+        all_seen.store(false);
+      }
+    }
+  });
+  EXPECT_TRUE(all_seen.load());
+}
+
+TEST_P(BackendTest, ExceptionInBodyPropagates) {
+  EXPECT_THROW(
+      parallel(make_config(GetParam(), 4),
+               [&](TeamContext& tc) {
+                 if (tc.thread_num() == 2) {
+                   throw std::runtime_error("member failed");
+                 }
+                 tc.barrier();  // others must not hang
+               }),
+      std::runtime_error);
+}
+
+TEST_P(BackendTest, SingleThreadTeamWorks) {
+  int iterations = 0;
+  parallel_for(make_config(GetParam(), 1), Range::upto(10),
+               Schedule::dynamic(3),
+               [&](std::int64_t) { ++iterations; });
+  EXPECT_EQ(iterations, 10);
+}
+
+TEST_P(BackendTest, EmptyRangeLoopCompletes) {
+  int iterations = 0;
+  parallel_for(make_config(GetParam(), 4), Range::upto(0),
+               Schedule::static_block(),
+               [&](std::int64_t) { ++iterations; });
+  EXPECT_EQ(iterations, 0);
+}
+
+TEST_P(BackendTest, NestedForLoopsInOneRegion) {
+  constexpr std::int64_t kN = 50;
+  std::vector<std::atomic<int>> first(kN);
+  std::vector<std::atomic<int>> second(kN);
+  parallel(make_config(GetParam(), 4), [&](TeamContext& tc) {
+    for_loop(tc, Range::upto(kN), Schedule::dynamic(2), [&](std::int64_t i) {
+      first[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for_loop(tc, Range::upto(kN), Schedule::static_chunk(4),
+             [&](std::int64_t i) {
+               second[static_cast<std::size_t>(i)].fetch_add(1);
+             });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(first[static_cast<std::size_t>(i)].load(), 1);
+    EXPECT_EQ(second[static_cast<std::size_t>(i)].load(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendTest,
+                         ::testing::Values(BackendKind::Host,
+                                           BackendKind::Sim),
+                         [](const auto& info) {
+                           return info.param == BackendKind::Host ? "host"
+                                                                  : "sim";
+                         });
+
+// --- Simulator-specific behaviour -------------------------------------------
+
+TEST(SimParallelTest, ReportIsPresentAndPlausible) {
+  const RunResult result = parallel_for(
+      make_config(BackendKind::Sim, 4), Range::upto(1000),
+      Schedule::static_block(), [](std::int64_t) {},
+      CostModel::uniform(1e6));
+  ASSERT_TRUE(result.sim_report.has_value());
+  EXPECT_GT(result.sim_report->makespan_s, 0.0);
+  EXPECT_EQ(result.elapsed_seconds(), result.sim_report->makespan_s);
+}
+
+TEST(SimParallelTest, HostResultHasNoSimReport) {
+  const RunResult result =
+      parallel(make_config(BackendKind::Host, 2), [](TeamContext&) {});
+  EXPECT_FALSE(result.sim_report.has_value());
+  EXPECT_GE(result.host_seconds, 0.0);
+}
+
+TEST(SimParallelTest, DynamicAssignmentIsDeterministic) {
+  const auto run_once = [] {
+    std::vector<std::pair<int, std::int64_t>> assignment;
+    parallel(make_config(BackendKind::Sim, 4), [&](TeamContext& tc) {
+      for_loop(tc, Range::upto(64), Schedule::dynamic(2),
+               [&](std::int64_t i) {
+                 assignment.emplace_back(tc.thread_num(), i);
+               },
+               CostModel::uniform(1e5));
+    });
+    return assignment;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimParallelTest, SpeedupOnFourCores) {
+  const CostModel cost = CostModel::uniform(1e6);
+  const auto time_with = [&](int threads) {
+    return parallel_for(make_config(BackendKind::Sim, threads),
+                        Range::upto(4000), Schedule::static_block(),
+                        [](std::int64_t) {}, cost)
+        .elapsed_seconds();
+  };
+  const double t1 = time_with(1);
+  const double t4 = time_with(4);
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 3.5);
+  EXPECT_LE(speedup, 4.05);
+}
+
+TEST(SimParallelTest, DynamicChunkOneCostsMoreThanStaticOnUniformWork) {
+  // Assignment 3 lesson: per-chunk claim overhead makes schedule(dynamic,1)
+  // slower than static when iterations are uniform.
+  const CostModel cost = CostModel::uniform(1e5);
+  const auto time_with = [&](Schedule schedule) {
+    return parallel_for(make_config(BackendKind::Sim, 4), Range::upto(2000),
+                        schedule, [](std::int64_t) {}, cost)
+        .elapsed_seconds();
+  };
+  EXPECT_GT(time_with(Schedule::dynamic(1)),
+            time_with(Schedule::static_block()));
+}
+
+TEST(SimParallelTest, DynamicBeatsStaticOnImbalancedWork) {
+  // Triangular cost: later iterations are much heavier. A block-static
+  // split gives the last thread most of the work; dynamic rebalances.
+  CostModel cost;
+  cost.ops_fn = [](std::int64_t i) { return 1e4 * static_cast<double>(i); };
+  const auto time_with = [&](Schedule schedule) {
+    return parallel_for(make_config(BackendKind::Sim, 4), Range::upto(512),
+                        schedule, [](std::int64_t) {}, cost)
+        .elapsed_seconds();
+  };
+  EXPECT_LT(time_with(Schedule::dynamic(8)),
+            time_with(Schedule::static_block()));
+}
+
+TEST(SimParallelTest, ExternalMachineIsReused) {
+  sim::Machine machine(sim::MachineSpec::raspberry_pi_3bplus());
+  ParallelConfig config = make_config(BackendKind::Sim, 2);
+  config.external_machine = &machine;
+  const RunResult first = parallel(config, [](TeamContext& tc) {
+    tc.compute(1e6);
+  });
+  const RunResult second = parallel(config, [](TeamContext& tc) {
+    tc.compute(1e6);
+  });
+  ASSERT_TRUE(first.sim_report.has_value());
+  ASSERT_TRUE(second.sim_report.has_value());
+  EXPECT_DOUBLE_EQ(first.sim_report->makespan_s,
+                   second.sim_report->makespan_s);
+}
+
+TEST(SimParallelTest, MoreThreadsThanCoresNoGainOnFixedWork) {
+  const double total_ops = 4e9;
+  const auto time_with = [&](int threads) {
+    return parallel_for(make_config(BackendKind::Sim, threads),
+                        Range::upto(1000), Schedule::static_block(),
+                        [](std::int64_t) {},
+                        CostModel::uniform(total_ops / 1000.0))
+        .elapsed_seconds();
+  };
+  const double t4 = time_with(4);
+  const double t5 = time_with(5);
+  EXPECT_GE(t5, t4 * 0.999);  // the 5th thread never helps
+}
+
+TEST(ParallelConfigTest, RejectsNonPositiveThreads) {
+  ParallelConfig config = make_config(BackendKind::Host, 0);
+  EXPECT_THROW(parallel(config, [](TeamContext&) {}),
+               util::PreconditionError);
+}
+
+TEST(AbortableBarrierTest, AbortWakesWaiters) {
+  AbortableBarrier barrier(2);
+  std::atomic<bool> threw{false};
+  std::jthread waiter([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const TeamAborted&) {
+      threw.store(true);
+    }
+  });
+  // Give the waiter a moment to block, then abort.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  barrier.abort();
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(AbortableBarrierTest, CyclicReuse) {
+  AbortableBarrier barrier(2);
+  std::atomic<int> rounds{0};
+  std::jthread other([&] {
+    for (int i = 0; i < 3; ++i) {
+      barrier.arrive_and_wait();
+      rounds.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    barrier.arrive_and_wait();
+  }
+  other.join();
+  EXPECT_EQ(rounds.load(), 3);
+}
+
+}  // namespace
+}  // namespace pblpar::rt

@@ -1,0 +1,115 @@
+#include "sbc/architecture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pblpar::sbc {
+namespace {
+
+TEST(FlynnTest, ClassificationByStreams) {
+  EXPECT_EQ(classify_streams(1, 1), FlynnClass::SISD);
+  EXPECT_EQ(classify_streams(1, 8), FlynnClass::SIMD);
+  EXPECT_EQ(classify_streams(3, 1), FlynnClass::MISD);
+  EXPECT_EQ(classify_streams(4, 4), FlynnClass::MIMD);
+  EXPECT_THROW(classify_streams(0, 1), util::PreconditionError);
+}
+
+TEST(FlynnTest, NamesAndDescriptions) {
+  EXPECT_EQ(to_string(FlynnClass::SIMD), "SIMD");
+  EXPECT_NE(describe(FlynnClass::MIMD).find("multicore"),
+            std::string::npos);
+  for (const FlynnClass f : {FlynnClass::SISD, FlynnClass::SIMD,
+                             FlynnClass::MISD, FlynnClass::MIMD}) {
+    EXPECT_FALSE(describe(f).empty());
+  }
+}
+
+TEST(MemoryArchitectureTest, OpenMpUsesSharedMemory) {
+  EXPECT_EQ(openmp_architecture(), MemoryArchitecture::SharedUMA);
+  EXPECT_NE(describe(openmp_architecture()).find("Raspberry Pi"),
+            std::string::npos);
+}
+
+TEST(MemoryArchitectureTest, AllVariantsDescribed) {
+  for (const MemoryArchitecture a :
+       {MemoryArchitecture::SharedUMA, MemoryArchitecture::SharedNUMA,
+        MemoryArchitecture::Distributed, MemoryArchitecture::Hybrid}) {
+    EXPECT_FALSE(to_string(a).empty());
+    EXPECT_FALSE(describe(a).empty());
+  }
+}
+
+TEST(ProgrammingModelTest, AllVariantsDescribed) {
+  for (const ProgrammingModel m :
+       {ProgrammingModel::SharedMemory, ProgrammingModel::MessagePassing,
+        ProgrammingModel::DataParallel, ProgrammingModel::Hybrid}) {
+    EXPECT_FALSE(to_string(m).empty());
+    EXPECT_FALSE(describe(m).empty());
+  }
+}
+
+TEST(BoardTest, PaperAssignmentTwoAnswers) {
+  const BoardDescription& pi = raspberry_pi_3bplus();
+  // "How many cores does the Raspberry Pi's B+ CPU have?" — four.
+  EXPECT_EQ(pi.cores, 4);
+  EXPECT_DOUBLE_EQ(pi.clock_ghz, 1.4);
+  // "Does Raspberry PI use SOC?" — yes.
+  EXPECT_TRUE(pi.is_system_on_chip);
+  // ARM (RISC) exposure vs the lecture's x86.
+  EXPECT_NE(pi.isa.find("ARM"), std::string::npos);
+  // A multicore CPU is MIMD.
+  EXPECT_EQ(pi.flynn(), FlynnClass::MIMD);
+}
+
+TEST(BoardTest, ComponentInventoryIsVisible) {
+  const BoardDescription& pi = raspberry_pi_3bplus();
+  EXPECT_GE(pi.components.size(), 6u);
+  bool has_cpu = false;
+  bool has_sd = false;
+  int on_soc = 0;
+  for (const Component& component : pi.components) {
+    has_cpu = has_cpu || component.name == "CPU";
+    has_sd = has_sd || component.detail.find("MicroSD") != std::string::npos;
+    on_soc += component.on_soc ? 1 : 0;
+  }
+  EXPECT_TRUE(has_cpu);
+  EXPECT_TRUE(has_sd);  // assignment: install RASPBIAN on MicroSD
+  EXPECT_GE(on_soc, 2);  // CPU + GPU at least are on the SoC
+}
+
+TEST(SocTest, AdvantagesAnswerAssignmentThree) {
+  const auto& advantages = soc_advantages();
+  EXPECT_GE(advantages.size(), 4u);
+  bool mentions_power = false;
+  for (const std::string& advantage : advantages) {
+    mentions_power =
+        mentions_power || advantage.find("ower") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_power);
+}
+
+TEST(IsaTest, ComparisonCoversThePaperAspects) {
+  const auto& rows = isa_comparison();
+  // "data movement, instruction encoding, immediate value representation,
+  // and memory layout" — all four must appear.
+  const auto has_aspect = [&](const std::string& needle) {
+    for (const IsaComparisonRow& row : rows) {
+      if (row.aspect.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_aspect("Data movement"));
+  EXPECT_TRUE(has_aspect("Instruction encoding"));
+  EXPECT_TRUE(has_aspect("Immediate"));
+  EXPECT_TRUE(has_aspect("Memory layout"));
+  for (const IsaComparisonRow& row : rows) {
+    EXPECT_FALSE(row.arm.empty());
+    EXPECT_FALSE(row.x86.empty());
+  }
+}
+
+}  // namespace
+}  // namespace pblpar::sbc

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::sim {
+namespace {
+
+MachineSpec exact_spec(int cores) {
+  MachineSpec spec;
+  spec.cores = cores;
+  spec.clock_ghz = 1.0;
+  spec.fork_cost_us = 0.0;
+  spec.join_cost_us = 0.0;
+  spec.barrier_cost_us_per_thread = 0.0;
+  spec.mutex_acquire_cost_us = 0.0;
+  spec.sched_chunk_cost_us = 0.0;
+  spec.oversub_penalty = 0.0;
+  spec.mem_contention_beta = 0.0;
+  return spec;
+}
+
+TEST(ConditionTest, WaitBlocksUntilNotify) {
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  bool flag = false;
+  double woke_at = -1.0;
+
+  machine.run([&](Context& root) {
+    const ThreadHandle consumer = root.spawn([&](Context& ctx) {
+      ctx.lock(mutex);
+      while (!flag) {
+        ctx.wait(condition, mutex);
+      }
+      woke_at = ctx.now();
+      ctx.unlock(mutex);
+    });
+    root.compute(1e9);  // producer works for 1 virtual second
+    root.lock(mutex);
+    flag = true;
+    root.notify_one(condition);
+    root.unlock(mutex);
+    root.join(consumer);
+  });
+
+  EXPECT_DOUBLE_EQ(woke_at, 1.0);
+}
+
+TEST(ConditionTest, NotifyAllWakesEveryWaiter) {
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  bool open = false;
+  int through = 0;
+
+  machine.run([&](Context& root) {
+    std::vector<ThreadHandle> waiters;
+    for (int i = 0; i < 3; ++i) {
+      waiters.push_back(root.spawn([&](Context& ctx) {
+        ctx.lock(mutex);
+        while (!open) {
+          ctx.wait(condition, mutex);
+        }
+        ++through;
+        ctx.unlock(mutex);
+      }));
+    }
+    root.compute(1e8);
+    root.lock(mutex);
+    open = true;
+    root.notify_all(condition);
+    root.unlock(mutex);
+    for (const ThreadHandle waiter : waiters) {
+      root.join(waiter);
+    }
+  });
+  EXPECT_EQ(through, 3);
+}
+
+TEST(ConditionTest, NotifyOneWakesExactlyOne) {
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  int tokens = 0;
+  int consumed = 0;
+
+  machine.run([&](Context& root) {
+    std::vector<ThreadHandle> consumers;
+    for (int i = 0; i < 2; ++i) {
+      consumers.push_back(root.spawn([&](Context& ctx) {
+        ctx.lock(mutex);
+        while (tokens == 0) {
+          ctx.wait(condition, mutex);
+        }
+        --tokens;
+        ++consumed;
+        ctx.unlock(mutex);
+      }));
+    }
+    // Two tokens, one notify each: both consumers must run exactly once.
+    for (int t = 0; t < 2; ++t) {
+      root.compute(1e8);
+      root.lock(mutex);
+      ++tokens;
+      root.notify_one(condition);
+      root.unlock(mutex);
+    }
+    for (const ThreadHandle consumer : consumers) {
+      root.join(consumer);
+    }
+  });
+  EXPECT_EQ(consumed, 2);
+  EXPECT_EQ(tokens, 0);
+}
+
+TEST(ConditionTest, ProducerConsumerQueue) {
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  std::deque<int> queue;
+  std::vector<int> received;
+
+  machine.run([&](Context& root) {
+    const ThreadHandle consumer = root.spawn([&](Context& ctx) {
+      for (int expected = 0; expected < 5; ++expected) {
+        ctx.lock(mutex);
+        while (queue.empty()) {
+          ctx.wait(condition, mutex);
+        }
+        received.push_back(queue.front());
+        queue.pop_front();
+        ctx.unlock(mutex);
+      }
+    });
+    for (int i = 0; i < 5; ++i) {
+      root.compute(1e7);  // production takes time
+      root.lock(mutex);
+      queue.push_back(i);
+      root.notify_one(condition);
+      root.unlock(mutex);
+    }
+    root.join(consumer);
+  });
+
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ConditionTest, WaitWithoutOwningMutexIsRejected) {
+  Machine machine(exact_spec(2));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  EXPECT_THROW(machine.run([&](Context& root) {
+                 root.wait(condition, mutex);  // never locked
+               }),
+               util::PreconditionError);
+}
+
+TEST(ConditionTest, InvalidHandlesAreRejected) {
+  Machine machine(exact_spec(2));
+  const MutexHandle mutex = machine.make_mutex();
+  EXPECT_THROW(machine.run([&](Context& root) {
+                 root.lock(mutex);
+                 root.wait(ConditionHandle{9}, mutex);
+               }),
+               util::PreconditionError);
+  EXPECT_THROW(machine.run([&](Context& root) {
+                 root.notify_one(ConditionHandle{3});
+               }),
+               util::PreconditionError);
+}
+
+TEST(ConditionTest, ForgottenNotifyIsDetectedAsDeadlock) {
+  Machine machine(exact_spec(2));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  EXPECT_THROW(machine.run([&](Context& root) {
+                 const ThreadHandle waiter =
+                     root.spawn([&](Context& ctx) {
+                       ctx.lock(mutex);
+                       ctx.wait(condition, mutex);  // nobody notifies
+                       ctx.unlock(mutex);
+                     });
+                 root.join(waiter);
+               }),
+               DeadlockError);
+}
+
+TEST(ConditionTest, NotifyWithNoWaitersIsANoOp) {
+  Machine machine(exact_spec(2));
+  const ConditionHandle condition = machine.make_condition();
+  machine.run([&](Context& root) {
+    root.notify_one(condition);
+    root.notify_all(condition);
+  });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pblpar::sim

@@ -1,0 +1,165 @@
+// Property tests over randomly generated simulated programs: the
+// simulator must be bit-deterministic, conserve modelled work, and never
+// get slower when given more cores.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::sim {
+namespace {
+
+MachineSpec zero_overhead_spec(int cores) {
+  MachineSpec spec;
+  spec.cores = cores;
+  spec.clock_ghz = 1.0;
+  spec.fork_cost_us = 0.0;
+  spec.join_cost_us = 0.0;
+  spec.barrier_cost_us_per_thread = 0.0;
+  spec.mutex_acquire_cost_us = 0.0;
+  spec.oversub_penalty = 0.0;
+  spec.mem_contention_beta = 0.0;
+  return spec;
+}
+
+/// A random structured program: each body performs a random sequence of
+/// compute / locked-compute / yield / spawn-and-join actions. All
+/// randomness is derived from the seed, so the program itself is
+/// deterministic.
+struct ProgramBuilder {
+  Machine* machine;
+  MutexHandle mutex;
+  double total_ops_issued = 0.0;
+  bool use_memory_intensity = true;
+
+  void body(Context& ctx, std::uint64_t seed, int depth) {
+    util::Rng rng(seed);
+    std::vector<ThreadHandle> children;
+    const int actions = static_cast<int>(rng.uniform_int(2, 5));
+    for (int a = 0; a < actions; ++a) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0: {
+          const double ops = rng.uniform(1e5, 5e6);
+          const double mem =
+              use_memory_intensity ? rng.uniform(0.0, 1.0) : 0.0;
+          total_ops_issued += ops;  // serialized real code: safe
+          ctx.compute(ops, mem);
+          break;
+        }
+        case 1: {
+          ScopedLock lock(ctx, mutex);
+          const double ops = rng.uniform(1e4, 1e6);
+          total_ops_issued += ops;
+          ctx.compute(ops, 0.0);
+          break;
+        }
+        case 2:
+          ctx.yield();
+          break;
+        case 3:
+          if (depth < 2 && children.size() < 3) {
+            const std::uint64_t child_seed =
+                seed * 31 + static_cast<std::uint64_t>(a) + 1;
+            children.push_back(ctx.spawn(
+                [this, child_seed, depth](Context& child_ctx) {
+                  body(child_ctx, child_seed, depth + 1);
+                }));
+          }
+          break;
+      }
+    }
+    for (const ThreadHandle child : children) {
+      ctx.join(child);
+    }
+  }
+};
+
+struct RunOutcome {
+  ExecutionReport report;
+  double total_ops_issued = 0.0;
+};
+
+RunOutcome run_program(std::uint64_t seed, const MachineSpec& spec,
+                       bool use_memory_intensity) {
+  Machine machine(spec);
+  ProgramBuilder builder;
+  builder.machine = &machine;
+  builder.mutex = machine.make_mutex();
+  builder.use_memory_intensity = use_memory_intensity;
+  RunOutcome outcome;
+  outcome.report = machine.run(
+      [&](Context& root) { builder.body(root, seed, 0); });
+  outcome.total_ops_issued = builder.total_ops_issued;
+  return outcome;
+}
+
+class SimFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzzTest, BitwiseDeterministic) {
+  const std::uint64_t seed = GetParam();
+  const MachineSpec spec = MachineSpec::raspberry_pi_3bplus();
+  const RunOutcome a = run_program(seed, spec, true);
+  const RunOutcome b = run_program(seed, spec, true);
+  EXPECT_DOUBLE_EQ(a.report.makespan_s, b.report.makespan_s);
+  EXPECT_EQ(a.report.spawns, b.report.spawns);
+  EXPECT_EQ(a.report.mutex_acquires, b.report.mutex_acquires);
+  EXPECT_DOUBLE_EQ(a.report.total_ops, b.report.total_ops);
+  ASSERT_EQ(a.report.busy_s.size(), b.report.busy_s.size());
+  for (std::size_t i = 0; i < a.report.busy_s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.report.busy_s[i], b.report.busy_s[i]);
+  }
+}
+
+TEST_P(SimFuzzTest, AllIssuedWorkIsExecuted) {
+  const std::uint64_t seed = GetParam();
+  const RunOutcome outcome =
+      run_program(seed, zero_overhead_spec(4), false);
+  EXPECT_NEAR(outcome.report.total_ops, outcome.total_ops_issued, 1.0);
+  // Zero overheads, no contention: busy time == ops / rate exactly.
+  EXPECT_NEAR(outcome.report.total_busy_s(),
+              outcome.total_ops_issued / 1e9, 1e-9);
+}
+
+TEST_P(SimFuzzTest, MoreCoresNeverSlower) {
+  const std::uint64_t seed = GetParam();
+  double previous = 1e100;
+  for (const int cores : {1, 2, 4, 16}) {
+    const RunOutcome outcome =
+        run_program(seed, zero_overhead_spec(cores), true);
+    EXPECT_LE(outcome.report.makespan_s, previous * (1.0 + 1e-12))
+        << cores << " cores";
+    previous = outcome.report.makespan_s;
+  }
+}
+
+TEST_P(SimFuzzTest, MakespanBounds) {
+  // Classic scheduling bounds: work/cores <= makespan (no overheads),
+  // and makespan <= total work (serial worst case).
+  const std::uint64_t seed = GetParam();
+  const int cores = 4;
+  const RunOutcome outcome =
+      run_program(seed, zero_overhead_spec(cores), false);
+  const double total_seconds = outcome.total_ops_issued / 1e9;
+  EXPECT_GE(outcome.report.makespan_s,
+            total_seconds / cores - 1e-9);
+  EXPECT_LE(outcome.report.makespan_s, total_seconds + 1e-9);
+}
+
+TEST_P(SimFuzzTest, UtilizationIsAProbability) {
+  const std::uint64_t seed = GetParam();
+  const RunOutcome outcome =
+      run_program(seed, MachineSpec::raspberry_pi_3bplus(), true);
+  EXPECT_GE(outcome.report.utilization(), 0.0);
+  EXPECT_LE(outcome.report.utilization(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace pblpar::sim

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace pblpar::sim {
+namespace {
+
+MachineSpec exact_spec(int cores) {
+  MachineSpec spec;
+  spec.name = "exact";
+  spec.cores = cores;
+  spec.clock_ghz = 1.0;  // 1e9 ops == 1 second
+  spec.ops_per_cycle = 1.0;
+  spec.fork_cost_us = 0.0;
+  spec.join_cost_us = 0.0;
+  spec.barrier_cost_us_per_thread = 0.0;
+  spec.mutex_acquire_cost_us = 0.0;
+  spec.sched_chunk_cost_us = 0.0;
+  spec.oversub_penalty = 0.0;
+  spec.mem_contention_beta = 0.0;
+  return spec;
+}
+
+/// Run `threads` workers, each computing `ops_each` with the given memory
+/// intensity, and return the report.
+ExecutionReport run_workers(const MachineSpec& spec, int threads,
+                            double ops_each, double mem_intensity = 0.0) {
+  Machine machine(spec);
+  return machine.run([&](Context& root) {
+    std::vector<ThreadHandle> workers;
+    for (int i = 1; i < threads; ++i) {
+      workers.push_back(root.spawn([&](Context& ctx) {
+        ctx.compute(ops_each, mem_intensity);
+      }));
+    }
+    root.compute(ops_each, mem_intensity);
+    for (const ThreadHandle worker : workers) {
+      root.join(worker);
+    }
+  });
+}
+
+TEST(TimingTest, SequentialWorkTakesWorkOverRate) {
+  const ExecutionReport report = run_workers(exact_spec(4), 1, 4e9);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 4.0);
+}
+
+TEST(TimingTest, PerfectSpeedupWhenThreadsEqualCores) {
+  const ExecutionReport report = run_workers(exact_spec(4), 4, 1e9);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 1.0);
+  EXPECT_NEAR(report.utilization(), 1.0, 1e-9);
+}
+
+TEST(TimingTest, TwoThreadsOnFourCoresLeaveCoresIdle) {
+  const ExecutionReport report = run_workers(exact_spec(4), 2, 1e9);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 1.0);
+  EXPECT_NEAR(report.effective_parallelism(), 2.0, 1e-9);
+  EXPECT_NEAR(report.utilization(), 0.5, 1e-9);
+}
+
+TEST(TimingTest, OversubscriptionSharesCoresFairly) {
+  // 8 threads, 4 cores, no oversubscription penalty: each runs at half
+  // rate, so 1e9 ops each takes 2 seconds total.
+  const ExecutionReport report = run_workers(exact_spec(4), 8, 1e9);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 2.0);
+}
+
+TEST(TimingTest, FixedWorkGainsNothingFromFifthThread) {
+  // The paper's Assignment 5 observation: with 4e9 total ops on 4 cores,
+  // adding a 5th thread does not help (and the penalty makes it slightly
+  // worse).
+  MachineSpec spec = exact_spec(4);
+  const ExecutionReport four = run_workers(spec, 4, 1e9);
+
+  spec.oversub_penalty = 0.06;
+  const ExecutionReport five = run_workers(spec, 5, 4e9 / 5.0);
+  EXPECT_DOUBLE_EQ(four.makespan_s, 1.0);
+  EXPECT_GT(five.makespan_s, four.makespan_s);
+  // But not catastrophically: within a few percent.
+  EXPECT_LT(five.makespan_s, 1.10);
+}
+
+TEST(TimingTest, OversubscriptionPenaltyFormula) {
+  // 5 threads of 0.8e9 ops on 4 cores, penalty 0.06:
+  // share = 4/5, oversub = 1/(1 + 0.06 * 1/4) = 1/1.015
+  // rate = 0.8e9/1.015 per thread -> t = 0.8e9 / rate = 1.015 s.
+  MachineSpec spec = exact_spec(4);
+  spec.oversub_penalty = 0.06;
+  const ExecutionReport report = run_workers(spec, 5, 0.8e9);
+  EXPECT_NEAR(report.makespan_s, 1.015, 1e-9);
+}
+
+TEST(TimingTest, MemoryContentionSlowsParallelMemoryBoundWork) {
+  MachineSpec spec = exact_spec(4);
+  spec.mem_contention_beta = 0.20;
+  // 4 fully memory-bound threads: slowdown = 1 + 0.2 * 1.0 * 3 = 1.6.
+  const ExecutionReport report = run_workers(spec, 4, 1e9, 1.0);
+  EXPECT_NEAR(report.makespan_s, 1.6, 1e-9);
+  // A single memory-bound thread is not slowed (no contention).
+  const ExecutionReport solo = run_workers(spec, 1, 1e9, 1.0);
+  EXPECT_DOUBLE_EQ(solo.makespan_s, 1.0);
+}
+
+TEST(TimingTest, ComputeBoundWorkIgnoresContentionCoefficient) {
+  MachineSpec spec = exact_spec(4);
+  spec.mem_contention_beta = 0.20;
+  const ExecutionReport report = run_workers(spec, 4, 1e9, 0.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s, 1.0);
+}
+
+TEST(TimingTest, ForkCostIsChargedToParent) {
+  MachineSpec spec = exact_spec(4);
+  spec.fork_cost_us = 25.0;
+  Machine machine(spec);
+  const ExecutionReport report = machine.run([](Context& root) {
+    std::vector<ThreadHandle> children;
+    for (int i = 0; i < 3; ++i) {
+      children.push_back(root.spawn([](Context&) {}));
+    }
+    for (const ThreadHandle child : children) {
+      root.join(child);
+    }
+  });
+  // 3 forks * 25 us; children and joins are free in this spec.
+  EXPECT_NEAR(report.makespan_s, 75e-6, 1e-12);
+}
+
+TEST(TimingTest, BarrierCostScalesWithParticipants) {
+  MachineSpec spec = exact_spec(4);
+  spec.barrier_cost_us_per_thread = 1.5;
+  Machine machine(spec);
+  const BarrierHandle barrier = machine.make_barrier(4);
+  const ExecutionReport report = machine.run([&](Context& root) {
+    std::vector<ThreadHandle> children;
+    for (int i = 1; i < 4; ++i) {
+      children.push_back(
+          root.spawn([&](Context& ctx) { ctx.barrier(barrier); }));
+    }
+    root.barrier(barrier);
+    for (const ThreadHandle child : children) {
+      root.join(child);
+    }
+  });
+  // All four drain 6 us of barrier cost in parallel.
+  EXPECT_NEAR(report.makespan_s, 6e-6, 1e-12);
+}
+
+TEST(TimingTest, UnbalancedWorkIsBoundedByTheSlowestThread) {
+  Machine machine(exact_spec(4));
+  const ExecutionReport report = machine.run([](Context& root) {
+    std::vector<ThreadHandle> children;
+    for (int i = 1; i <= 3; ++i) {
+      children.push_back(root.spawn(
+          [i](Context& ctx) { ctx.compute(1e9 * i); }));
+    }
+    root.compute(4e9);
+    for (const ThreadHandle child : children) {
+      root.join(child);
+    }
+  });
+  // Loads 1,2,3 (children) + 4 (root): makespan = slowest = 4 s.
+  EXPECT_DOUBLE_EQ(report.makespan_s, 4.0);
+  EXPECT_DOUBLE_EQ(report.busy_s[0], 4.0);
+}
+
+TEST(TimingTest, WorkConservation) {
+  // Total busy time equals total ops / rate regardless of thread count,
+  // when no overheads or penalties apply.
+  for (const int threads : {1, 2, 3, 4, 6, 8}) {
+    const ExecutionReport report =
+        run_workers(exact_spec(4), threads, 12e8 / threads);
+    EXPECT_NEAR(report.total_busy_s(), 1.2, 1e-9) << threads << " threads";
+  }
+}
+
+TEST(TimingTest, MakespanMonotoneInWork) {
+  double previous = 0.0;
+  for (const double ops : {1e8, 5e8, 1e9, 3e9}) {
+    const ExecutionReport report = run_workers(exact_spec(4), 4, ops);
+    EXPECT_GT(report.makespan_s, previous);
+    previous = report.makespan_s;
+  }
+}
+
+TEST(TimingTest, SpeedupVsBaseline) {
+  const ExecutionReport seq = run_workers(exact_spec(4), 1, 4e9);
+  const ExecutionReport par = run_workers(exact_spec(4), 4, 1e9);
+  EXPECT_DOUBLE_EQ(par.speedup_vs(seq), 4.0);
+}
+
+TEST(TimingTest, PiSpecSpeedupShapeOnRealisticOverheads) {
+  // With the default Pi spec (real overheads), a 4-thread run of
+  // 1.4e9-op work should still get close to, but below, 4x.
+  const MachineSpec pi = MachineSpec::raspberry_pi_3bplus();
+  ExecutionReport seq;
+  ExecutionReport par;
+  {
+    Machine machine(pi);
+    seq = machine.run([](Context& root) { root.compute(5.6e9); });
+  }
+  {
+    Machine machine(pi);
+    par = machine.run([](Context& root) {
+      std::vector<ThreadHandle> children;
+      for (int i = 1; i < 4; ++i) {
+        children.push_back(
+            root.spawn([](Context& ctx) { ctx.compute(1.4e9); }));
+      }
+      root.compute(1.4e9);
+      for (const ThreadHandle child : children) {
+        root.join(child);
+      }
+    });
+  }
+  const double speedup = par.speedup_vs(seq);
+  EXPECT_GT(speedup, 3.5);
+  EXPECT_LT(speedup, 4.0);
+}
+
+class ThreadCountTimingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCountTimingTest, FixedTotalWorkScalesWithMinThreadsCores) {
+  const int threads = GetParam();
+  const double total_ops = 8e9;
+  const ExecutionReport report =
+      run_workers(exact_spec(4), threads, total_ops / threads);
+  const double expected =
+      total_ops / (1e9 * std::min(threads, 4));
+  EXPECT_NEAR(report.makespan_s, expected, 1e-9) << threads << " threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTimingTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace pblpar::sim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/tests.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::stats {
+namespace {
+
+TEST(ConfidenceIntervalTest, CoversTheObservedMeanDifference) {
+  const std::vector<double> before{10, 11, 9, 12, 10};
+  const std::vector<double> after{11, 13, 10, 12, 11};
+  const ConfidenceInterval ci = paired_mean_difference_ci(before, after);
+  EXPECT_TRUE(ci.contains(1.0));  // the observed mean difference
+  EXPECT_LT(ci.lower, ci.upper);
+  EXPECT_DOUBLE_EQ(ci.confidence, 0.95);
+}
+
+TEST(ConfidenceIntervalTest, AgreesWithTheTTestDecision) {
+  // p < 0.05 iff the 95% CI excludes zero — verify both directions.
+  const std::vector<double> before{10, 11, 9, 12, 10};
+  const std::vector<double> shifted{11, 13, 10, 12, 11};
+  EXPECT_TRUE(paired_t_test(before, shifted).significant(0.05));
+  EXPECT_FALSE(paired_mean_difference_ci(before, shifted).contains(0.0));
+
+  const std::vector<double> noisy{10.5, 10.4, 9.6, 11.5, 10.0};
+  EXPECT_FALSE(paired_t_test(before, noisy).significant(0.05));
+  EXPECT_TRUE(paired_mean_difference_ci(before, noisy).contains(0.0));
+}
+
+TEST(ConfidenceIntervalTest, HigherConfidenceIsWider) {
+  const std::vector<double> before{10, 11, 9, 12, 10, 13, 8, 9};
+  const std::vector<double> after{11, 13, 10, 12, 11, 12, 10, 10};
+  const ConfidenceInterval ci90 =
+      paired_mean_difference_ci(before, after, 0.90);
+  const ConfidenceInterval ci99 =
+      paired_mean_difference_ci(before, after, 0.99);
+  EXPECT_GT(ci99.width(), ci90.width());
+}
+
+TEST(ConfidenceIntervalTest, CoverageIsNominal) {
+  // Property: the 95% CI for a true difference of 0.5 should contain 0.5
+  // about 95% of the time.
+  util::Rng rng(321);
+  int covered = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(20);
+    std::vector<double> b(20);
+    for (int i = 0; i < 20; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.normal();
+      b[static_cast<std::size_t>(i)] =
+          a[static_cast<std::size_t>(i)] + 0.5 + rng.normal(0.0, 0.8);
+    }
+    if (paired_mean_difference_ci(a, b).contains(0.5)) {
+      ++covered;
+    }
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.91);
+  EXPECT_LT(rate, 0.99);
+}
+
+TEST(ConfidenceIntervalTest, Validation) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> short_b{1, 2};
+  EXPECT_THROW(paired_mean_difference_ci(a, short_b),
+               util::PreconditionError);
+  const std::vector<double> b{2, 3, 4};
+  EXPECT_THROW(paired_mean_difference_ci(a, b, 0.0),
+               util::PreconditionError);
+  EXPECT_THROW(paired_mean_difference_ci(a, b, 1.0),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::stats

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/correlation.hpp"
+#include "stats/effect.hpp"
+#include "stats/ranking.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::stats {
+namespace {
+
+// --- Cohen's d ---------------------------------------------------------------
+
+TEST(CohensDTest, PaperTable2CourseEmphasis) {
+  // Table 2: means 4.023068 -> 4.124365, sds 0.232416 / 0.172052,
+  // SDpooled = 0.204474, d = 0.50.
+  const double d =
+      cohens_d_pooled(4.023068, 0.232416, 4.124365, 0.172052);
+  // Exactly computed d is 0.4954; the paper rounds to 0.50 and labels it
+  // 'medium'. The rounded value lands in the Medium band.
+  EXPECT_NEAR(d, 0.50, 0.005);
+  EXPECT_EQ(interpret_cohens_d(0.50), EffectMagnitude::Medium);
+  EXPECT_EQ(interpret_cohens_d(d), EffectMagnitude::Small);
+}
+
+TEST(CohensDTest, PaperTable3PersonalGrowth) {
+  // Table 3: means 3.81 -> 4.01, sds 0.262204 / 0.198497, d = 0.86.
+  const double d = cohens_d_pooled(3.81, 0.262204, 4.01, 0.198497);
+  EXPECT_NEAR(d, 0.86, 0.005);
+  EXPECT_EQ(interpret_cohens_d(d), EffectMagnitude::Large);
+}
+
+TEST(CohensDTest, SignFollowsDirection) {
+  EXPECT_GT(cohens_d_pooled(1.0, 1.0, 2.0, 1.0), 0.0);
+  EXPECT_LT(cohens_d_pooled(2.0, 1.0, 1.0, 1.0), 0.0);
+}
+
+TEST(CohensDTest, InterpretationBoundaries) {
+  EXPECT_EQ(interpret_cohens_d(0.1), EffectMagnitude::Trivial);
+  EXPECT_EQ(interpret_cohens_d(0.2), EffectMagnitude::Small);
+  EXPECT_EQ(interpret_cohens_d(0.5), EffectMagnitude::Medium);
+  EXPECT_EQ(interpret_cohens_d(0.8), EffectMagnitude::Large);
+  EXPECT_EQ(interpret_cohens_d(-0.9), EffectMagnitude::Large);
+}
+
+TEST(CohensDTest, FromSamples) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{3, 4, 5, 6, 7};
+  // Means 3 and 5, both sd = sqrt(2.5): d = 2 / sqrt(2.5).
+  EXPECT_NEAR(cohens_d(a, b), 2.0 / std::sqrt(2.5), 1e-12);
+}
+
+TEST(CohensDTest, RejectsDegenerateInput) {
+  EXPECT_THROW(cohens_d_pooled(1.0, 0.0, 2.0, 0.0), util::PreconditionError);
+  EXPECT_THROW(cohens_d_pooled(1.0, -1.0, 2.0, 1.0),
+               util::PreconditionError);
+}
+
+TEST(EffectMagnitudeTest, Labels) {
+  EXPECT_EQ(to_string(EffectMagnitude::Trivial), "trivial");
+  EXPECT_EQ(to_string(EffectMagnitude::Small), "small");
+  EXPECT_EQ(to_string(EffectMagnitude::Medium), "medium");
+  EXPECT_EQ(to_string(EffectMagnitude::Large), "large");
+}
+
+// --- Pearson -----------------------------------------------------------------
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y).r, 1.0, 1e-12);
+  const std::vector<double> z{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, z).r, -1.0, 1e-12);
+}
+
+TEST(PearsonTest, KnownHandExample) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{2, 1, 4, 3, 6, 5};
+  const PearsonResult result = pearson(x, y);
+  EXPECT_NEAR(result.r, 0.8286, 1e-4);
+  EXPECT_EQ(result.n, 6u);
+  EXPECT_DOUBLE_EQ(result.df, 4.0);
+  EXPECT_LT(result.p_two_tailed, 0.05);
+}
+
+TEST(PearsonTest, IndependentSamplesNearZero) {
+  util::Rng rng(55);
+  std::vector<double> x(2000);
+  std::vector<double> y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const PearsonResult result = pearson(x, y);
+  EXPECT_LT(std::fabs(result.r), 0.06);
+}
+
+TEST(PearsonTest, RecoversConstructedCorrelation) {
+  // y = rho*x + sqrt(1-rho^2)*e gives corr(x, y) = rho in expectation.
+  util::Rng rng(77);
+  const double rho = 0.6;
+  std::vector<double> x(5000);
+  std::vector<double> y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rho * x[i] + std::sqrt(1.0 - rho * rho) * rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y).r, rho, 0.03);
+}
+
+TEST(PearsonTest, SignificanceMatchesTTransform) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> y{1.1, 2.3, 2.8, 4.5, 4.9, 6.2, 6.8, 8.4};
+  const PearsonResult result = pearson(x, y);
+  // t = r*sqrt(df/(1-r^2)) should reproduce p via the t distribution.
+  EXPECT_GT(result.t, 0.0);
+  EXPECT_LT(result.p_two_tailed, 0.001);
+}
+
+TEST(PearsonTest, Validation) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> short_y{1, 2};
+  EXPECT_THROW(pearson(x, short_y), util::PreconditionError);
+  const std::vector<double> constant{5, 5, 5};
+  EXPECT_THROW(pearson(x, constant), util::PreconditionError);
+}
+
+TEST(GuilfordTest, BandsMatchThePaper) {
+  // Table 4's narrative: 0.38 low, 0.47..0.68 moderate, 0.73 high.
+  EXPECT_EQ(guilford_band(0.38), GuilfordBand::Low);
+  EXPECT_EQ(guilford_band(0.47), GuilfordBand::Moderate);
+  EXPECT_EQ(guilford_band(0.68), GuilfordBand::Moderate);
+  EXPECT_EQ(guilford_band(0.73), GuilfordBand::High);
+  EXPECT_EQ(guilford_band(0.1), GuilfordBand::Slight);
+  EXPECT_EQ(guilford_band(-0.95), GuilfordBand::VeryHigh);
+}
+
+TEST(GuilfordTest, Labels) {
+  EXPECT_EQ(to_string(GuilfordBand::Slight), "slight");
+  EXPECT_EQ(to_string(GuilfordBand::Moderate), "moderate");
+  EXPECT_EQ(to_string(GuilfordBand::VeryHigh), "very high");
+}
+
+// --- Composite score & ranking -----------------------------------------------
+
+TEST(CompositeScoreTest, AveragesDefinitionAndComponentMean) {
+  const std::vector<double> components{4.0, 5.0, 3.0};  // mean 4.0
+  EXPECT_DOUBLE_EQ(composite_score(5.0, components), 4.5);
+  EXPECT_THROW(composite_score(5.0, {}), util::PreconditionError);
+}
+
+TEST(RankingTest, DescendingWithStableTies) {
+  const std::vector<std::pair<std::string, double>> items{
+      {"Teamwork", 4.38},
+      {"Implementation", 4.16},
+      {"Problem Definition", 4.16},
+      {"Evaluation", 3.66},
+  };
+  const auto ranked = rank_descending(items);
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].name, "Teamwork");
+  EXPECT_EQ(ranked[0].rank, 1);
+  EXPECT_EQ(ranked[1].name, "Implementation");  // stable tie order
+  EXPECT_EQ(ranked[2].name, "Problem Definition");
+  EXPECT_EQ(ranked[3].name, "Evaluation");
+  EXPECT_EQ(ranked[3].rank, 4);
+}
+
+TEST(RankingTest, MaxGapAcrossRankings) {
+  const std::vector<std::pair<std::string, double>> emphasis_items{
+      {"A", 4.0}, {"B", 3.5}};
+  const std::vector<std::pair<std::string, double>> growth_items{
+      {"B", 3.45}, {"A", 3.7}};
+  const auto emphasis = rank_descending(emphasis_items);
+  const auto growth = rank_descending(growth_items);
+  EXPECT_NEAR(max_gap(emphasis, growth), 0.30, 1e-12);
+}
+
+TEST(RankingTest, MaxGapRequiresSameItems) {
+  const auto a = rank_descending(
+      std::vector<std::pair<std::string, double>>{{"A", 1.0}});
+  const auto b = rank_descending(
+      std::vector<std::pair<std::string, double>>{{"B", 1.0}});
+  EXPECT_THROW(max_gap(a, b), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::stats

@@ -1,0 +1,114 @@
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pblpar::stats {
+namespace {
+
+TEST(IbetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(ibeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ibeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IbetaTest, SymmetricCaseAtHalf) {
+  // I_{0.5}(a, a) = 0.5 by symmetry.
+  for (const double a : {0.5, 1.0, 2.0, 7.5, 60.0}) {
+    EXPECT_NEAR(ibeta(a, a, 0.5), 0.5, 1e-12) << "a=" << a;
+  }
+}
+
+TEST(IbetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(ibeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IbetaTest, KnownValueAgainstClosedForm) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  for (const double x : {0.2, 0.4, 0.6, 0.8}) {
+    EXPECT_NEAR(ibeta(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-12);
+  }
+}
+
+TEST(IbetaTest, ComplementIdentity) {
+  EXPECT_NEAR(ibeta(3.0, 5.0, 0.3) + ibeta(5.0, 3.0, 0.7), 1.0, 1e-12);
+}
+
+TEST(IbetaTest, RejectsBadArguments) {
+  EXPECT_THROW(ibeta(0.0, 1.0, 0.5), util::PreconditionError);
+  EXPECT_THROW(ibeta(1.0, 1.0, 1.5), util::PreconditionError);
+  EXPECT_THROW(ibeta(1.0, 1.0, -0.1), util::PreconditionError);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.644853627), 0.05, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.998650101968, 1e-9);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (const double p : {0.01, 0.05, 0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+  }
+  EXPECT_THROW(normal_quantile(0.0), util::PreconditionError);
+  EXPECT_THROW(normal_quantile(1.0), util::PreconditionError);
+}
+
+TEST(StudentTTest, CdfAtZeroIsHalf) {
+  for (const double df : {1.0, 5.0, 30.0, 123.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, df), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentTTest, Df1IsCauchy) {
+  // t with 1 df is Cauchy: CDF(1) = 3/4.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+}
+
+TEST(StudentTTest, KnownTwoTailedPValues) {
+  // Reference values from standard t tables.
+  EXPECT_NEAR(student_t_two_tailed_p(2.228, 10.0), 0.05, 2e-4);
+  EXPECT_NEAR(student_t_two_tailed_p(1.96, 1e6), 0.05, 1e-4);
+  EXPECT_NEAR(student_t_two_tailed_p(2.0, 10.0), 0.07339, 1e-4);
+}
+
+TEST(StudentTTest, PaperTable1Statistics) {
+  // The paper reports (t=-2.63, N=124) with p=0.039 and (t=-5.11, N=124)
+  // with p=0.002. The correctly computed two-tailed p-values are much
+  // smaller; EXPERIMENTS.md documents the discrepancy. Lock in our values.
+  EXPECT_NEAR(student_t_two_tailed_p(-2.63, 123.0), 0.00966, 2e-4);
+  EXPECT_LT(student_t_two_tailed_p(-5.11, 123.0), 2e-6);
+}
+
+TEST(StudentTTest, SymmetryInT) {
+  EXPECT_NEAR(student_t_cdf(-1.7, 12.0) + student_t_cdf(1.7, 12.0), 1.0,
+              1e-12);
+  EXPECT_NEAR(student_t_two_tailed_p(-2.5, 40.0),
+              student_t_two_tailed_p(2.5, 40.0), 1e-12);
+}
+
+TEST(StudentTTest, ConvergesToNormalForLargeDf) {
+  EXPECT_NEAR(student_t_cdf(1.96, 1e7), normal_cdf(1.96), 1e-6);
+}
+
+TEST(StudentTTest, CriticalValueRoundTrips) {
+  for (const double df : {5.0, 30.0, 123.0}) {
+    const double critical = student_t_critical(0.05, df);
+    EXPECT_NEAR(student_t_two_tailed_p(critical, df), 0.05, 1e-9)
+        << "df=" << df;
+  }
+  // Classic value: t_{0.975, 10} = 2.2281.
+  EXPECT_NEAR(student_t_critical(0.05, 10.0), 2.2281, 1e-3);
+}
+
+TEST(StudentTTest, RejectsNonPositiveDf) {
+  EXPECT_THROW(student_t_cdf(1.0, 0.0), util::PreconditionError);
+  EXPECT_THROW(student_t_two_tailed_p(1.0, -2.0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::stats

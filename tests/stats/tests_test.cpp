@@ -1,0 +1,133 @@
+#include "stats/tests.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::stats {
+namespace {
+
+TEST(SummaryTest, BasicMoments) {
+  const std::vector<double> sample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.sd, 2.13809, 1e-5);  // sample sd (n-1)
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.standard_error(), s.sd / std::sqrt(8.0), 1e-12);
+}
+
+TEST(SummaryTest, SingleObservation) {
+  const std::vector<double> sample{3.5};
+  const Summary s = summarize(sample);
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.sd, 0.0);
+}
+
+TEST(SummaryTest, EmptySampleRejected) {
+  EXPECT_THROW(summarize({}), util::PreconditionError);
+  EXPECT_THROW(sample_sd(std::vector<double>{1.0}), util::PreconditionError);
+}
+
+TEST(PairedTTest, KnownHandComputedExample) {
+  // Differences: +1, +2, +1, 0, +1  => mean 1.0, sd ~0.7071
+  // t = 1.0 / (0.7071/sqrt(5)) = 3.1623, df = 4, p ~ 0.0341.
+  const std::vector<double> before{10, 11, 9, 12, 10};
+  const std::vector<double> after{11, 13, 10, 12, 11};
+  const TTestResult result = paired_t_test(before, after);
+  EXPECT_NEAR(result.mean_difference, 1.0, 1e-12);
+  EXPECT_NEAR(result.t, 3.1623, 1e-4);
+  EXPECT_DOUBLE_EQ(result.df, 4.0);
+  EXPECT_NEAR(result.p_two_tailed, 0.0341, 1e-3);
+  EXPECT_TRUE(result.significant());
+}
+
+TEST(PairedTTest, DirectionOfMeanDifference) {
+  const std::vector<double> first{5, 5, 5, 6};
+  const std::vector<double> second{4, 4, 4, 6};
+  const TTestResult result = paired_t_test(first, second);
+  EXPECT_LT(result.mean_difference, 0.0);
+  EXPECT_LT(result.t, 0.0);
+}
+
+TEST(PairedTTest, Validation) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{1, 2};
+  EXPECT_THROW(paired_t_test(a, b), util::PreconditionError);
+  const std::vector<double> same{1, 1, 1};
+  EXPECT_THROW(paired_t_test(same, same), util::PreconditionError);
+}
+
+TEST(PairedTTest, NullIsRarelyRejectedUnderNull) {
+  // Property: with identical distributions, p < 0.05 about 5% of the time.
+  util::Rng rng(99);
+  int rejections = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> a(30);
+    std::vector<double> b(30);
+    for (int i = 0; i < 30; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.normal();
+      b[static_cast<std::size_t>(i)] = rng.normal();
+    }
+    if (paired_t_test(a, b).significant(0.05)) {
+      ++rejections;
+    }
+  }
+  const double rate = static_cast<double>(rejections) / trials;
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.11);
+}
+
+TEST(WelchTTest, EqualSamplesGiveZeroT) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const TTestResult result = welch_t_test(a, a);
+  EXPECT_DOUBLE_EQ(result.t, 0.0);
+  EXPECT_NEAR(result.p_two_tailed, 1.0, 1e-12);
+}
+
+TEST(WelchTTest, KnownExample) {
+  // Classic Welch example with unequal variances.
+  const std::vector<double> a{27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                              16.9, 20.1, 21.9, 22.6, 23.1, 19.6};
+  const std::vector<double> b{27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                              25.8, 22.0, 24.8, 20.2, 21.9, 22.1};
+  const TTestResult result = welch_t_test(a, b);
+  EXPECT_GT(result.p_two_tailed, 0.0);
+  EXPECT_LT(result.p_two_tailed, 1.0);
+  EXPECT_GT(result.mean_difference, 0.0);  // b's mean is higher
+  // Welch df must lie between min(n1,n2)-1 and n1+n2-2.
+  EXPECT_GE(result.df, 11.0);
+  EXPECT_LE(result.df, 22.0);
+}
+
+TEST(WelchTTest, DetectsObviousDifference) {
+  util::Rng rng(7);
+  std::vector<double> a(50);
+  std::vector<double> b(50);
+  for (int i = 0; i < 50; ++i) {
+    a[static_cast<std::size_t>(i)] = rng.normal(0.0, 1.0);
+    b[static_cast<std::size_t>(i)] = rng.normal(2.0, 1.0);
+  }
+  const TTestResult result = welch_t_test(a, b);
+  EXPECT_TRUE(result.significant(0.001));
+  EXPECT_GT(result.t, 5.0);
+}
+
+TEST(OneSampleTTest, AgainstHypothesizedMean) {
+  const std::vector<double> sample{5.1, 4.9, 5.2, 5.0, 5.3, 4.8};
+  const TTestResult at_5 = one_sample_t_test(sample, 5.05);
+  EXPECT_FALSE(at_5.significant());
+  const TTestResult at_4 = one_sample_t_test(sample, 4.0);
+  EXPECT_TRUE(at_4.significant(0.001));
+}
+
+}  // namespace
+}  // namespace pblpar::stats

@@ -1,0 +1,163 @@
+#include "survey/instrument.hpp"
+#include "survey/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace pblpar::survey {
+namespace {
+
+TEST(InstrumentTest, SevenElementsInPaperOrder) {
+  const auto& specs = instrument();
+  ASSERT_EQ(specs.size(), 7u);
+  EXPECT_EQ(specs[0].element, Element::Teamwork);
+  EXPECT_EQ(specs[6].element, Element::Communication);
+  for (std::size_t e = 0; e < specs.size(); ++e) {
+    EXPECT_EQ(specs[e].element, kAllElements[e]);
+  }
+}
+
+TEST(InstrumentTest, TeamworkMatchesFigureTwo) {
+  const ElementSpec& teamwork = instrument().front();
+  EXPECT_EQ(teamwork.definition,
+            "Individuals participate effectively in groups or teams.");
+  ASSERT_EQ(teamwork.components.size(), 4u);
+  EXPECT_NE(teamwork.components[0].find("styles of thinking"),
+            std::string::npos);
+  EXPECT_NE(teamwork.components[1].find("roles"), std::string::npos);
+  EXPECT_NE(teamwork.components[2].find("listening, speaking"),
+            std::string::npos);
+  EXPECT_NE(teamwork.components[3].find("cooperate"), std::string::npos);
+}
+
+TEST(InstrumentTest, EveryElementHasDefinitionAndComponents) {
+  for (const ElementSpec& spec : instrument()) {
+    EXPECT_FALSE(spec.definition.empty());
+    EXPECT_GE(spec.components.size(), 3u);
+    EXPECT_EQ(spec.item_count(), 1 + spec.components.size());
+  }
+}
+
+TEST(InstrumentTest, TotalItemCount) {
+  std::size_t expected = 0;
+  for (const ElementSpec& spec : instrument()) {
+    expected += spec.item_count();
+  }
+  EXPECT_EQ(total_item_count(), expected);
+  EXPECT_EQ(total_item_count(), 35u);  // 7 elements x (1 + 4)
+}
+
+TEST(InstrumentTest, ScaleDescriptionsMatchPaper) {
+  EXPECT_EQ(emphasis_scale_description(1), "Did not discuss");
+  EXPECT_EQ(emphasis_scale_description(4), "Significant emphasis");
+  EXPECT_EQ(emphasis_scale_description(5), "Major emphasis");
+  EXPECT_EQ(growth_scale_description(3),
+            "I grew some and gained a few new skills");
+  EXPECT_EQ(growth_scale_description(5),
+            "I experienced a tremendous growth and added many new skills");
+  EXPECT_THROW(emphasis_scale_description(0), util::PreconditionError);
+  EXPECT_THROW(growth_scale_description(6), util::PreconditionError);
+}
+
+TEST(InstrumentTest, IndexOfRoundTrips) {
+  for (const Element element : kAllElements) {
+    EXPECT_EQ(kAllElements[index_of(element)], element);
+  }
+}
+
+TEST(InstrumentTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const Element element : kAllElements) {
+    EXPECT_TRUE(names.insert(to_string(element)).second);
+  }
+}
+
+// --- Responses ---------------------------------------------------------------
+
+StudentResponse uniform_response(int score) {
+  StudentResponse response;
+  const auto& specs = instrument();
+  for (std::size_t e = 0; e < kElementCount; ++e) {
+    for (auto* category : {&response.emphasis, &response.growth}) {
+      (*category)[e].definition = score;
+      (*category)[e].components.assign(specs[e].components.size(), score);
+    }
+  }
+  return response;
+}
+
+TEST(ResponseTest, ElementAverageAndComposite) {
+  ElementResponse answer;
+  answer.definition = 5;
+  answer.components = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(answer.average(), (5 + 3 * 4) / 5.0);
+  EXPECT_DOUBLE_EQ(answer.composite(), (5 + 3) / 2.0);
+}
+
+TEST(ResponseTest, CompositeWeighsDefinitionMoreThanAverage) {
+  // With a high definition and low components, composite > average: the
+  // two views differ, which is the instrument's point.
+  ElementResponse answer;
+  answer.definition = 5;
+  answer.components = {2, 2, 2, 2};
+  EXPECT_GT(answer.composite(), answer.average());
+}
+
+TEST(ResponseTest, OverallAverageUniform) {
+  const StudentResponse response = uniform_response(4);
+  EXPECT_DOUBLE_EQ(response.overall_average(Category::ClassEmphasis), 4.0);
+  EXPECT_DOUBLE_EQ(response.overall_average(Category::PersonalGrowth), 4.0);
+  EXPECT_DOUBLE_EQ(
+      response.element_average(Category::ClassEmphasis, Element::Teamwork),
+      4.0);
+}
+
+TEST(ResponseTest, ValidationAcceptsWellFormed) {
+  EXPECT_NO_THROW(validate(uniform_response(1)));
+  EXPECT_NO_THROW(validate(uniform_response(5)));
+}
+
+TEST(ResponseTest, ValidationRejectsOutOfRangeAndWrongShape) {
+  StudentResponse bad_score = uniform_response(3);
+  bad_score.emphasis[0].definition = 6;
+  EXPECT_THROW(validate(bad_score), util::PreconditionError);
+
+  StudentResponse bad_shape = uniform_response(3);
+  bad_shape.growth[2].components.pop_back();
+  EXPECT_THROW(validate(bad_shape), util::PreconditionError);
+
+  StudentResponse zero = uniform_response(3);
+  zero.growth[1].components[0] = 0;
+  EXPECT_THROW(validate(zero), util::PreconditionError);
+}
+
+TEST(AdministrationTest, AggregatesOverCohort) {
+  Administration sitting;
+  sitting.responses.push_back(uniform_response(3));
+  sitting.responses.push_back(uniform_response(5));
+
+  EXPECT_EQ(sitting.cohort_size(), 2u);
+  const auto overall = sitting.per_student_overall(Category::ClassEmphasis);
+  ASSERT_EQ(overall.size(), 2u);
+  EXPECT_DOUBLE_EQ(overall[0], 3.0);
+  EXPECT_DOUBLE_EQ(overall[1], 5.0);
+  EXPECT_DOUBLE_EQ(sitting.cohort_element_mean(Category::PersonalGrowth,
+                                               Element::Implementation),
+                   4.0);
+  EXPECT_DOUBLE_EQ(sitting.cohort_element_composite(
+                       Category::PersonalGrowth, Element::Implementation),
+                   4.0);
+}
+
+TEST(AdministrationTest, EmptyCohortRejected) {
+  Administration empty;
+  EXPECT_THROW(
+      empty.cohort_element_mean(Category::ClassEmphasis, Element::Teamwork),
+      util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pblpar::survey

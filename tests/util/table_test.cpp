@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pblpar::util {
+namespace {
+
+Table sample() {
+  Table t("Table X. Demo");
+  t.columns({"Skill", "Mean"}, {Align::Left, Align::Right});
+  t.row({"Teamwork", "4.38"});
+  t.row({"Implementation", "4.16"});
+  t.note("a. five-point scale");
+  return t;
+}
+
+TEST(TableTest, AsciiContainsTitleHeadersAndCells) {
+  const std::string text = sample().to_ascii();
+  EXPECT_NE(text.find("Table X. Demo"), std::string::npos);
+  EXPECT_NE(text.find("Skill"), std::string::npos);
+  EXPECT_NE(text.find("Teamwork"), std::string::npos);
+  EXPECT_NE(text.find("4.38"), std::string::npos);
+  EXPECT_NE(text.find("a. five-point scale"), std::string::npos);
+}
+
+TEST(TableTest, AsciiRightAlignsNumericColumn) {
+  Table t;
+  t.columns({"k", "value"}, {Align::Left, Align::Right});
+  t.row({"x", "1"});
+  t.row({"y", "12345"});
+  const std::string text = t.to_ascii();
+  // The short value is padded on the left within a 5-wide column.
+  EXPECT_NE(text.find("|     1 |"), std::string::npos);
+  EXPECT_NE(text.find("| 12345 |"), std::string::npos);
+}
+
+TEST(TableTest, MarkdownShape) {
+  const std::string md = sample().to_markdown();
+  EXPECT_NE(md.find("| Skill | Mean |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(md.find("| Teamwork | 4.38 |"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  Table t;
+  t.columns({"a", "b"});
+  t.row({"x,y", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, RowCellCountMismatchThrows) {
+  Table t;
+  t.columns({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), PreconditionError);
+}
+
+TEST(TableTest, ColumnsAlignmentMismatchThrows) {
+  Table t;
+  EXPECT_THROW(t.columns({"a", "b"}, {Align::Left}), PreconditionError);
+}
+
+TEST(TableTest, EmptyColumnsThrows) {
+  Table t;
+  EXPECT_THROW(t.columns({}), PreconditionError);
+}
+
+TEST(TableTest, SeparatorRendersRuleInAscii) {
+  Table t;
+  t.columns({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  const std::string text = t.to_ascii();
+  // header rule + top + separator + bottom = 4 rules
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("+---", pos)) != std::string::npos) {
+    ++rules;
+    pos += 4;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TableTest, NumFormatsWithPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(TableTest, PvalueStyle) {
+  EXPECT_EQ(Table::pvalue(0.0000001), "p < 0.001");
+  EXPECT_EQ(Table::pvalue(0.039), "p = 0.039");
+  EXPECT_EQ(Table::pvalue(0.5), "p = 0.500");
+}
+
+TEST(TableTest, RowCountTracksDataRows) {
+  Table t = sample();
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace pblpar::util

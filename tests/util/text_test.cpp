@@ -1,0 +1,69 @@
+#include "util/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pblpar::util {
+namespace {
+
+TEST(TextTest, ToLower) {
+  EXPECT_EQ(to_lower("Hello WORLD"), "hello world");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(TextTest, SplitDropsEmptyPieces) {
+  const auto pieces = split("a,,b,c,", ",");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(TextTest, SplitMultipleDelimiters) {
+  const auto pieces = split("a b;c", " ;");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(TextTest, TokenizeWordsLowersAndKeepsApostrophes) {
+  const auto words = tokenize_words("Don't STOP me now!");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "don't");
+  EXPECT_EQ(words[1], "stop");
+  EXPECT_EQ(words[2], "me");
+  EXPECT_EQ(words[3], "now");
+}
+
+TEST(TextTest, TokenizeWordsOnEmptyAndPunctuation) {
+  EXPECT_TRUE(tokenize_words("").empty());
+  EXPECT_TRUE(tokenize_words("... !!! ???").empty());
+}
+
+TEST(TextTest, SplitLinesHandlesCrLf) {
+  const auto lines = split_lines("one\r\ntwo\nthree");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(TextTest, JoinRoundTrips) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(TextTest, StartsWith) {
+  EXPECT_TRUE(starts_with("teamwork", "team"));
+  EXPECT_FALSE(starts_with("team", "teamwork"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(TextTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+}  // namespace
+}  // namespace pblpar::util
