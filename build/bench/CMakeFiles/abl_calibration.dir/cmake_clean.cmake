@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_calibration.dir/abl_calibration.cpp.o"
+  "CMakeFiles/abl_calibration.dir/abl_calibration.cpp.o.d"
+  "abl_calibration"
+  "abl_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

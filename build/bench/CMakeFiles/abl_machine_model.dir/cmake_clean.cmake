@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_machine_model.dir/abl_machine_model.cpp.o"
+  "CMakeFiles/abl_machine_model.dir/abl_machine_model.cpp.o.d"
+  "abl_machine_model"
+  "abl_machine_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_machine_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_seed_sensitivity.dir/abl_seed_sensitivity.cpp.o"
+  "CMakeFiles/abl_seed_sensitivity.dir/abl_seed_sensitivity.cpp.o.d"
+  "abl_seed_sensitivity"
+  "abl_seed_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_seed_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_team_formation.dir/abl_team_formation.cpp.o"
+  "CMakeFiles/abl_team_formation.dir/abl_team_formation.cpp.o.d"
+  "abl_team_formation"
+  "abl_team_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_team_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_team_formation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_architecture_qna.dir/exp_architecture_qna.cpp.o"
+  "CMakeFiles/exp_architecture_qna.dir/exp_architecture_qna.cpp.o.d"
+  "exp_architecture_qna"
+  "exp_architecture_qna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_architecture_qna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_assignment2_datarace.dir/exp_assignment2_datarace.cpp.o"
+  "CMakeFiles/exp_assignment2_datarace.dir/exp_assignment2_datarace.cpp.o.d"
+  "exp_assignment2_datarace"
+  "exp_assignment2_datarace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_assignment2_datarace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_assignment3_scheduling.dir/exp_assignment3_scheduling.cpp.o"
+  "CMakeFiles/exp_assignment3_scheduling.dir/exp_assignment3_scheduling.cpp.o.d"
+  "exp_assignment3_scheduling"
+  "exp_assignment3_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_assignment3_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_assignment3_scheduling.
+# This may be replaced when dependencies are built.

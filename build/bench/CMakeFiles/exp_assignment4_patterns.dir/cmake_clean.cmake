@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_assignment4_patterns.dir/exp_assignment4_patterns.cpp.o"
+  "CMakeFiles/exp_assignment4_patterns.dir/exp_assignment4_patterns.cpp.o.d"
+  "exp_assignment4_patterns"
+  "exp_assignment4_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_assignment4_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_assignment5_drugdesign.dir/exp_assignment5_drugdesign.cpp.o"
+  "CMakeFiles/exp_assignment5_drugdesign.dir/exp_assignment5_drugdesign.cpp.o.d"
+  "exp_assignment5_drugdesign"
+  "exp_assignment5_drugdesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_assignment5_drugdesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_assignment5_drugdesign.
+# This may be replaced when dependencies are built.

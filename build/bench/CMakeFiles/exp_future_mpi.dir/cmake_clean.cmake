@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_future_mpi.dir/exp_future_mpi.cpp.o"
+  "CMakeFiles/exp_future_mpi.dir/exp_future_mpi.cpp.o.d"
+  "exp_future_mpi"
+  "exp_future_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_future_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

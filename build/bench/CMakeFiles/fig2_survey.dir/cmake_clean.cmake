@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_survey.dir/fig2_survey.cpp.o"
+  "CMakeFiles/fig2_survey.dir/fig2_survey.cpp.o.d"
+  "fig2_survey"
+  "fig2_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ttest.dir/table1_ttest.cpp.o"
+  "CMakeFiles/table1_ttest.dir/table1_ttest.cpp.o.d"
+  "table1_ttest"
+  "table1_ttest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ttest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

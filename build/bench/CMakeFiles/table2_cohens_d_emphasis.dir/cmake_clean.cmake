@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cohens_d_emphasis.dir/table2_cohens_d_emphasis.cpp.o"
+  "CMakeFiles/table2_cohens_d_emphasis.dir/table2_cohens_d_emphasis.cpp.o.d"
+  "table2_cohens_d_emphasis"
+  "table2_cohens_d_emphasis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cohens_d_emphasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

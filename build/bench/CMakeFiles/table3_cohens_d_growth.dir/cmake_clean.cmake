@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cohens_d_growth.dir/table3_cohens_d_growth.cpp.o"
+  "CMakeFiles/table3_cohens_d_growth.dir/table3_cohens_d_growth.cpp.o.d"
+  "table3_cohens_d_growth"
+  "table3_cohens_d_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cohens_d_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

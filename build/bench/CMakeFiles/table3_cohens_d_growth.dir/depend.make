@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_cohens_d_growth.
+# This may be replaced when dependencies are built.

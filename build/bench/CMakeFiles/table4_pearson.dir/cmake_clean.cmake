@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pearson.dir/table4_pearson.cpp.o"
+  "CMakeFiles/table4_pearson.dir/table4_pearson.cpp.o.d"
+  "table4_pearson"
+  "table4_pearson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pearson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

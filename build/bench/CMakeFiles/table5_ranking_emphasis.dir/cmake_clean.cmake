@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_ranking_emphasis.dir/table5_ranking_emphasis.cpp.o"
+  "CMakeFiles/table5_ranking_emphasis.dir/table5_ranking_emphasis.cpp.o.d"
+  "table5_ranking_emphasis"
+  "table5_ranking_emphasis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_ranking_emphasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ranking_growth.dir/table6_ranking_growth.cpp.o"
+  "CMakeFiles/table6_ranking_growth.dir/table6_ranking_growth.cpp.o.d"
+  "table6_ranking_growth"
+  "table6_ranking_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ranking_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_drugdesign.dir/ubench_drugdesign.cpp.o"
+  "CMakeFiles/ubench_drugdesign.dir/ubench_drugdesign.cpp.o.d"
+  "ubench_drugdesign"
+  "ubench_drugdesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_drugdesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

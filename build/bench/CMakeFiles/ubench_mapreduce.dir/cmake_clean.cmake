@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_mapreduce.dir/ubench_mapreduce.cpp.o"
+  "CMakeFiles/ubench_mapreduce.dir/ubench_mapreduce.cpp.o.d"
+  "ubench_mapreduce"
+  "ubench_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

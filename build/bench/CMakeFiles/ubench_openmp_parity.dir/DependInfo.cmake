@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ubench_openmp_parity.cpp" "bench/CMakeFiles/ubench_openmp_parity.dir/ubench_openmp_parity.cpp.o" "gcc" "bench/CMakeFiles/ubench_openmp_parity.dir/ubench_openmp_parity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/pblpar_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/classroom/CMakeFiles/pblpar_classroom.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pblpar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/pblpar_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/course/CMakeFiles/pblpar_course.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pblpar_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/pblpar_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/drugdesign/CMakeFiles/pblpar_drugdesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/pblpar_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pblpar_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pblpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sbc/CMakeFiles/pblpar_sbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pblpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_openmp_parity.dir/ubench_openmp_parity.cpp.o"
+  "CMakeFiles/ubench_openmp_parity.dir/ubench_openmp_parity.cpp.o.d"
+  "ubench_openmp_parity"
+  "ubench_openmp_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_openmp_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

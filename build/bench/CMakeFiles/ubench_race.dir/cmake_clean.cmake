@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_race.dir/ubench_race.cpp.o"
+  "CMakeFiles/ubench_race.dir/ubench_race.cpp.o.d"
+  "ubench_race"
+  "ubench_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

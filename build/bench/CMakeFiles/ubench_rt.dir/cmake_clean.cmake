@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_rt.dir/ubench_rt.cpp.o"
+  "CMakeFiles/ubench_rt.dir/ubench_rt.cpp.o.d"
+  "ubench_rt"
+  "ubench_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ubench_stats.dir/ubench_stats.cpp.o"
+  "CMakeFiles/ubench_stats.dir/ubench_stats.cpp.o.d"
+  "ubench_stats"
+  "ubench_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ubench_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_semester.dir/classroom_semester.cpp.o"
+  "CMakeFiles/classroom_semester.dir/classroom_semester.cpp.o.d"
+  "classroom_semester"
+  "classroom_semester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_semester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

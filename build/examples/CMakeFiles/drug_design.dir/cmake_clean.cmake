@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_design.dir/drug_design.cpp.o"
+  "CMakeFiles/drug_design.dir/drug_design.cpp.o.d"
+  "drug_design"
+  "drug_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_ring.dir/mpi_ring.cpp.o"
+  "CMakeFiles/mpi_ring.dir/mpi_ring.cpp.o.d"
+  "mpi_ring"
+  "mpi_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

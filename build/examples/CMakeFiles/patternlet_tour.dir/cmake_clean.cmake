@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patternlet_tour.dir/patternlet_tour.cpp.o"
+  "CMakeFiles/patternlet_tour.dir/patternlet_tour.cpp.o.d"
+  "patternlet_tour"
+  "patternlet_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patternlet_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

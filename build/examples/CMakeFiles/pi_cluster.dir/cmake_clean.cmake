@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_cluster.dir/pi_cluster.cpp.o"
+  "CMakeFiles/pi_cluster.dir/pi_cluster.cpp.o.d"
+  "pi_cluster"
+  "pi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

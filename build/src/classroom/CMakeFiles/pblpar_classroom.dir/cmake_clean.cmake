@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_classroom.dir/analysis.cpp.o"
+  "CMakeFiles/pblpar_classroom.dir/analysis.cpp.o.d"
+  "CMakeFiles/pblpar_classroom.dir/calibrate.cpp.o"
+  "CMakeFiles/pblpar_classroom.dir/calibrate.cpp.o.d"
+  "CMakeFiles/pblpar_classroom.dir/model.cpp.o"
+  "CMakeFiles/pblpar_classroom.dir/model.cpp.o.d"
+  "CMakeFiles/pblpar_classroom.dir/study.cpp.o"
+  "CMakeFiles/pblpar_classroom.dir/study.cpp.o.d"
+  "CMakeFiles/pblpar_classroom.dir/targets.cpp.o"
+  "CMakeFiles/pblpar_classroom.dir/targets.cpp.o.d"
+  "libpblpar_classroom.a"
+  "libpblpar_classroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_classroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/course/assignments.cpp" "src/course/CMakeFiles/pblpar_course.dir/assignments.cpp.o" "gcc" "src/course/CMakeFiles/pblpar_course.dir/assignments.cpp.o.d"
+  "/root/repo/src/course/grading.cpp" "src/course/CMakeFiles/pblpar_course.dir/grading.cpp.o" "gcc" "src/course/CMakeFiles/pblpar_course.dir/grading.cpp.o.d"
+  "/root/repo/src/course/outcomes.cpp" "src/course/CMakeFiles/pblpar_course.dir/outcomes.cpp.o" "gcc" "src/course/CMakeFiles/pblpar_course.dir/outcomes.cpp.o.d"
+  "/root/repo/src/course/student.cpp" "src/course/CMakeFiles/pblpar_course.dir/student.cpp.o" "gcc" "src/course/CMakeFiles/pblpar_course.dir/student.cpp.o.d"
+  "/root/repo/src/course/teams.cpp" "src/course/CMakeFiles/pblpar_course.dir/teams.cpp.o" "gcc" "src/course/CMakeFiles/pblpar_course.dir/teams.cpp.o.d"
+  "/root/repo/src/course/timeline.cpp" "src/course/CMakeFiles/pblpar_course.dir/timeline.cpp.o" "gcc" "src/course/CMakeFiles/pblpar_course.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pblpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_course.dir/assignments.cpp.o"
+  "CMakeFiles/pblpar_course.dir/assignments.cpp.o.d"
+  "CMakeFiles/pblpar_course.dir/grading.cpp.o"
+  "CMakeFiles/pblpar_course.dir/grading.cpp.o.d"
+  "CMakeFiles/pblpar_course.dir/outcomes.cpp.o"
+  "CMakeFiles/pblpar_course.dir/outcomes.cpp.o.d"
+  "CMakeFiles/pblpar_course.dir/student.cpp.o"
+  "CMakeFiles/pblpar_course.dir/student.cpp.o.d"
+  "CMakeFiles/pblpar_course.dir/teams.cpp.o"
+  "CMakeFiles/pblpar_course.dir/teams.cpp.o.d"
+  "CMakeFiles/pblpar_course.dir/timeline.cpp.o"
+  "CMakeFiles/pblpar_course.dir/timeline.cpp.o.d"
+  "libpblpar_course.a"
+  "libpblpar_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_drugdesign.dir/drugdesign.cpp.o"
+  "CMakeFiles/pblpar_drugdesign.dir/drugdesign.cpp.o.d"
+  "libpblpar_drugdesign.a"
+  "libpblpar_drugdesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_drugdesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

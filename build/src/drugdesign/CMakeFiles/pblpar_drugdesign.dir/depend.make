@@ -1,0 +1,2 @@
+# Empty dependencies file for pblpar_drugdesign.
+# This may be replaced when dependencies are built.

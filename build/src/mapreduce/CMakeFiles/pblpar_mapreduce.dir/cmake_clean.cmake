@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_mapreduce.dir/jobs.cpp.o"
+  "CMakeFiles/pblpar_mapreduce.dir/jobs.cpp.o.d"
+  "libpblpar_mapreduce.a"
+  "libpblpar_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

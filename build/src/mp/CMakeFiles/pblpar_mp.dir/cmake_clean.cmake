@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_mp.dir/comm.cpp.o"
+  "CMakeFiles/pblpar_mp.dir/comm.cpp.o.d"
+  "CMakeFiles/pblpar_mp.dir/mailbox.cpp.o"
+  "CMakeFiles/pblpar_mp.dir/mailbox.cpp.o.d"
+  "CMakeFiles/pblpar_mp.dir/sim_world.cpp.o"
+  "CMakeFiles/pblpar_mp.dir/sim_world.cpp.o.d"
+  "CMakeFiles/pblpar_mp.dir/world.cpp.o"
+  "CMakeFiles/pblpar_mp.dir/world.cpp.o.d"
+  "libpblpar_mp.a"
+  "libpblpar_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_patternlets.dir/patternlets.cpp.o"
+  "CMakeFiles/pblpar_patternlets.dir/patternlets.cpp.o.d"
+  "libpblpar_patternlets.a"
+  "libpblpar_patternlets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_patternlets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

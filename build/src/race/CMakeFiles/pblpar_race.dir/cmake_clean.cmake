@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_race.dir/detector.cpp.o"
+  "CMakeFiles/pblpar_race.dir/detector.cpp.o.d"
+  "CMakeFiles/pblpar_race.dir/vector_clock.cpp.o"
+  "CMakeFiles/pblpar_race.dir/vector_clock.cpp.o.d"
+  "libpblpar_race.a"
+  "libpblpar_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

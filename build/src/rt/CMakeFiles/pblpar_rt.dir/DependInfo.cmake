@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/host_backend.cpp" "src/rt/CMakeFiles/pblpar_rt.dir/host_backend.cpp.o" "gcc" "src/rt/CMakeFiles/pblpar_rt.dir/host_backend.cpp.o.d"
+  "/root/repo/src/rt/loops.cpp" "src/rt/CMakeFiles/pblpar_rt.dir/loops.cpp.o" "gcc" "src/rt/CMakeFiles/pblpar_rt.dir/loops.cpp.o.d"
+  "/root/repo/src/rt/parallel.cpp" "src/rt/CMakeFiles/pblpar_rt.dir/parallel.cpp.o" "gcc" "src/rt/CMakeFiles/pblpar_rt.dir/parallel.cpp.o.d"
+  "/root/repo/src/rt/sim_backend.cpp" "src/rt/CMakeFiles/pblpar_rt.dir/sim_backend.cpp.o" "gcc" "src/rt/CMakeFiles/pblpar_rt.dir/sim_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pblpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pblpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_rt.dir/host_backend.cpp.o"
+  "CMakeFiles/pblpar_rt.dir/host_backend.cpp.o.d"
+  "CMakeFiles/pblpar_rt.dir/loops.cpp.o"
+  "CMakeFiles/pblpar_rt.dir/loops.cpp.o.d"
+  "CMakeFiles/pblpar_rt.dir/parallel.cpp.o"
+  "CMakeFiles/pblpar_rt.dir/parallel.cpp.o.d"
+  "CMakeFiles/pblpar_rt.dir/sim_backend.cpp.o"
+  "CMakeFiles/pblpar_rt.dir/sim_backend.cpp.o.d"
+  "libpblpar_rt.a"
+  "libpblpar_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

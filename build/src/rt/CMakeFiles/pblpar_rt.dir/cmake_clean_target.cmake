@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpblpar_rt.a"
+)

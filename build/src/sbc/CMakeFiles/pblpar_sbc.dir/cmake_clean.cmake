@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_sbc.dir/architecture.cpp.o"
+  "CMakeFiles/pblpar_sbc.dir/architecture.cpp.o.d"
+  "libpblpar_sbc.a"
+  "libpblpar_sbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_sbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pblpar_sbc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_sim.dir/machine.cpp.o"
+  "CMakeFiles/pblpar_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/pblpar_sim.dir/report.cpp.o"
+  "CMakeFiles/pblpar_sim.dir/report.cpp.o.d"
+  "CMakeFiles/pblpar_sim.dir/spec.cpp.o"
+  "CMakeFiles/pblpar_sim.dir/spec.cpp.o.d"
+  "libpblpar_sim.a"
+  "libpblpar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

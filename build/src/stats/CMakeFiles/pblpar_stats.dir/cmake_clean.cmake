@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_stats.dir/correlation.cpp.o"
+  "CMakeFiles/pblpar_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/pblpar_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/pblpar_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/pblpar_stats.dir/effect.cpp.o"
+  "CMakeFiles/pblpar_stats.dir/effect.cpp.o.d"
+  "CMakeFiles/pblpar_stats.dir/ranking.cpp.o"
+  "CMakeFiles/pblpar_stats.dir/ranking.cpp.o.d"
+  "CMakeFiles/pblpar_stats.dir/special.cpp.o"
+  "CMakeFiles/pblpar_stats.dir/special.cpp.o.d"
+  "CMakeFiles/pblpar_stats.dir/tests.cpp.o"
+  "CMakeFiles/pblpar_stats.dir/tests.cpp.o.d"
+  "libpblpar_stats.a"
+  "libpblpar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

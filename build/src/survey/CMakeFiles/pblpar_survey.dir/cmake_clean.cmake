@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_survey.dir/instrument.cpp.o"
+  "CMakeFiles/pblpar_survey.dir/instrument.cpp.o.d"
+  "CMakeFiles/pblpar_survey.dir/response.cpp.o"
+  "CMakeFiles/pblpar_survey.dir/response.cpp.o.d"
+  "libpblpar_survey.a"
+  "libpblpar_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

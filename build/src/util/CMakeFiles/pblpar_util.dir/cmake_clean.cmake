@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pblpar_util.dir/rng.cpp.o"
+  "CMakeFiles/pblpar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pblpar_util.dir/table.cpp.o"
+  "CMakeFiles/pblpar_util.dir/table.cpp.o.d"
+  "CMakeFiles/pblpar_util.dir/text.cpp.o"
+  "CMakeFiles/pblpar_util.dir/text.cpp.o.d"
+  "libpblpar_util.a"
+  "libpblpar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pblpar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

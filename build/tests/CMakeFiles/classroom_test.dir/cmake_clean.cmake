@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_test.dir/classroom/classroom_test.cpp.o"
+  "CMakeFiles/classroom_test.dir/classroom/classroom_test.cpp.o.d"
+  "classroom_test"
+  "classroom_test.pdb"
+  "classroom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

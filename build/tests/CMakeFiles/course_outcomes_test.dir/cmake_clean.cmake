@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_outcomes_test.dir/course/outcomes_test.cpp.o"
+  "CMakeFiles/course_outcomes_test.dir/course/outcomes_test.cpp.o.d"
+  "course_outcomes_test"
+  "course_outcomes_test.pdb"
+  "course_outcomes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_outcomes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

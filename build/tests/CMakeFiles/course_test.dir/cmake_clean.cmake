@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_test.dir/course/course_test.cpp.o"
+  "CMakeFiles/course_test.dir/course/course_test.cpp.o.d"
+  "course_test"
+  "course_test.pdb"
+  "course_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drugdesign_test.dir/drugdesign/drugdesign_test.cpp.o"
+  "CMakeFiles/drugdesign_test.dir/drugdesign/drugdesign_test.cpp.o.d"
+  "drugdesign_test"
+  "drugdesign_test.pdb"
+  "drugdesign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drugdesign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/future_mpi_test.cpp" "tests/CMakeFiles/integration_future_mpi_test.dir/integration/future_mpi_test.cpp.o" "gcc" "tests/CMakeFiles/integration_future_mpi_test.dir/integration/future_mpi_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/pblpar_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pblpar_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/pblpar_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/pblpar_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pblpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pblpar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

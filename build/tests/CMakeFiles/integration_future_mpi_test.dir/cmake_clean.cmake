@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_future_mpi_test.dir/integration/future_mpi_test.cpp.o"
+  "CMakeFiles/integration_future_mpi_test.dir/integration/future_mpi_test.cpp.o.d"
+  "integration_future_mpi_test"
+  "integration_future_mpi_test.pdb"
+  "integration_future_mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_future_mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_property_test.dir/mapreduce/mapreduce_property_test.cpp.o"
+  "CMakeFiles/mapreduce_property_test.dir/mapreduce/mapreduce_property_test.cpp.o.d"
+  "mapreduce_property_test"
+  "mapreduce_property_test.pdb"
+  "mapreduce_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

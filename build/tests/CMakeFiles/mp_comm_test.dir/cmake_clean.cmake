@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_comm_test.dir/mp/comm_test.cpp.o"
+  "CMakeFiles/mp_comm_test.dir/mp/comm_test.cpp.o.d"
+  "mp_comm_test"
+  "mp_comm_test.pdb"
+  "mp_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sim_world_test.dir/mp/sim_world_test.cpp.o"
+  "CMakeFiles/mp_sim_world_test.dir/mp/sim_world_test.cpp.o.d"
+  "mp_sim_world_test"
+  "mp_sim_world_test.pdb"
+  "mp_sim_world_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sim_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

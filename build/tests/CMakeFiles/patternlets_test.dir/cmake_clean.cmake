@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patternlets_test.dir/patternlets/patternlets_test.cpp.o"
+  "CMakeFiles/patternlets_test.dir/patternlets/patternlets_test.cpp.o.d"
+  "patternlets_test"
+  "patternlets_test.pdb"
+  "patternlets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patternlets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

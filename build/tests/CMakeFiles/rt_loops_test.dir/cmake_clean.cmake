@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_loops_test.dir/rt/loops_test.cpp.o"
+  "CMakeFiles/rt_loops_test.dir/rt/loops_test.cpp.o.d"
+  "rt_loops_test"
+  "rt_loops_test.pdb"
+  "rt_loops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_loops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_parallel_test.dir/rt/parallel_test.cpp.o"
+  "CMakeFiles/rt_parallel_test.dir/rt/parallel_test.cpp.o.d"
+  "rt_parallel_test"
+  "rt_parallel_test.pdb"
+  "rt_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

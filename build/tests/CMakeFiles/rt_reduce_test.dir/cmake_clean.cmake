@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_reduce_test.dir/rt/reduce_test.cpp.o"
+  "CMakeFiles/rt_reduce_test.dir/rt/reduce_test.cpp.o.d"
+  "rt_reduce_test"
+  "rt_reduce_test.pdb"
+  "rt_reduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_reduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_worksharing_test.dir/rt/worksharing_test.cpp.o"
+  "CMakeFiles/rt_worksharing_test.dir/rt/worksharing_test.cpp.o.d"
+  "rt_worksharing_test"
+  "rt_worksharing_test.pdb"
+  "rt_worksharing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_worksharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbc_architecture_test.dir/sbc/architecture_test.cpp.o"
+  "CMakeFiles/sbc_architecture_test.dir/sbc/architecture_test.cpp.o.d"
+  "sbc_architecture_test"
+  "sbc_architecture_test.pdb"
+  "sbc_architecture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbc_architecture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_timing_test.dir/sim/timing_test.cpp.o"
+  "CMakeFiles/sim_timing_test.dir/sim/timing_test.cpp.o.d"
+  "sim_timing_test"
+  "sim_timing_test.pdb"
+  "sim_timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

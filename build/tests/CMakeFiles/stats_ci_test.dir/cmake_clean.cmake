@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ci_test.dir/stats/ci_test.cpp.o"
+  "CMakeFiles/stats_ci_test.dir/stats/ci_test.cpp.o.d"
+  "stats_ci_test"
+  "stats_ci_test.pdb"
+  "stats_ci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_table_test[1]_include.cmake")
+include("/root/repo/build/tests/util_text_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_timing_test[1]_include.cmake")
+include("/root/repo/build/tests/race_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_loops_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_reduce_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_comm_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_special_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_effect_correlation_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build/tests/survey_test[1]_include.cmake")
+include("/root/repo/build/tests/course_test[1]_include.cmake")
+include("/root/repo/build/tests/classroom_test[1]_include.cmake")
+include("/root/repo/build/tests/patternlets_test[1]_include.cmake")
+include("/root/repo/build/tests/drugdesign_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_condition_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_sim_world_test[1]_include.cmake")
+include("/root/repo/build/tests/sbc_architecture_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_future_mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_worksharing_test[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_property_test[1]_include.cmake")
+include("/root/repo/build/tests/course_outcomes_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_ci_test[1]_include.cmake")
