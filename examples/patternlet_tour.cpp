@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "patternlets/patternlets.hpp"
+#include "rt/trace.hpp"
 
 namespace {
 
@@ -67,6 +68,15 @@ int main() {
   print_assignment(patternlets::parallel_loop_chunks(
                        pi4, 16, rt::Schedule::dynamic(1), triangular),
                    4);
+
+  std::printf("\n== Assignment 3: watching a schedule run ==\n");
+  // The same imbalanced loop, now with the tracing layer on: each lane is
+  // one thread, each block one claimed chunk, time flows left to right.
+  const auto traced = rt::parallel_for(
+      pi4.traced(), rt::Range::upto(16), rt::Schedule::dynamic(1),
+      [](std::int64_t) {}, triangular);
+  std::printf("%s", traced.profile->timeline_chart(0, 56).c_str());
+  std::printf("  %s\n", traced.profile->summary().c_str());
 
   std::printf("\n== Assignment 3: reduction ==\n");
   const auto reduced = patternlets::reduction_sum(pi4, 1000);

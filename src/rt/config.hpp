@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "sim/machine.hpp"
@@ -7,6 +8,8 @@
 #include "sim/spec.hpp"
 
 namespace pblpar::rt {
+
+struct RunProfile;
 
 /// Which substrate executes a parallel region.
 enum class BackendKind {
@@ -34,6 +37,18 @@ struct ParallelConfig {
   /// race detector attached. Not owned; must outlive the call.
   sim::Machine* external_machine = nullptr;
 
+  /// Record a per-thread execution trace (chunk claims, barrier waits,
+  /// critical sections, single winners) into RunResult::profile. Off by
+  /// default: the hot paths then skip all bookkeeping.
+  bool record_trace = false;
+
+  /// Copy of this config with tracing switched on.
+  ParallelConfig traced() const {
+    ParallelConfig config = *this;
+    config.record_trace = true;
+    return config;
+  }
+
   static ParallelConfig sim_pi(int num_threads = 4) {
     ParallelConfig config;
     config.num_threads = num_threads;
@@ -56,6 +71,10 @@ struct RunResult {
 
   /// Virtual-time report (Sim backend only).
   std::optional<sim::ExecutionReport> sim_report;
+
+  /// Per-thread trace profile; only set when ParallelConfig::record_trace
+  /// was on. Shared so RunResult stays cheap to copy.
+  std::shared_ptr<const RunProfile> profile;
 
   /// Virtual time if simulated, host time otherwise.
   double elapsed_seconds() const {

@@ -5,9 +5,11 @@
 #include <array>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "rt/trace.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::rt {
@@ -29,7 +31,11 @@ void AbortableBarrier::arrive_and_wait() {
     return;
   }
   cv_.wait(lk, [&] { return generation_ != my_generation || aborted_; });
-  if (aborted_ && generation_ == my_generation) {
+  // Abort wins over a concurrent release: without the plain re-check a
+  // waiter whose generation was bumped in the same mutex epoch as abort()
+  // would return normally and the abort would be lost until (unless) it
+  // reached another barrier.
+  if (aborted_) {
     throw TeamAborted{};
   }
 }
@@ -65,6 +71,10 @@ struct HostTeam {
   std::array<std::atomic<std::int64_t>, kMaxWorksharing> loop_counters;
   std::array<std::atomic<int>, kMaxWorksharing> single_arrivals;
   std::atomic<bool> aborted{false};
+
+  /// Observability (null / unset when tracing is off).
+  TraceRecorder* tracer = nullptr;
+  std::chrono::steady_clock::time_point trace_epoch;
 };
 
 class HostTeamContext final : public TeamContext {
@@ -74,11 +84,40 @@ class HostTeamContext final : public TeamContext {
   int thread_num() const override { return tid_; }
   int num_threads() const override { return team_->num_threads; }
 
-  void barrier() override { team_->barrier.arrive_and_wait(); }
+  TraceRecorder* tracer() override { return team_->tracer; }
+
+  double trace_now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         team_->trace_epoch)
+        .count();
+  }
+
+  void barrier() override {
+    if (team_->tracer == nullptr) {
+      team_->barrier.arrive_and_wait();
+      return;
+    }
+    const double arrive_s = trace_now();
+    team_->barrier.arrive_and_wait();
+    team_->tracer->record_barrier(tid_, arrive_s, trace_now());
+  }
 
   void critical(const std::function<void()>& body) override {
-    std::lock_guard guard(team_->critical_mu);
-    body();
+    if (team_->tracer == nullptr) {
+      std::lock_guard guard(team_->critical_mu);
+      body();
+      return;
+    }
+    const double request_s = trace_now();
+    double acquire_s = 0.0;
+    double release_s = 0.0;
+    {
+      std::lock_guard guard(team_->critical_mu);
+      acquire_s = trace_now();
+      body();
+      release_s = trace_now();
+    }
+    team_->tracer->record_critical(tid_, request_s, acquire_s, release_s);
   }
 
   void single(const std::function<void()>& body) override {
@@ -87,6 +126,9 @@ class HostTeamContext final : public TeamContext {
                   "TeamContext::single: too many worksharing constructs");
     if (team_->single_arrivals[static_cast<std::size_t>(id)].fetch_add(1) ==
         0) {
+      if (team_->tracer != nullptr) {
+        team_->tracer->record_single_winner(tid_, id);
+      }
       body();
     }
     barrier();
@@ -125,16 +167,25 @@ class HostTeamContext final : public TeamContext {
 
 }  // namespace
 
-RunResult host_parallel(int num_threads,
+RunResult host_parallel(const ParallelConfig& config,
                         const std::function<void(TeamContext&)>& body) {
+  const int num_threads = config.num_threads;
   util::require(num_threads >= 1, "host_parallel: need at least one thread");
   util::require(body != nullptr, "host_parallel: body must be callable");
 
   HostTeam team(num_threads);
+  std::unique_ptr<TraceRecorder> recorder;
+  if (config.record_trace) {
+    recorder = std::make_unique<TraceRecorder>(num_threads,
+                                               TraceClock::HostSteady);
+    team.tracer = recorder.get();
+  }
+
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_threads));
 
   const auto start = std::chrono::steady_clock::now();
+  team.trace_epoch = start;
   {
     std::vector<std::jthread> members;
     members.reserve(static_cast<std::size_t>(num_threads));
@@ -163,6 +214,10 @@ RunResult host_parallel(int num_threads,
 
   RunResult result;
   result.host_seconds = std::chrono::duration<double>(end - start).count();
+  if (recorder != nullptr) {
+    result.profile = std::make_shared<const RunProfile>(
+        recorder->finish(result.host_seconds));
+  }
   return result;
 }
 

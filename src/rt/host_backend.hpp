@@ -29,6 +29,12 @@ class AbortableBarrier {
   explicit AbortableBarrier(int parties);
 
   /// Wait for all parties. Throws TeamAborted if abort() was called.
+  ///
+  /// Abort is deterministic with respect to this call: a thread returns
+  /// normally only if its release happened-before abort() marked the
+  /// barrier; any thread still inside arrive_and_wait when the abort flag
+  /// is set — waiting, or arriving as the releasing party — throws, even
+  /// if its generation was already released.
   void arrive_and_wait();
 
   /// Release all current and future waiters with TeamAborted.
@@ -43,9 +49,11 @@ class AbortableBarrier {
   bool aborted_ = false;
 };
 
-/// Execute `body` as a team of `num_threads` real std::threads.
+/// Execute `body` as a team of `config.num_threads` real std::threads.
 /// Rethrows the first exception thrown by any member after the region.
-RunResult host_parallel(int num_threads,
+/// With config.record_trace set, attaches a RunProfile stamped on the
+/// host steady clock to the result.
+RunResult host_parallel(const ParallelConfig& config,
                         const std::function<void(TeamContext&)>& body);
 
 }  // namespace pblpar::rt

@@ -1,7 +1,9 @@
 #include "rt/loops.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "rt/trace.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::rt {
@@ -59,6 +61,24 @@ void run_chunk(TeamContext& tc, std::int64_t begin, std::int64_t end,
   }
 }
 
+/// run_chunk plus a trace record when tracing is on. The chunk's span on
+/// the trace clock covers the body and (on Sim) the charged cost, so host
+/// and sim timelines mean the same thing.
+void run_chunk_traced(TeamContext& tc, TraceRecorder* tracer, int loop_id,
+                      std::int64_t begin, std::int64_t end,
+                      const std::function<void(std::int64_t)>& body,
+                      const CostModel& cost) {
+  if (tracer == nullptr) {
+    run_chunk(tc, begin, end, body, cost);
+    return;
+  }
+  const std::uint64_t claim_order = tracer->next_claim_order();
+  const double start_s = tc.trace_now();
+  run_chunk(tc, begin, end, body, cost);
+  tracer->record_chunk(tc.thread_num(), loop_id, begin, end, claim_order,
+                       start_s, tc.trace_now());
+}
+
 }  // namespace
 
 void for_loop(TeamContext& tc, Range range, Schedule schedule,
@@ -69,6 +89,10 @@ void for_loop(TeamContext& tc, Range range, Schedule schedule,
   const int loop_id = tc.next_loop_id();
   const int num_threads = tc.num_threads();
   const int tid = tc.thread_num();
+  TraceRecorder* const tracer = tc.tracer();
+  if (tracer != nullptr) {
+    tracer->register_loop(loop_id, schedule.to_string(), total);
+  }
 
   if (schedule.kind == Schedule::Kind::Static) {
     if (schedule.chunk <= 0) {
@@ -80,17 +104,29 @@ void for_loop(TeamContext& tc, Range range, Schedule schedule,
       const std::int64_t start =
           range.begin + tid * base + std::min<std::int64_t>(tid, extra);
       if (mine > 0) {
-        run_chunk(tc, start, start + mine, body, cost);
+        run_chunk_traced(tc, tracer, loop_id, start, start + mine, body,
+                         cost);
       }
     } else {
-      // Round-robin chunks of the given size.
-      for (std::int64_t chunk_start = schedule.chunk * tid;
-           chunk_start < total;
-           chunk_start += schedule.chunk * num_threads) {
+      // Round-robin chunks of the given size. The chunk is clamped to the
+      // loop length (a bigger chunk cannot hand out more work anyway) so
+      // the stride arithmetic below stays inside int64.
+      const std::int64_t chunk =
+          std::min<std::int64_t>(schedule.chunk, total);
+      util::require(
+          chunk <= std::numeric_limits<std::int64_t>::max() / num_threads,
+          "for_loop: static chunk * num_threads overflows int64");
+      const std::int64_t stride = chunk * num_threads;
+      std::int64_t chunk_start = chunk * tid;
+      while (chunk_start < total) {
         const std::int64_t chunk_end =
-            std::min<std::int64_t>(total, chunk_start + schedule.chunk);
-        run_chunk(tc, range.begin + chunk_start, range.begin + chunk_end,
-                  body, cost);
+            chunk < total - chunk_start ? chunk_start + chunk : total;
+        run_chunk_traced(tc, tracer, loop_id, range.begin + chunk_start,
+                         range.begin + chunk_end, body, cost);
+        if (stride > total - chunk_start) {
+          break;  // next round-robin turn would overflow / pass the end
+        }
+        chunk_start += stride;
       }
     }
   } else {
@@ -99,8 +135,8 @@ void for_loop(TeamContext& tc, Range range, Schedule schedule,
       if (count == 0) {
         break;
       }
-      run_chunk(tc, range.begin + start, range.begin + start + count, body,
-                cost);
+      run_chunk_traced(tc, tracer, loop_id, range.begin + start,
+                       range.begin + start + count, body, cost);
     }
   }
 

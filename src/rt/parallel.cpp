@@ -12,14 +12,13 @@ RunResult parallel(const ParallelConfig& config,
                 "parallel: config.num_threads must be >= 1");
   switch (config.backend) {
     case BackendKind::Host:
-      return host_parallel(config.num_threads, body);
+      return host_parallel(config, body);
     case BackendKind::Sim: {
       if (config.external_machine != nullptr) {
-        return sim_parallel(*config.external_machine, config.num_threads,
-                            body);
+        return sim_parallel(*config.external_machine, config, body);
       }
       sim::Machine machine(config.machine);
-      return sim_parallel(machine, config.num_threads, body);
+      return sim_parallel(machine, config, body);
     }
   }
   throw util::PreconditionError("parallel: unknown backend");

@@ -3,8 +3,10 @@
 #include "rt/loops.hpp"
 
 #include <chrono>
+#include <memory>
 #include <vector>
 
+#include "rt/trace.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::rt {
@@ -21,6 +23,10 @@ struct SimTeam {
   sim::MutexHandle claim_mutex;
   std::vector<std::int64_t> loop_counters;
   std::vector<int> single_arrivals;
+
+  /// Observability (null when tracing is off). Timestamps are virtual
+  /// time; Machine::run starts each run at t = 0.
+  TraceRecorder* tracer = nullptr;
 };
 
 class SimTeamContext final : public TeamContext {
@@ -31,11 +37,36 @@ class SimTeamContext final : public TeamContext {
   int thread_num() const override { return tid_; }
   int num_threads() const override { return team_->num_threads; }
 
-  void barrier() override { ctx_->barrier(team_->barrier); }
+  TraceRecorder* tracer() override { return team_->tracer; }
+
+  double trace_now() const override { return ctx_->now(); }
+
+  void barrier() override {
+    if (team_->tracer == nullptr) {
+      ctx_->barrier(team_->barrier);
+      return;
+    }
+    const double arrive_s = ctx_->now();
+    ctx_->barrier(team_->barrier);
+    team_->tracer->record_barrier(tid_, arrive_s, ctx_->now());
+  }
 
   void critical(const std::function<void()>& body) override {
-    sim::ScopedLock lock(*ctx_, team_->critical_mutex);
-    body();
+    if (team_->tracer == nullptr) {
+      sim::ScopedLock lock(*ctx_, team_->critical_mutex);
+      body();
+      return;
+    }
+    const double request_s = ctx_->now();
+    double acquire_s = 0.0;
+    double release_s = 0.0;
+    {
+      sim::ScopedLock lock(*ctx_, team_->critical_mutex);
+      acquire_s = ctx_->now();
+      body();
+      release_s = ctx_->now();
+    }
+    team_->tracer->record_critical(tid_, request_s, acquire_s, release_s);
   }
 
   void single(const std::function<void()>& body) override {
@@ -50,6 +81,9 @@ class SimTeamContext final : public TeamContext {
       mine = arrivals[static_cast<std::size_t>(id)]++ == 0;
     }
     if (mine) {
+      if (team_->tracer != nullptr) {
+        team_->tracer->record_single_winner(tid_, id);
+      }
       body();
     }
     barrier();
@@ -91,8 +125,9 @@ class SimTeamContext final : public TeamContext {
 
 }  // namespace
 
-RunResult sim_parallel(sim::Machine& machine, int num_threads,
+RunResult sim_parallel(sim::Machine& machine, const ParallelConfig& config,
                        const std::function<void(TeamContext&)>& body) {
+  const int num_threads = config.num_threads;
   util::require(num_threads >= 1, "sim_parallel: need at least one thread");
   util::require(body != nullptr, "sim_parallel: body must be callable");
 
@@ -101,6 +136,12 @@ RunResult sim_parallel(sim::Machine& machine, int num_threads,
   team.barrier = machine.make_barrier(num_threads);
   team.critical_mutex = machine.make_mutex();
   team.claim_mutex = machine.make_mutex();
+  std::unique_ptr<TraceRecorder> recorder;
+  if (config.record_trace) {
+    recorder = std::make_unique<TraceRecorder>(num_threads,
+                                               TraceClock::SimVirtual);
+    team.tracer = recorder.get();
+  }
 
   const auto start = std::chrono::steady_clock::now();
   sim::ExecutionReport report =
@@ -125,6 +166,10 @@ RunResult sim_parallel(sim::Machine& machine, int num_threads,
   RunResult result;
   result.host_seconds = std::chrono::duration<double>(end - start).count();
   result.sim_report = std::move(report);
+  if (recorder != nullptr) {
+    result.profile = std::make_shared<const RunProfile>(
+        recorder->finish(result.sim_report->makespan_s));
+  }
   return result;
 }
 

@@ -8,10 +8,13 @@
 
 namespace pblpar::rt {
 
-/// Execute `body` as a team of `num_threads` virtual threads on the given
-/// simulated machine (thread 0 is the machine's root thread, mirroring
-/// OpenMP's master). Returns the machine's execution report.
-RunResult sim_parallel(sim::Machine& machine, int num_threads,
+/// Execute `body` as a team of `config.num_threads` virtual threads on
+/// the given simulated machine (thread 0 is the machine's root thread,
+/// mirroring OpenMP's master). Returns the machine's execution report.
+/// With config.record_trace set, attaches a RunProfile stamped in virtual
+/// time — the same schema the host backend emits, so real and modelled
+/// runs diff cleanly.
+RunResult sim_parallel(sim::Machine& machine, const ParallelConfig& config,
                        const std::function<void(TeamContext&)>& body);
 
 }  // namespace pblpar::rt

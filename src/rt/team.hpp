@@ -8,6 +8,8 @@
 
 namespace pblpar::rt {
 
+class TraceRecorder;
+
 /// The view a team member has of its parallel region — the TeachMP
 /// equivalent of OpenMP's implicit thread context.
 ///
@@ -52,6 +54,14 @@ class TeamContext {
   /// Per-member worksharing-loop sequence number. Every member encounters
   /// loops in the same order, so equal ids refer to the same loop.
   int next_loop_id() { return next_loop_id_++; }
+
+  /// Trace collector of this region, or nullptr when tracing is off.
+  /// Worksharing constructs record chunk/barrier/critical events into it.
+  virtual TraceRecorder* tracer() { return nullptr; }
+
+  /// Seconds since region start on the backend's trace clock (host steady
+  /// clock or sim virtual time). Only meaningful while tracing.
+  virtual double trace_now() const { return 0.0; }
 
  private:
   int next_loop_id_ = 0;

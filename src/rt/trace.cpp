@@ -1,0 +1,375 @@
+#include "rt/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+std::string to_string(TraceClock clock) {
+  switch (clock) {
+    case TraceClock::HostSteady:
+      return "host-steady";
+    case TraceClock::SimVirtual:
+      return "sim-virtual";
+  }
+  return "?";
+}
+
+// --- TraceRecorder ---------------------------------------------------------
+
+TraceRecorder::TraceRecorder(int num_threads, TraceClock clock)
+    : clock_(clock), num_threads_(num_threads) {
+  util::require(num_threads >= 1, "TraceRecorder: need at least one thread");
+  threads_.resize(static_cast<std::size_t>(num_threads));
+}
+
+void TraceRecorder::register_loop(int loop_id, const std::string& schedule,
+                                  std::int64_t total) {
+  std::lock_guard guard(loops_mu_);
+  for (const LoopInfo& info : loops_) {
+    if (info.loop_id == loop_id) {
+      return;
+    }
+  }
+  loops_.push_back(LoopInfo{loop_id, schedule, total});
+}
+
+void TraceRecorder::record_chunk(int tid, int loop_id, std::int64_t begin,
+                                 std::int64_t end, std::uint64_t claim_order,
+                                 double start_s, double end_s) {
+  threads_[static_cast<std::size_t>(tid)].chunks.push_back(
+      ChunkEvent{loop_id, tid, begin, end, claim_order, start_s, end_s});
+}
+
+void TraceRecorder::record_barrier(int tid, double arrive_s,
+                                   double release_s) {
+  threads_[static_cast<std::size_t>(tid)].barriers.push_back(
+      BarrierEvent{tid, arrive_s, release_s});
+}
+
+void TraceRecorder::record_critical(int tid, double request_s,
+                                    double acquire_s, double release_s) {
+  threads_[static_cast<std::size_t>(tid)].criticals.push_back(
+      CriticalEvent{tid, request_s, acquire_s, release_s});
+}
+
+void TraceRecorder::record_single_winner(int tid, int single_id) {
+  threads_[static_cast<std::size_t>(tid)].singles.push_back(
+      SingleEvent{single_id, tid});
+}
+
+RunProfile TraceRecorder::finish(double region_s) {
+  RunProfile profile;
+  profile.clock = clock_;
+  profile.num_threads = num_threads_;
+  profile.region_s = region_s;
+  {
+    std::lock_guard guard(loops_mu_);
+    profile.loops = loops_;
+  }
+  std::sort(profile.loops.begin(), profile.loops.end(),
+            [](const LoopInfo& a, const LoopInfo& b) {
+              return a.loop_id < b.loop_id;
+            });
+  for (const PerThread& thread : threads_) {
+    profile.chunks.insert(profile.chunks.end(), thread.chunks.begin(),
+                          thread.chunks.end());
+    profile.barriers.insert(profile.barriers.end(), thread.barriers.begin(),
+                            thread.barriers.end());
+    profile.criticals.insert(profile.criticals.end(),
+                             thread.criticals.begin(),
+                             thread.criticals.end());
+    profile.singles.insert(profile.singles.end(), thread.singles.begin(),
+                           thread.singles.end());
+  }
+  std::sort(profile.chunks.begin(), profile.chunks.end(),
+            [](const ChunkEvent& a, const ChunkEvent& b) {
+              return a.claim_order < b.claim_order;
+            });
+  std::sort(profile.singles.begin(), profile.singles.end(),
+            [](const SingleEvent& a, const SingleEvent& b) {
+              return a.single_id < b.single_id;
+            });
+  return profile;
+}
+
+// --- RunProfile aggregates -------------------------------------------------
+
+std::vector<ThreadProfile> RunProfile::per_thread() const {
+  std::vector<ThreadProfile> threads(
+      static_cast<std::size_t>(std::max(num_threads, 0)));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    threads[static_cast<std::size_t>(tid)].tid = tid;
+  }
+  for (const ChunkEvent& chunk : chunks) {
+    ThreadProfile& thread = threads[static_cast<std::size_t>(chunk.tid)];
+    thread.work_s += chunk.duration_s();
+    thread.iterations += chunk.iterations();
+    ++thread.chunks;
+  }
+  for (const BarrierEvent& barrier : barriers) {
+    ThreadProfile& thread = threads[static_cast<std::size_t>(barrier.tid)];
+    thread.barrier_wait_s += barrier.wait_s();
+    ++thread.barriers;
+  }
+  for (const CriticalEvent& critical : criticals) {
+    ThreadProfile& thread = threads[static_cast<std::size_t>(critical.tid)];
+    thread.critical_wait_s += critical.wait_s();
+    thread.critical_hold_s += critical.hold_s();
+    ++thread.criticals;
+  }
+  for (const SingleEvent& single : singles) {
+    ++threads[static_cast<std::size_t>(single.winner_tid)].singles_won;
+  }
+  return threads;
+}
+
+double RunProfile::load_imbalance() const {
+  double max_work = 0.0;
+  double total_work = 0.0;
+  for (const ThreadProfile& thread : per_thread()) {
+    max_work = std::max(max_work, thread.work_s);
+    total_work += thread.work_s;
+  }
+  if (num_threads <= 0 || total_work <= 0.0) {
+    return 1.0;
+  }
+  return max_work / (total_work / static_cast<double>(num_threads));
+}
+
+double RunProfile::barrier_wait_fraction() const {
+  if (num_threads <= 0 || region_s <= 0.0) {
+    return 0.0;
+  }
+  double wait = 0.0;
+  for (const BarrierEvent& barrier : barriers) {
+    wait += std::max(0.0, barrier.wait_s());
+  }
+  return wait / (static_cast<double>(num_threads) * region_s);
+}
+
+std::uint64_t RunProfile::critical_contentions(double min_wait_s) const {
+  std::uint64_t contended = 0;
+  for (const CriticalEvent& critical : criticals) {
+    if (critical.wait_s() > min_wait_s) {
+      ++contended;
+    }
+  }
+  return contended;
+}
+
+// --- Rendering -------------------------------------------------------------
+
+namespace {
+
+std::string schedule_of(const std::vector<LoopInfo>& loops, int loop_id) {
+  for (const LoopInfo& info : loops) {
+    if (info.loop_id == loop_id) {
+      return info.schedule;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+util::Table RunProfile::chunk_table(int loop_id) const {
+  std::string title = "Chunk claims (" + to_string(clock) + ")";
+  if (loop_id >= 0) {
+    title += " — loop " + std::to_string(loop_id) + " [" +
+             schedule_of(loops, loop_id) + "]";
+  }
+  util::Table table(title);
+  table.columns({"loop", "order", "thread", "begin", "end", "iters",
+                 "start ms", "end ms", "dur ms"},
+                {util::Align::Right, util::Align::Right, util::Align::Right,
+                 util::Align::Right, util::Align::Right, util::Align::Right,
+                 util::Align::Right, util::Align::Right, util::Align::Right});
+  for (const ChunkEvent& chunk : chunks) {
+    if (loop_id >= 0 && chunk.loop_id != loop_id) {
+      continue;
+    }
+    table.row({std::to_string(chunk.loop_id),
+               std::to_string(chunk.claim_order), std::to_string(chunk.tid),
+               std::to_string(chunk.begin), std::to_string(chunk.end),
+               std::to_string(chunk.iterations()),
+               util::Table::num(chunk.start_s * 1e3, 4),
+               util::Table::num(chunk.end_s * 1e3, 4),
+               util::Table::num(chunk.duration_s() * 1e3, 4)});
+  }
+  return table;
+}
+
+std::string RunProfile::timeline_chart(int loop_id, int width) const {
+  width = std::max(width, 8);
+  // Scale the lanes to the span of the selected chunks (falling back to
+  // the whole region) so short loops inside long regions stay readable.
+  double t_min = region_s > 0.0 ? region_s : 0.0;
+  double t_max = 0.0;
+  bool any = false;
+  for (const ChunkEvent& chunk : chunks) {
+    if (loop_id >= 0 && chunk.loop_id != loop_id) {
+      continue;
+    }
+    any = true;
+    t_min = std::min(t_min, chunk.start_s);
+    t_max = std::max(t_max, chunk.end_s);
+  }
+  if (!any) {
+    return "(no chunks recorded" +
+           (loop_id >= 0 ? " for loop " + std::to_string(loop_id) : "") +
+           ")\n";
+  }
+  const double span = std::max(t_max - t_min, 1e-12);
+  const auto column_of = [&](double t) {
+    const int column =
+        static_cast<int>((t - t_min) / span * static_cast<double>(width));
+    return std::clamp(column, 0, width - 1);
+  };
+
+  const std::vector<ThreadProfile> threads = per_thread();
+  std::vector<std::string> lanes(
+      static_cast<std::size_t>(num_threads),
+      std::string(static_cast<std::size_t>(width), '.'));
+  for (const ChunkEvent& chunk : chunks) {
+    if (loop_id >= 0 && chunk.loop_id != loop_id) {
+      continue;
+    }
+    const char mark =
+        static_cast<char>('0' + static_cast<int>(chunk.claim_order % 10));
+    const int first = column_of(chunk.start_s);
+    const int last = column_of(chunk.end_s);
+    for (int c = first; c <= last; ++c) {
+      lanes[static_cast<std::size_t>(chunk.tid)][static_cast<std::size_t>(
+          c)] = mark;
+    }
+  }
+
+  std::ostringstream out;
+  if (loop_id >= 0) {
+    out << "loop " << loop_id << " [" << schedule_of(loops, loop_id)
+        << "], ";
+  }
+  out << num_threads << " threads, " << util::Table::num(span * 1e3, 3)
+      << " ms shown (" << to_string(clock)
+      << "; lanes marked with claim order mod 10)\n";
+  for (int tid = 0; tid < num_threads; ++tid) {
+    out << "  t" << tid << " |" << lanes[static_cast<std::size_t>(tid)]
+        << "|  work " << util::Table::num(
+               threads[static_cast<std::size_t>(tid)].work_s * 1e3, 3)
+        << " ms, " << threads[static_cast<std::size_t>(tid)].iterations
+        << " iters in " << threads[static_cast<std::size_t>(tid)].chunks
+        << " chunk(s)\n";
+  }
+  return out.str();
+}
+
+std::string RunProfile::to_csv() const {
+  return chunk_table(-1).to_csv();
+}
+
+namespace {
+
+void append_json_number(std::ostringstream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  out << value;
+}
+
+}  // namespace
+
+std::string RunProfile::to_json() const {
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"clock\":\"" << to_string(clock) << "\""
+      << ",\"num_threads\":" << num_threads << ",\"region_s\":";
+  append_json_number(out, region_s);
+  out << ",\"loops\":[";
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const LoopInfo& info = loops[i];
+    out << (i ? "," : "") << "{\"id\":" << info.loop_id << ",\"schedule\":\""
+        << info.schedule << "\",\"total\":" << info.total << "}";
+  }
+  out << "],\"chunks\":[";
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const ChunkEvent& chunk = chunks[i];
+    out << (i ? "," : "") << "{\"loop\":" << chunk.loop_id
+        << ",\"order\":" << chunk.claim_order << ",\"tid\":" << chunk.tid
+        << ",\"begin\":" << chunk.begin << ",\"end\":" << chunk.end
+        << ",\"start_s\":";
+    append_json_number(out, chunk.start_s);
+    out << ",\"end_s\":";
+    append_json_number(out, chunk.end_s);
+    out << "}";
+  }
+  out << "],\"barriers\":[";
+  for (std::size_t i = 0; i < barriers.size(); ++i) {
+    const BarrierEvent& barrier = barriers[i];
+    out << (i ? "," : "") << "{\"tid\":" << barrier.tid << ",\"arrive_s\":";
+    append_json_number(out, barrier.arrive_s);
+    out << ",\"release_s\":";
+    append_json_number(out, barrier.release_s);
+    out << "}";
+  }
+  out << "],\"criticals\":[";
+  for (std::size_t i = 0; i < criticals.size(); ++i) {
+    const CriticalEvent& critical = criticals[i];
+    out << (i ? "," : "") << "{\"tid\":" << critical.tid
+        << ",\"request_s\":";
+    append_json_number(out, critical.request_s);
+    out << ",\"acquire_s\":";
+    append_json_number(out, critical.acquire_s);
+    out << ",\"release_s\":";
+    append_json_number(out, critical.release_s);
+    out << "}";
+  }
+  out << "],\"singles\":[";
+  for (std::size_t i = 0; i < singles.size(); ++i) {
+    out << (i ? "," : "") << "{\"id\":" << singles[i].single_id
+        << ",\"winner\":" << singles[i].winner_tid << "}";
+  }
+  out << "],\"per_thread\":[";
+  const std::vector<ThreadProfile> threads = per_thread();
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    const ThreadProfile& thread = threads[i];
+    out << (i ? "," : "") << "{\"tid\":" << thread.tid << ",\"work_s\":";
+    append_json_number(out, thread.work_s);
+    out << ",\"barrier_wait_s\":";
+    append_json_number(out, thread.barrier_wait_s);
+    out << ",\"critical_wait_s\":";
+    append_json_number(out, thread.critical_wait_s);
+    out << ",\"critical_hold_s\":";
+    append_json_number(out, thread.critical_hold_s);
+    out << ",\"iterations\":" << thread.iterations
+        << ",\"chunks\":" << thread.chunks
+        << ",\"barriers\":" << thread.barriers
+        << ",\"criticals\":" << thread.criticals
+        << ",\"singles_won\":" << thread.singles_won << "}";
+  }
+  out << "],\"load_imbalance\":";
+  append_json_number(out, load_imbalance());
+  out << ",\"barrier_wait_fraction\":";
+  append_json_number(out, barrier_wait_fraction());
+  out << "}";
+  return out.str();
+}
+
+std::string RunProfile::summary() const {
+  std::ostringstream out;
+  out << num_threads << " threads on the " << to_string(clock) << " clock, "
+      << util::Table::num(region_s * 1e3, 3) << " ms region: "
+      << chunks.size() << " chunk(s) over " << loops.size()
+      << " loop(s), load imbalance "
+      << util::Table::num(load_imbalance(), 3) << ", barrier-wait fraction "
+      << util::Table::num(barrier_wait_fraction(), 3) << ", "
+      << critical_contentions() << " contended critical entr"
+      << (critical_contentions() == 1 ? "y" : "ies") << ".";
+  return out.str();
+}
+
+}  // namespace pblpar::rt

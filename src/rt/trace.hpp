@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace pblpar::rt {
+
+/// Which clock stamped the events of a profile. Host traces use the real
+/// steady clock; Sim traces use the machine's virtual clock — the schema
+/// is otherwise identical, so students can diff real vs modelled runs.
+enum class TraceClock { HostSteady, SimVirtual };
+
+std::string to_string(TraceClock clock);
+
+/// Identity of one worksharing loop inside a region. Loop ids are the
+/// per-member sequence numbers from TeamContext::next_loop_id, so equal
+/// ids across threads refer to the same source loop.
+struct LoopInfo {
+  int loop_id = 0;
+  std::string schedule;     // Schedule::to_string() of the loop
+  std::int64_t total = 0;   // iteration count of the loop
+};
+
+/// One chunk of loop iterations executed by one thread.
+struct ChunkEvent {
+  int loop_id = 0;
+  int tid = 0;
+  std::int64_t begin = 0;  // global iteration indices [begin, end)
+  std::int64_t end = 0;
+  /// Region-wide claim sequence number: the order in which chunks started
+  /// executing. For dynamic/guided loops this is the queue-claim order.
+  std::uint64_t claim_order = 0;
+  double start_s = 0.0;  // seconds since region start, on the trace clock
+  double end_s = 0.0;
+
+  std::int64_t iterations() const { return end - begin; }
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// One thread's passage through one barrier episode.
+struct BarrierEvent {
+  int tid = 0;
+  double arrive_s = 0.0;   // when the thread arrived at the barrier
+  double release_s = 0.0;  // when it was released
+
+  double wait_s() const { return release_s - arrive_s; }
+};
+
+/// One thread's passage through one critical section.
+struct CriticalEvent {
+  int tid = 0;
+  double request_s = 0.0;  // when the thread asked for the lock
+  double acquire_s = 0.0;  // when it entered the section
+  double release_s = 0.0;  // when it left
+
+  double wait_s() const { return acquire_s - request_s; }
+  double hold_s() const { return release_s - acquire_s; }
+};
+
+/// Winner of one worksharing single construct.
+struct SingleEvent {
+  int single_id = 0;
+  int winner_tid = 0;
+};
+
+/// Per-thread aggregate of a RunProfile.
+struct ThreadProfile {
+  int tid = 0;
+  double work_s = 0.0;           // total time inside loop chunks
+  double barrier_wait_s = 0.0;   // total time blocked at barriers
+  double critical_wait_s = 0.0;  // total time waiting to enter criticals
+  double critical_hold_s = 0.0;  // total time holding criticals
+  std::int64_t iterations = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t criticals = 0;
+  std::uint64_t singles_won = 0;
+};
+
+/// Full observability record of one parallel region, attached to
+/// RunResult when ParallelConfig::record_trace is set. Event timestamps
+/// are seconds since region start on `clock`.
+struct RunProfile {
+  TraceClock clock = TraceClock::HostSteady;
+  int num_threads = 0;
+  double region_s = 0.0;  // region duration on the trace clock
+
+  std::vector<LoopInfo> loops;
+  std::vector<ChunkEvent> chunks;  // sorted by claim_order
+  std::vector<BarrierEvent> barriers;
+  std::vector<CriticalEvent> criticals;
+  std::vector<SingleEvent> singles;
+
+  /// Aggregates indexed by tid.
+  std::vector<ThreadProfile> per_thread() const;
+
+  /// max(per-thread work) / mean(per-thread work); 1.0 is a perfectly
+  /// balanced loop, num_threads is "one thread did everything".
+  double load_imbalance() const;
+
+  /// Fraction of the region's total thread-time spent blocked at
+  /// barriers: sum(barrier waits) / (num_threads * region_s), in [0, 1].
+  double barrier_wait_fraction() const;
+
+  /// Critical entries that waited longer than `min_wait_s`. The default
+  /// threshold sits above an uncontended acquire on both backends (the
+  /// Sim machine charges ~0.8us even without contention).
+  std::uint64_t critical_contentions(double min_wait_s = 1e-6) const;
+
+  /// Chunk events of one loop (or all loops when loop_id < 0) as a table:
+  /// order, thread, [begin,end), iterations, start/end/duration in ms.
+  util::Table chunk_table(int loop_id = -1) const;
+
+  /// ASCII per-thread chunk timeline (one lane per thread, time on the
+  /// x-axis, each chunk drawn with the last digit of its claim order):
+  ///
+  ///   t0 |000000111111........|  work  1.23 ms
+  ///   t1 |222222......33333333|  work  1.10 ms
+  ///
+  /// Dots are time outside any chunk of the selected loop (waiting at
+  /// the tail barrier, claiming, or running other code).
+  std::string timeline_chart(int loop_id = -1, int width = 64) const;
+
+  /// Machine-readable exports (schema identical across backends).
+  std::string to_json() const;
+  std::string to_csv() const;
+
+  /// One-paragraph human summary: threads, imbalance, barrier fraction.
+  std::string summary() const;
+};
+
+/// Collector the backends write events into while a region runs.
+///
+/// Hot-path discipline: per-thread event buffers (no shared mutable state
+/// on record_chunk/record_barrier/record_critical), one relaxed atomic
+/// fetch_add for the claim order. The cold register_loop path takes a
+/// mutex. finish() must only be called after every member joined.
+class TraceRecorder {
+ public:
+  TraceRecorder(int num_threads, TraceClock clock);
+
+  /// Dedup-registers a loop's metadata (called by every member; cold).
+  void register_loop(int loop_id, const std::string& schedule,
+                     std::int64_t total);
+
+  /// Next region-wide claim sequence number.
+  std::uint64_t next_claim_order() {
+    return claim_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_chunk(int tid, int loop_id, std::int64_t begin,
+                    std::int64_t end, std::uint64_t claim_order,
+                    double start_s, double end_s);
+  void record_barrier(int tid, double arrive_s, double release_s);
+  void record_critical(int tid, double request_s, double acquire_s,
+                       double release_s);
+  void record_single_winner(int tid, int single_id);
+
+  /// Merge all buffers into a profile; `region_s` is the region duration
+  /// on this recorder's clock.
+  RunProfile finish(double region_s);
+
+ private:
+  struct PerThread {
+    std::vector<ChunkEvent> chunks;
+    std::vector<BarrierEvent> barriers;
+    std::vector<CriticalEvent> criticals;
+    std::vector<SingleEvent> singles;
+  };
+
+  TraceClock clock_;
+  int num_threads_;
+  std::vector<PerThread> threads_;
+  std::atomic<std::uint64_t> claim_seq_{0};
+  std::mutex loops_mu_;
+  std::vector<LoopInfo> loops_;
+};
+
+}  // namespace pblpar::rt

@@ -8,6 +8,9 @@
 namespace pblpar::stats {
 
 double cohens_d_pooled(double mean1, double sd1, double mean2, double sd2) {
+  util::require(std::isfinite(sd1) && std::isfinite(sd2) &&
+                    std::isfinite(mean1) && std::isfinite(mean2),
+                "cohens_d_pooled: inputs must be finite");
   util::require(sd1 >= 0.0 && sd2 >= 0.0,
                 "cohens_d_pooled: standard deviations must be non-negative");
   const double pooled = std::sqrt((sd1 * sd1 + sd2 * sd2) / 2.0);
@@ -18,6 +21,12 @@ double cohens_d_pooled(double mean1, double sd1, double mean2, double sd2) {
 
 double cohens_d(std::span<const double> first,
                 std::span<const double> second) {
+  // A single observation has no defined sample sd; summarize() would
+  // report sd = 0, which either fails the pooled-sd check with a
+  // misleading message or silently biases d. Reject it up front.
+  util::require(first.size() >= 2 && second.size() >= 2,
+                "cohens_d: each sample needs >= 2 observations (sample sd "
+                "is undefined for n < 2)");
   const Summary a = summarize(first);
   const Summary b = summarize(second);
   return cohens_d_pooled(a.mean, a.sd, b.mean, b.sd);

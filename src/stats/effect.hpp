@@ -13,6 +13,8 @@ enum class EffectMagnitude { Trivial, Small, Medium, Large };
 double cohens_d_pooled(double mean1, double sd1, double mean2, double sd2);
 
 /// Cohen's d from two raw samples, using the paper's pooled-SD formula.
+/// Each sample needs at least two observations (the sample sd of a
+/// singleton is undefined); violations raise util::PreconditionError.
 double cohens_d(std::span<const double> first, std::span<const double> second);
 
 /// The paper's interpretation rule: 0.2 small, 0.5 medium, 0.8 large;

@@ -1,0 +1,150 @@
+// Host-backend edge cases under real concurrency: the AbortableBarrier's
+// abort/arrival races and the lock-free dynamic claim path under maximum
+// contention.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "rt/host_backend.hpp"
+#include "rt/parallel.hpp"
+#include "rt/trace.hpp"
+
+namespace pblpar::rt {
+namespace {
+
+TEST(AbortableBarrierTest, AbortBeforeArrivalThrowsImmediately) {
+  AbortableBarrier barrier(2);
+  barrier.abort();
+  EXPECT_THROW(barrier.arrive_and_wait(), TeamAborted);
+}
+
+TEST(AbortableBarrierTest, AbortIsStickyAcrossGenerations) {
+  AbortableBarrier barrier(1);
+  barrier.arrive_and_wait();  // single party: releases instantly
+  barrier.arrive_and_wait();
+  barrier.abort();
+  EXPECT_THROW(barrier.arrive_and_wait(), TeamAborted);
+  EXPECT_THROW(barrier.arrive_and_wait(), TeamAborted);
+}
+
+TEST(AbortableBarrierTest, AbortReleasesAWaiterAndTheLateArriverThrows) {
+  // One waiter parked, then abort, then the "last party" arrives: both
+  // must observe TeamAborted — the late arrival must not release the
+  // barrier normally.
+  AbortableBarrier barrier(2);
+  std::atomic<int> aborted_count{0};
+  std::atomic<bool> waiter_parked{false};
+  std::thread waiter([&] {
+    try {
+      waiter_parked.store(true);
+      barrier.arrive_and_wait();
+    } catch (const TeamAborted&) {
+      aborted_count.fetch_add(1);
+    }
+  });
+  while (!waiter_parked.load()) {
+    std::this_thread::yield();
+  }
+  barrier.abort();
+  try {
+    barrier.arrive_and_wait();
+  } catch (const TeamAborted&) {
+    aborted_count.fetch_add(1);
+  }
+  waiter.join();
+  EXPECT_EQ(aborted_count.load(), 2);
+}
+
+TEST(AbortableBarrierTest, AbortRacingLastArrivalNeverHangsOrLosesAbort) {
+  // The lost-abort edge: parties cycle through the barrier in a loop
+  // while another thread calls abort() at a random point — possibly in
+  // the same instant the last party releases a generation. Every member
+  // must terminate with TeamAborted (no hang, no member looping forever
+  // past a lost abort), on every iteration.
+  constexpr int kParties = 4;
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    AbortableBarrier barrier(kParties);
+    std::atomic<int> aborted_count{0};
+    std::atomic<std::uint64_t> laps{0};
+    std::vector<std::thread> members;
+    members.reserve(kParties);
+    for (int t = 0; t < kParties; ++t) {
+      members.emplace_back([&] {
+        try {
+          for (;;) {
+            barrier.arrive_and_wait();
+            laps.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const TeamAborted&) {
+          aborted_count.fetch_add(1);
+        }
+      });
+    }
+    // Let the team spin through a few generations, then abort mid-flight.
+    while (laps.load(std::memory_order_relaxed) <
+           static_cast<std::uint64_t>(kParties) * (round % 3)) {
+      std::this_thread::yield();
+    }
+    barrier.abort();
+    for (std::thread& member : members) {
+      member.join();  // hangs here (test timeout) if an abort is lost
+    }
+    EXPECT_EQ(aborted_count.load(), kParties) << "round " << round;
+  }
+}
+
+TEST(HostClaimTest, DynamicClaimUnderMaxContentionCoversEachIterationOnce) {
+  // Chunk size 1 and twice as many threads as cores the container is
+  // likely to have: every claim is a CAS fight. Each iteration must still
+  // run exactly once.
+  constexpr std::int64_t kN = 20000;
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<int>> counts(kN);
+  std::atomic<std::int64_t> executed{0};
+  parallel_for(ParallelConfig::host(kThreads), Range::upto(kN),
+               Schedule::dynamic(1), [&](std::int64_t i) {
+                 counts[static_cast<std::size_t>(i)].fetch_add(1);
+                 executed.fetch_add(1, std::memory_order_relaxed);
+               });
+  EXPECT_EQ(executed.load(), kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(HostClaimTest, GuidedClaimUnderContentionCoversEachIterationOnce) {
+  constexpr std::int64_t kN = 20000;
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<int>> counts(kN);
+  parallel_for(ParallelConfig::host(kThreads), Range::upto(kN),
+               Schedule::guided(1), [&](std::int64_t i) {
+                 counts[static_cast<std::size_t>(i)].fetch_add(1);
+               });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(HostClaimTest, TracedDynamicClaimStillCoversUnderContention) {
+  // Same fight with the observability layer on: per-thread trace buffers
+  // must not perturb the claim protocol, and the recorded chunks must
+  // add up to the loop.
+  constexpr std::int64_t kN = 5000;
+  const RunResult result =
+      parallel_for(ParallelConfig::host(8).traced(), Range::upto(kN),
+                   Schedule::dynamic(1), [](std::int64_t) {});
+  ASSERT_NE(result.profile, nullptr);
+  std::int64_t recorded = 0;
+  for (const auto& chunk : result.profile->chunks) {
+    recorded += chunk.iterations();
+  }
+  EXPECT_EQ(recorded, kN);
+}
+
+}  // namespace
+}  // namespace pblpar::rt

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
+#include "rt/parallel.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::rt {
@@ -36,6 +40,36 @@ TEST(ChunkSizeTest, GuidedRespectsMinimumChunk) {
 
 TEST(ChunkSizeTest, GuidedCapsAtRemaining) {
   EXPECT_EQ(chunk_size_for(Schedule::guided(16), 7, 4), 7);
+}
+
+TEST(ChunkSizeTest, GuidedSmallRemainderFallsBackToMinChunk) {
+  // remaining < 2 * num_threads makes the guided quotient zero; the
+  // schedule must still hand out at least the minimum chunk.
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 7, 4), 1);
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 1, 4), 1);
+  EXPECT_EQ(chunk_size_for(Schedule::guided(3), 5, 4), 3);
+  // ...but never more than what is left.
+  EXPECT_EQ(chunk_size_for(Schedule::guided(3), 2, 4), 2);
+}
+
+TEST(ChunkSizeTest, ZeroOrNegativeChunkDefaultsToOne) {
+  // Raw Schedule structs can carry chunk = 0 (the factories forbid it);
+  // the scheduler treats that as chunk 1 rather than looping forever.
+  EXPECT_EQ(chunk_size_for(Schedule{Schedule::Kind::Dynamic, 0}, 100, 4), 1);
+  EXPECT_EQ(chunk_size_for(Schedule{Schedule::Kind::Guided, 0}, 6, 4), 1);
+  EXPECT_EQ(chunk_size_for(Schedule{Schedule::Kind::Static, 0}, 100, 4), 1);
+  EXPECT_EQ(chunk_size_for(Schedule{Schedule::Kind::Dynamic, -5}, 100, 4),
+            1);
+}
+
+TEST(ChunkSizeTest, NegativeRemainingYieldsZero) {
+  EXPECT_EQ(chunk_size_for(Schedule::dynamic(8), -3, 4), 0);
+  EXPECT_EQ(chunk_size_for(Schedule::static_chunk(2), 0, 4), 0);
+}
+
+TEST(ChunkSizeTest, SingleThreadGuidedHalvesRemaining) {
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 100, 1), 50);
+  EXPECT_EQ(chunk_size_for(Schedule::guided(), 1, 1), 1);
 }
 
 TEST(ChunkSizeTest, GuidedShrinksAsWorkDrains) {
@@ -88,6 +122,35 @@ TEST(CostModelTest, PerIterationFunction) {
 
 TEST(CostModelTest, DefaultIsEmpty) {
   EXPECT_TRUE(CostModel{}.empty());
+}
+
+TEST(StaticRoundRobinTest, HugeChunkDoesNotOverflowInt64) {
+  // chunk * tid and chunk_start += chunk * num_threads used to overflow
+  // for chunks near INT64_MAX; the chunk is now clamped to the loop
+  // length, so a huge chunk degenerates to "thread 0 takes everything".
+  constexpr std::int64_t kHuge =
+      std::numeric_limits<std::int64_t>::max() / 2;
+  std::vector<int> counts(64, 0);
+  parallel_for(ParallelConfig::sim_pi(4), Range::upto(64),
+               Schedule{Schedule::Kind::Static, kHuge},
+               [&](std::int64_t i) {
+                 counts[static_cast<std::size_t>(i)] += 1;
+               });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], 1) << "i=" << i;
+  }
+}
+
+TEST(StaticRoundRobinTest, LastChunkLandsExactlyOnLoopEnd) {
+  // Stride stepping must stop without computing chunk_start past total.
+  std::vector<int> counts(10, 0);
+  parallel_for(ParallelConfig::sim_pi(3), Range::upto(10),
+               Schedule::static_chunk(4), [&](std::int64_t i) {
+                 counts[static_cast<std::size_t>(i)] += 1;
+               });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], 1) << "i=" << i;
+  }
 }
 
 }  // namespace

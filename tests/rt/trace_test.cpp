@@ -1,0 +1,295 @@
+// The runtime observability layer: chunk claims, barrier/critical events,
+// single winners, RunProfile aggregates, and schema parity between the
+// Host and Sim backends.
+
+#include "rt/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rt/parallel.hpp"
+#include "rt/reduce.hpp"
+
+namespace pblpar::rt {
+namespace {
+
+std::vector<ParallelConfig> both_backends(int threads) {
+  return {ParallelConfig::host(threads), ParallelConfig::sim_pi(threads)};
+}
+
+/// Every iteration of [0, total) appears in exactly one chunk of loop 0.
+void expect_full_coverage(const RunProfile& profile, std::int64_t total) {
+  std::vector<ChunkEvent> chunks = profile.chunks;
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkEvent& a, const ChunkEvent& b) {
+              return a.begin < b.begin;
+            });
+  std::int64_t covered = 0;
+  for (const ChunkEvent& chunk : chunks) {
+    EXPECT_EQ(chunk.begin, covered) << "gap or overlap in chunk coverage";
+    EXPECT_GT(chunk.end, chunk.begin);
+    covered = chunk.end;
+  }
+  EXPECT_EQ(covered, total);
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  for (const auto& config : both_backends(4)) {
+    const RunResult result = parallel_for(
+        config, Range::upto(100), Schedule::dynamic(4), [](std::int64_t) {});
+    EXPECT_EQ(result.profile, nullptr);
+  }
+}
+
+TEST(TraceTest, ChunksCoverLoopExactlyOnceOnBothBackends) {
+  constexpr std::int64_t kN = 257;  // deliberately not a multiple of 4
+  for (const auto& config : both_backends(4)) {
+    for (const Schedule schedule :
+         {Schedule::static_block(), Schedule::static_chunk(8),
+          Schedule::dynamic(3), Schedule::guided(2)}) {
+      const RunResult result =
+          parallel_for(config.traced(), Range::upto(kN), schedule,
+                       [](std::int64_t) {}, CostModel::uniform(100.0));
+      ASSERT_NE(result.profile, nullptr) << schedule.to_string();
+      expect_full_coverage(*result.profile, kN);
+      ASSERT_EQ(result.profile->loops.size(), 1u);
+      EXPECT_EQ(result.profile->loops[0].total, kN);
+      EXPECT_EQ(result.profile->loops[0].schedule, schedule.to_string());
+    }
+  }
+}
+
+TEST(TraceTest, ClaimOrdersAreUniqueAndSorted) {
+  const RunResult result = parallel_for(
+      ParallelConfig::sim_pi(4).traced(), Range::upto(100),
+      Schedule::dynamic(2), [](std::int64_t) {}, CostModel::uniform(1e3));
+  ASSERT_NE(result.profile, nullptr);
+  std::set<std::uint64_t> orders;
+  std::uint64_t previous = 0;
+  for (const ChunkEvent& chunk : result.profile->chunks) {
+    EXPECT_GE(chunk.claim_order, previous);
+    previous = chunk.claim_order;
+    EXPECT_TRUE(orders.insert(chunk.claim_order).second)
+        << "duplicate claim order " << chunk.claim_order;
+  }
+  EXPECT_EQ(orders.size(), result.profile->chunks.size());
+}
+
+TEST(TraceTest, ChunkTimestampsAreOrderedAndInsideRegion) {
+  for (const auto& config : both_backends(4)) {
+    const RunResult result = parallel_for(
+        config.traced(), Range::upto(64), Schedule::guided(1),
+        [](std::int64_t) {}, CostModel::uniform(1e3));
+    ASSERT_NE(result.profile, nullptr);
+    EXPECT_GT(result.profile->region_s, 0.0);
+    for (const ChunkEvent& chunk : result.profile->chunks) {
+      EXPECT_GE(chunk.start_s, 0.0);
+      EXPECT_LE(chunk.start_s, chunk.end_s);
+      // Host region_s is measured around thread creation too, so chunk
+      // ends must stay inside it; same for virtual time by construction.
+      EXPECT_LE(chunk.end_s, result.profile->region_s + 1e-9);
+    }
+  }
+}
+
+TEST(TraceTest, PerThreadAggregatesMatchEvents) {
+  const RunResult result = parallel_for(
+      ParallelConfig::sim_pi(4).traced(), Range::upto(200),
+      Schedule::dynamic(5), [](std::int64_t) {}, CostModel::uniform(1e3));
+  ASSERT_NE(result.profile, nullptr);
+  const auto threads = result.profile->per_thread();
+  ASSERT_EQ(threads.size(), 4u);
+  std::int64_t iterations = 0;
+  std::uint64_t chunks = 0;
+  for (const ThreadProfile& thread : threads) {
+    iterations += thread.iterations;
+    chunks += thread.chunks;
+    EXPECT_GE(thread.work_s, 0.0);
+  }
+  EXPECT_EQ(iterations, 200);
+  EXPECT_EQ(chunks, result.profile->chunks.size());
+}
+
+TEST(TraceTest, ImplicitLoopBarrierIsRecordedPerThread) {
+  for (const auto& config : both_backends(4)) {
+    const RunResult result = parallel_for(
+        config.traced(), Range::upto(64), Schedule::static_block(),
+        [](std::int64_t) {}, CostModel::uniform(1e3));
+    ASSERT_NE(result.profile, nullptr);
+    EXPECT_EQ(result.profile->barriers.size(), 4u);
+    const double fraction = result.profile->barrier_wait_fraction();
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+}
+
+TEST(TraceTest, StaticImbalanceShowsUpInLoadImbalanceRatio) {
+  // Triangular cost, static block: the last thread owns the heavy tail.
+  CostModel cost;
+  cost.ops_fn = [](std::int64_t i) { return 1e4 * (1.0 + double(i)); };
+  const auto imbalance_with = [&](Schedule schedule) {
+    const RunResult result =
+        parallel_for(ParallelConfig::sim_pi(4).traced(), Range::upto(256),
+                     schedule, [](std::int64_t) {}, cost);
+    return result.profile->load_imbalance();
+  };
+  const double static_imbalance = imbalance_with(Schedule::static_block());
+  const double dynamic_imbalance = imbalance_with(Schedule::dynamic(4));
+  EXPECT_GT(static_imbalance, 1.4);
+  EXPECT_LT(dynamic_imbalance, 1.2);
+  EXPECT_GT(static_imbalance, dynamic_imbalance);
+}
+
+TEST(TraceTest, SimTraceIsDeterministic) {
+  const auto run = [] {
+    return parallel_for(ParallelConfig::sim_pi(4).traced(),
+                        Range::upto(100), Schedule::dynamic(3),
+                        [](std::int64_t) {}, CostModel::uniform(2e3));
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  ASSERT_NE(a.profile, nullptr);
+  ASSERT_NE(b.profile, nullptr);
+  EXPECT_EQ(a.profile->to_json(), b.profile->to_json());
+}
+
+TEST(TraceTest, CriticalSectionsAreRecordedWithContention) {
+  for (const auto& config : both_backends(4)) {
+    long shared = 0;
+    const RunResult result = parallel(config.traced(), [&](TeamContext& tc) {
+      for (int round = 0; round < 5; ++round) {
+        tc.critical([&] { shared += 1; });
+      }
+      tc.barrier();
+    });
+    ASSERT_NE(result.profile, nullptr);
+    EXPECT_EQ(shared, 20);
+    EXPECT_EQ(result.profile->criticals.size(), 20u);
+    for (const CriticalEvent& critical : result.profile->criticals) {
+      EXPECT_LE(critical.request_s, critical.acquire_s + 1e-12);
+      EXPECT_LE(critical.acquire_s, critical.release_s + 1e-12);
+    }
+    const auto threads = result.profile->per_thread();
+    for (const ThreadProfile& thread : threads) {
+      EXPECT_EQ(thread.criticals, 5u);
+    }
+  }
+}
+
+TEST(TraceTest, SingleWinnersAreRecordedOncePerConstruct) {
+  for (const auto& config : both_backends(4)) {
+    const RunResult result = parallel(config.traced(), [](TeamContext& tc) {
+      tc.single([] {});
+      tc.single([] {});
+      tc.single([] {});
+    });
+    ASSERT_NE(result.profile, nullptr);
+    ASSERT_EQ(result.profile->singles.size(), 3u);
+    for (int id = 0; id < 3; ++id) {
+      EXPECT_EQ(result.profile->singles[static_cast<std::size_t>(id)]
+                    .single_id,
+                id);
+      const int winner = result.profile->singles[static_cast<std::size_t>(
+                                                     id)]
+                             .winner_tid;
+      EXPECT_GE(winner, 0);
+      EXPECT_LT(winner, 4);
+    }
+  }
+}
+
+TEST(TraceTest, SchemaParityBetweenBackends) {
+  // Same program, both backends: same loops, same iteration coverage,
+  // same JSON schema (only clock and timings differ).
+  const auto run = [](const ParallelConfig& config) {
+    return parallel_for(config.traced(), Range::upto(48),
+                        Schedule::dynamic(4), [](std::int64_t) {},
+                        CostModel::uniform(1e3));
+  };
+  const RunResult host = run(ParallelConfig::host(4));
+  const RunResult sim = run(ParallelConfig::sim_pi(4));
+  ASSERT_NE(host.profile, nullptr);
+  ASSERT_NE(sim.profile, nullptr);
+  EXPECT_EQ(host.profile->clock, TraceClock::HostSteady);
+  EXPECT_EQ(sim.profile->clock, TraceClock::SimVirtual);
+  expect_full_coverage(*host.profile, 48);
+  expect_full_coverage(*sim.profile, 48);
+  for (const char* key :
+       {"\"clock\"", "\"num_threads\"", "\"region_s\"", "\"loops\"",
+        "\"chunks\"", "\"barriers\"", "\"criticals\"", "\"singles\"",
+        "\"per_thread\"", "\"load_imbalance\"",
+        "\"barrier_wait_fraction\""}) {
+    EXPECT_NE(host.profile->to_json().find(key), std::string::npos) << key;
+    EXPECT_NE(sim.profile->to_json().find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(host.profile->to_json().find("host-steady"), std::string::npos);
+  EXPECT_NE(sim.profile->to_json().find("sim-virtual"), std::string::npos);
+}
+
+TEST(TraceTest, ExportsAndRenderersProduceOutput) {
+  const RunResult result = parallel_for(
+      ParallelConfig::sim_pi(4).traced(), Range::upto(32),
+      Schedule::guided(1), [](std::int64_t) {}, CostModel::uniform(1e4));
+  ASSERT_NE(result.profile, nullptr);
+  const std::string csv = result.profile->to_csv();
+  EXPECT_NE(csv.find("loop,order,thread"), std::string::npos);
+  // One CSV line per chunk plus the header.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            result.profile->chunks.size() + 1);
+  const std::string chart = result.profile->timeline_chart(0);
+  EXPECT_NE(chart.find("t0 |"), std::string::npos);
+  EXPECT_NE(chart.find("t3 |"), std::string::npos);
+  EXPECT_NE(result.profile->summary().find("load imbalance"),
+            std::string::npos);
+  EXPECT_GT(result.profile->chunk_table(0).row_count(), 0u);
+}
+
+TEST(TraceTest, MultipleLoopsKeepDistinctIds) {
+  const RunResult result = parallel(
+      ParallelConfig::sim_pi(4).traced(), [](TeamContext& tc) {
+        for_loop(tc, Range::upto(40), Schedule::dynamic(2),
+                 [](std::int64_t) {}, CostModel::uniform(1e3));
+        for_loop(tc, Range::upto(24), Schedule::static_block(),
+                 [](std::int64_t) {}, CostModel::uniform(1e3));
+      });
+  ASSERT_NE(result.profile, nullptr);
+  ASSERT_EQ(result.profile->loops.size(), 2u);
+  EXPECT_EQ(result.profile->loops[0].loop_id, 0);
+  EXPECT_EQ(result.profile->loops[0].total, 40);
+  EXPECT_EQ(result.profile->loops[1].loop_id, 1);
+  EXPECT_EQ(result.profile->loops[1].total, 24);
+  std::int64_t loop0 = 0;
+  std::int64_t loop1 = 0;
+  for (const ChunkEvent& chunk : result.profile->chunks) {
+    (chunk.loop_id == 0 ? loop0 : loop1) += chunk.iterations();
+  }
+  EXPECT_EQ(loop0, 40);
+  EXPECT_EQ(loop1, 24);
+}
+
+TEST(TraceTest, SingleThreadProfileIsBalancedByDefinition) {
+  const RunResult result = parallel_for(
+      ParallelConfig::sim_pi(1).traced(), Range::upto(16),
+      Schedule::dynamic(4), [](std::int64_t) {}, CostModel::uniform(1e3));
+  ASSERT_NE(result.profile, nullptr);
+  EXPECT_DOUBLE_EQ(result.profile->load_imbalance(), 1.0);
+  expect_full_coverage(*result.profile, 16);
+}
+
+TEST(TraceTest, EmptyLoopYieldsEmptyChunkList) {
+  const RunResult result = parallel_for(
+      ParallelConfig::sim_pi(4).traced(), Range::upto(0),
+      Schedule::static_block(), [](std::int64_t) {});
+  ASSERT_NE(result.profile, nullptr);
+  EXPECT_TRUE(result.profile->chunks.empty());
+  EXPECT_DOUBLE_EQ(result.profile->load_imbalance(), 1.0);
+  EXPECT_NE(result.profile->timeline_chart(0).find("no chunks"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pblpar::rt

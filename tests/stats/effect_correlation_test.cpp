@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/correlation.hpp"
@@ -57,6 +58,28 @@ TEST(CohensDTest, RejectsDegenerateInput) {
   EXPECT_THROW(cohens_d_pooled(1.0, 0.0, 2.0, 0.0), util::PreconditionError);
   EXPECT_THROW(cohens_d_pooled(1.0, -1.0, 2.0, 1.0),
                util::PreconditionError);
+}
+
+TEST(CohensDTest, RejectsNonFinitePooledInputs) {
+  const double nan = std::nan("");
+  EXPECT_THROW(cohens_d_pooled(1.0, nan, 2.0, 1.0),
+               util::PreconditionError);
+  EXPECT_THROW(cohens_d_pooled(nan, 1.0, 2.0, 1.0),
+               util::PreconditionError);
+  EXPECT_THROW(cohens_d_pooled(1.0, 1.0, 2.0,
+                               std::numeric_limits<double>::infinity()),
+               util::PreconditionError);
+}
+
+TEST(CohensDTest, RejectsSingletonSamples) {
+  // A single observation has no defined sample sd; it must not silently
+  // flow into the pooled formula as sd = 0.
+  const std::vector<double> singleton{4.0};
+  const std::vector<double> pair{1.0, 2.0};
+  EXPECT_THROW(cohens_d(singleton, pair), util::PreconditionError);
+  EXPECT_THROW(cohens_d(pair, singleton), util::PreconditionError);
+  EXPECT_THROW(cohens_d(singleton, singleton), util::PreconditionError);
+  EXPECT_THROW(cohens_d({}, pair), util::PreconditionError);
 }
 
 TEST(EffectMagnitudeTest, Labels) {
