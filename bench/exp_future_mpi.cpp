@@ -8,12 +8,17 @@
 // TeachMP on a single Pi — where communication costs bite.
 // Experiment 2: allreduce algorithm choice (binomial tree vs ring) as the
 // vector grows — the bandwidth-vs-latency trade-off.
+// Experiment 3: the fault-tolerant cluster engine under injected faults —
+// what speculation and re-execution buy on a real MapReduce job.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "cluster/jobs.hpp"
 #include "mp/sim_world.hpp"
 #include "patternlets/patternlets.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -21,6 +26,39 @@ namespace {
 using namespace pblpar;
 
 double curve(double x) { return 4.0 / (1.0 + x * x); }
+
+/// A deterministic word-count corpus for the cluster-engine experiment.
+std::vector<std::string> cluster_corpus(int documents) {
+  static const char* kWords[] = {"cluster", "master", "worker", "task",
+                                 "heartbeat", "shuffle", "reduce", "fault"};
+  util::Rng rng(7);
+  std::vector<std::string> docs;
+  docs.reserve(static_cast<std::size_t>(documents));
+  for (int d = 0; d < documents; ++d) {
+    std::string text;
+    for (int w = 0; w < 50; ++w) {
+      text += kWords[rng.next_below(8)];
+      text += ' ';
+    }
+    docs.push_back(std::move(text));
+  }
+  return docs;
+}
+
+/// Distributed word count on a 4-node cluster under one fault plan;
+/// returns the engine profile observed at the master.
+cluster::ClusterProfile cluster_wordcount_profile(
+    const cluster::FaultPlan& faults, const cluster::ClusterOptions& options) {
+  const std::vector<std::string> docs = cluster_corpus(120);
+  cluster::jobs::JobTuning tuning;
+  tuning.map_cost_ops = 2e6;  // make map work visible against the network
+  cluster::ClusterProfile profile;
+  mp::SimWorld::run(4, [&](mp::SimComm& comm) {
+    (void)cluster::jobs::word_count(comm, docs, tuning, options, &faults,
+                                    comm.rank() == 0 ? &profile : nullptr);
+  });
+  return profile;
+}
 
 /// Distributed trapezoid: block partition across ranks, allreduce-sum.
 double cluster_trapezoid_seconds(int ranks, std::int64_t n,
@@ -128,6 +166,55 @@ int main() {
       "Small vectors: the latency-bound tree wins (fewer hops). Large "
       "vectors: the bandwidth-optimal ring wins (each node moves "
       "2(n-1)/n of the data instead of log2(n) full copies).");
-  std::printf("%s", allreduce_table.to_ascii().c_str());
+  std::printf("%s\n", allreduce_table.to_ascii().c_str());
+
+  // --- Experiment 3: fault tolerance on the cluster engine -----------------
+  util::Table faults_table(
+      "Distributed word count, 4-node Pi cluster: injected faults vs the "
+      "engine's defenses (identical output in every row)");
+  faults_table.columns({"scenario", "tasks done (ms)", "makespan (ms)",
+                        "attempts", "speculative", "requeues", "dead"},
+                       {util::Align::Left, util::Align::Right,
+                        util::Align::Right, util::Align::Right,
+                        util::Align::Right, util::Align::Right,
+                        util::Align::Right});
+
+  const auto add_row = [&](const char* name, const cluster::FaultPlan& plan,
+                           const cluster::ClusterOptions& options) {
+    const cluster::ClusterProfile profile =
+        cluster_wordcount_profile(plan, options);
+    faults_table.row(
+        {name, util::Table::num(profile.stats.completion_s * 1e3, 2),
+         util::Table::num(profile.stats.makespan_s * 1e3, 2),
+         std::to_string(profile.stats.attempts),
+         std::to_string(profile.stats.speculative_attempts),
+         std::to_string(profile.stats.requeues),
+         std::to_string(profile.stats.dead_workers)});
+  };
+
+  cluster::FaultPlan no_faults;
+  add_row("clean run", no_faults, {});
+
+  cluster::FaultPlan straggler;
+  straggler.stragglers.push_back(cluster::StragglerFault{1, 10.0});
+  cluster::ClusterOptions no_speculation;
+  no_speculation.max_live_attempts = 1;
+  add_row("rank 1 runs 10x slow, speculation off", straggler, no_speculation);
+  add_row("rank 1 runs 10x slow, speculation on", straggler, {});
+
+  cluster::FaultPlan crash;
+  crash.crashes.push_back(cluster::CrashFault{2, 1});
+  add_row("rank 2 crashes on its 2nd task", crash, {});
+
+  faults_table.note(
+      "The paper's cluster future-work, taken one step further: real "
+      "clusters fail. Speculation gets a backup copy of the straggler's "
+      "in-flight task done early ('tasks done' recovers toward the clean "
+      "run), though the synchronous shuffle still waits for the slow "
+      "node — the reason production clusters also decommission "
+      "stragglers. Heartbeat timeouts turn the crash into a re-executed "
+      "task instead of a hang. Every scenario produces byte-identical "
+      "word counts.");
+  std::printf("%s", faults_table.to_ascii().c_str());
   return 0;
 }

@@ -1,10 +1,19 @@
 // Microbenchmarks of the MapReduce framework: word count scaling with
-// threads and the combiner's effect on shuffle volume.
+// threads, the combiner's effect on shuffle volume, and the distributed
+// driver on the simulated cluster engine. main() also emits
+// BENCH_mapreduce.json with the deterministic virtual-time fault-
+// tolerance numbers (clean / straggler / crash) before running the
+// google-benchmark suite.
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+
+#include "cluster/jobs.hpp"
 #include "mapreduce/job.hpp"
 #include "mapreduce/jobs.hpp"
+#include "mp/sim_world.hpp"
 #include "util/rng.hpp"
 #include "util/text.hpp"
 
@@ -78,4 +87,79 @@ void BM_InvertedIndex(benchmark::State& state) {
 }
 BENCHMARK(BM_InvertedIndex);
 
+// Host wall time of one whole simulated distributed word count (engine
+// scheduling + shuffle + reduce on a 4-node virtual Pi cluster).
+void BM_DistWordCountSimCluster(benchmark::State& state) {
+  const auto docs = corpus(60);
+  for (auto _ : state) {
+    mp::SimWorld::run(4, [&](mp::SimComm& comm) {
+      benchmark::DoNotOptimize(cluster::jobs::word_count(comm, docs));
+    });
+  }
+}
+BENCHMARK(BM_DistWordCountSimCluster);
+
+/// One fault-injection scenario of the distributed word count, measured
+/// in deterministic virtual seconds.
+struct ClusterScenario {
+  const char* name;
+  cluster::FaultPlan faults;
+};
+
+cluster::ClusterProfile run_scenario(const ClusterScenario& scenario,
+                                     const std::vector<std::string>& docs) {
+  cluster::ClusterProfile profile;
+  cluster::jobs::JobTuning tuning;
+  tuning.map_cost_ops = 2e6;  // make map work visible against the network
+  mp::SimWorld::run(4, [&](mp::SimComm& comm) {
+    (void)cluster::jobs::word_count(comm, docs, tuning, {},
+                                    &scenario.faults,
+                                    comm.rank() == 0 ? &profile : nullptr);
+  });
+  return profile;
+}
+
+void emit_bench_json(const char* path) {
+  const auto docs = corpus(120);
+  ClusterScenario clean{"wordcount_clean", {}};
+  ClusterScenario straggler{"wordcount_straggler_10x", {}};
+  straggler.faults.stragglers.push_back(cluster::StragglerFault{1, 10.0});
+  ClusterScenario crash{"wordcount_worker_crash", {}};
+  crash.faults.crashes.push_back(cluster::CrashFault{2, 1});
+
+  std::ofstream out(path);
+  out.precision(17);
+  out << "{\"schema\":\"pblpar.bench.v1\",\"suite\":\"mapreduce\","
+      << "\"results\":[";
+  bool first = true;
+  for (const ClusterScenario* scenario : {&clean, &straggler, &crash}) {
+    const cluster::ClusterProfile profile = run_scenario(*scenario, docs);
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << scenario->name
+        << "\",\"value\":" << profile.stats.makespan_s
+        << ",\"unit\":\"virtual_s\",\"extra\":{"
+        << "\"attempts\":" << profile.stats.attempts
+        << ",\"speculative_attempts\":" << profile.stats.speculative_attempts
+        << ",\"requeues\":" << profile.stats.requeues
+        << ",\"dead_workers\":" << profile.stats.dead_workers
+        << ",\"completion_s\":" << profile.stats.completion_s << "}}";
+  }
+  out << "]}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  emit_bench_json("BENCH_mapreduce.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,18 @@
 // The course's next chapter, runnable today: a simulated cluster of
 // Raspberry Pis running TeachMPI — distributed trapezoid integration and
-// a look at how network latency shapes the speedup.
+// a look at how network latency shapes the speedup, then the same
+// integral on the fault-tolerant master–worker engine with a deliberate
+// straggler injected.
 //
 //   ./pi_cluster
 
 #include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "cluster/engine.hpp"
+#include "cluster/wire.hpp"
 #include "mp/sim_world.hpp"
 
 namespace {
@@ -54,5 +61,72 @@ int main() {
       "\nEach node is a whole (single-rank) Pi; messages pay 200 us "
       "latency + bandwidth.\nScaling continues past one Pi's four cores — "
       "the paper's motivation for teaching MPI next.\n");
+
+  // --- Part 2: the same integral, fault-tolerantly ------------------------
+  // Split the interval into 12 tasks and hand them to the master–worker
+  // engine on a 4-node cluster, with rank 2 deliberately running 25x
+  // slow. The master speculates a backup copy of the straggler's task;
+  // the answer is unchanged.
+  std::printf(
+      "\nSame pi, now on the fault-tolerant cluster engine (12 tasks, 4 "
+      "nodes,\nrank 2 injected to run 25x slow):\n\n");
+
+  constexpr int kTasks = 12;
+  std::vector<std::vector<std::byte>> tasks;
+  for (int t = 0; t < kTasks; ++t) {
+    cluster::Writer writer;
+    writer.i64(t * kN / kTasks);        // [begin, end) trapezoid range
+    writer.i64((t + 1) * kN / kTasks);
+    tasks.push_back(std::move(writer).take());
+  }
+
+  const cluster::TaskFn slice_task =
+      [](cluster::TaskContext& ctx, int, const std::vector<std::byte>& in) {
+        cluster::Reader reader(in);
+        const std::int64_t begin = reader.i64();
+        const std::int64_t end = reader.i64();
+        const double h = 1.0 / static_cast<double>(kN);
+        double local = 0.0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          const double x0 = h * static_cast<double>(i);
+          local += 0.5 * h * (curve(x0) + curve(x0 + h));
+          if ((i - begin) % 10'000 == 0) {
+            ctx.charge(1e5);  // 10 flops per trapezoid, in slices
+            ctx.progress();
+          }
+        }
+        cluster::Writer writer;
+        writer.f64(local);
+        return std::move(writer).take();
+      };
+
+  cluster::FaultPlan faults;
+  faults.stragglers.push_back(cluster::StragglerFault{2, 25.0});
+  const cluster::SimClusterRun run =
+      cluster::run_sim_cluster(4, tasks, slice_task, {}, &faults);
+
+  double pi = 0.0;
+  for (const std::vector<std::byte>& result : run.results) {
+    pi += cluster::Reader(result).f64();
+  }
+  std::printf("  pi = %.8f (identical with and without the fault)\n\n",
+              pi);
+  std::printf("%s\n\n", run.profile.summary().c_str());
+
+  if (run.profile.schedule != nullptr) {
+    std::printf("Per-rank attempt timeline (lane = rank, chunk = task):\n%s\n",
+                run.profile.schedule->timeline_chart(0).c_str());
+  }
+
+  std::printf("Master event log, first 12 lines:\n");
+  std::istringstream log(run.profile.event_log());
+  std::string line;
+  for (int i = 0; i < 12 && std::getline(log, line); ++i) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf(
+      "\nRe-run it: every line above is byte-identical — fault injection "
+      "is\nseeded and virtual time is deterministic, so straggler bugs "
+      "reproduce.\n");
   return 0;
 }

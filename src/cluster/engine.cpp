@@ -1,0 +1,133 @@
+#include "cluster/engine.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace pblpar::cluster {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ClusterProfile::event_log() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6);
+  for (const ClusterEvent& e : events) {
+    os << "[" << std::setw(12) << e.t_s << "] ";
+    if (e.worker >= 0) {
+      os << "w" << e.worker;
+    } else {
+      os << "--";
+    }
+    os << " ";
+    if (e.task >= 0) {
+      os << "t" << e.task;
+    } else {
+      os << "--";
+    }
+    os << " ";
+    if (e.claim > 0) {
+      os << "c" << e.claim;
+    } else {
+      os << "--";
+    }
+    os << " " << e.kind << "\n";
+  }
+  return os.str();
+}
+
+std::string ClusterProfile::summary() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "cluster run: " << stats.tasks << " task(s) on " << stats.workers
+     << " worker(s), " << stats.attempts << " attempt(s) ("
+     << stats.speculative_attempts << " speculative), " << stats.requeues
+     << " requeue(s), " << stats.lost_results << " lost result(s), "
+     << stats.dead_workers << " dead worker(s)";
+  if (stats.resurrections > 0) {
+    os << " (" << stats.resurrections << " came back)";
+  }
+  os << ", " << stats.heartbeats << " heartbeat(s); results complete at "
+     << stats.completion_s * 1e3 << " ms, engine wound down at "
+     << stats.makespan_s * 1e3 << " ms";
+  if (!dead_workers.empty()) {
+    os << "; dead:";
+    for (const int w : dead_workers) {
+      os << " w" << w;
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string ClusterProfile::to_json() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\"schema\":\"pblpar.cluster.v1\",\"stats\":{"
+     << "\"tasks\":" << stats.tasks << ",\"workers\":" << stats.workers
+     << ",\"attempts\":" << stats.attempts
+     << ",\"speculative_attempts\":" << stats.speculative_attempts
+     << ",\"requeues\":" << stats.requeues
+     << ",\"lost_results\":" << stats.lost_results
+     << ",\"dead_workers\":" << stats.dead_workers
+     << ",\"resurrections\":" << stats.resurrections
+     << ",\"heartbeats\":" << stats.heartbeats
+     << ",\"completion_s\":" << stats.completion_s
+     << ",\"makespan_s\":" << stats.makespan_s << "},\"dead_workers\":[";
+  for (std::size_t i = 0; i < dead_workers.size(); ++i) {
+    os << (i > 0 ? "," : "") << dead_workers[i];
+  }
+  os << "],\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ClusterEvent& e = events[i];
+    os << (i > 0 ? "," : "") << "{\"t_s\":" << e.t_s
+       << ",\"worker\":" << e.worker << ",\"task\":" << e.task
+       << ",\"claim\":" << e.claim << ",\"kind\":\"";
+    json_escape(os, e.kind);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+SimClusterRun run_sim_cluster(int nodes,
+                              const std::vector<std::vector<std::byte>>& tasks,
+                              const TaskFn& task_fn,
+                              const ClusterOptions& options,
+                              const FaultPlan* faults, mp::ClusterSpec spec) {
+  util::require(nodes >= 1, "run_sim_cluster: need at least one node");
+  SimClusterRun run;
+  try {
+    run.report = mp::SimWorld::run(
+        nodes,
+        [&](mp::SimComm& comm) {
+          ClusterRunResult result = run_cluster_tasks(
+              comm, tasks, task_fn, options, faults,
+              comm.rank() == 0 ? &run.profile : nullptr);
+          if (result.is_master) {
+            run.results = std::move(result.results);
+            run.dead_workers = std::move(result.dead_workers);
+          }
+        },
+        spec);
+  } catch (const sim::DeadlockError& error) {
+    // A correct engine run never deadlocks (the master polls with a
+    // timed receive); surface whatever went wrong as a cluster failure
+    // instead of a bare machine error.
+    throw ClusterError(std::string("cluster run deadlocked: ") +
+                       error.what());
+  }
+  return run;
+}
+
+}  // namespace pblpar::cluster

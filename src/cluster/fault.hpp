@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pblpar::cluster {
+
+/// Fail-stop a worker rank while it executes its `nth_task`-th assignment
+/// (0-based count of tasks the worker started, speculative duplicates
+/// included). The worker does some of the task's work, then silently
+/// stops participating in the engine protocol — no Done, no heartbeats —
+/// exactly the failure MapReduce's re-execution is built for. The rank's
+/// thread itself keeps running, so SPMD code after the engine (e.g. the
+/// distributed shuffle collectives) still completes.
+struct CrashFault {
+  int rank = -1;
+  int nth_task = 0;
+};
+
+/// Multiply all modelled work charged by `rank` (TaskContext::charge) by
+/// `slowdown` — a straggling node, the target of speculative execution.
+/// Only meaningful on the Sim transport (host tasks do real work).
+struct StragglerFault {
+  int rank = -1;
+  double slowdown = 1.0;
+};
+
+/// Silently discard the `nth_done`-th Done message `rank` tries to send
+/// (0-based). Models a result lost in the network: the worker believes it
+/// finished; the master must detect the loss and re-queue the task.
+struct DropResultFault {
+  int rank = -1;
+  int nth_done = 0;
+};
+
+/// Deterministic fault-injection plan for one cluster run. Empty plan =
+/// no faults. Every injected behaviour is a pure function of (plan,
+/// rank, per-worker event counts), so two runs with the same plan, seed
+/// and workload are bit-identical on the Sim transport.
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<StragglerFault> stragglers;
+  std::vector<DropResultFault> drops;
+
+  /// Upper bound of a seeded uniform extra delay (virtual seconds)
+  /// charged by a worker before each protocol send, one independent
+  /// xoshiro stream per rank. 0 disables. Sim transport only.
+  double delay_jitter_s = 0.0;
+  std::uint64_t seed = 1;
+
+  /// The crash scheduled for `rank`, or nullptr.
+  const CrashFault* crash_for(int rank) const {
+    for (const CrashFault& crash : crashes) {
+      if (crash.rank == rank) {
+        return &crash;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Combined work slowdown for `rank` (1.0 = none).
+  double slowdown_for(int rank) const {
+    double slowdown = 1.0;
+    for (const StragglerFault& straggler : stragglers) {
+      if (straggler.rank == rank) {
+        slowdown *= straggler.slowdown;
+      }
+    }
+    return slowdown;
+  }
+
+  /// Whether `rank`'s `nth_done`-th Done message should vanish.
+  bool should_drop(int rank, int nth_done) const {
+    for (const DropResultFault& drop : drops) {
+      if (drop.rank == rank && drop.nth_done == nth_done) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace pblpar::cluster

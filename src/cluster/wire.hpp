@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pblpar::cluster {
+
+/// A decode ran past the end of the buffer or found an impossible length
+/// — the payload was not produced by the matching Writer sequence.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only byte buffer for building engine message payloads and
+/// shuffle blobs. The format is positional: the Reader must consume the
+/// exact same sequence of fields the Writer produced (no tags, no
+/// padding), which keeps blobs byte-deterministic — equal field
+/// sequences encode to equal bytes.
+class Writer {
+ public:
+  void raw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    bytes_.insert(bytes_.end(), bytes, bytes + size);
+  }
+
+  template <class T>
+  void trivial(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    raw(&value, sizeof(T));
+  }
+
+  void u32(std::uint32_t value) { trivial(value); }
+  void u64(std::uint64_t value) { trivial(value); }
+  void i32(std::int32_t value) { trivial(value); }
+  void i64(std::int64_t value) { trivial(value); }
+  void f64(double value) { trivial(value); }
+
+  void str(const std::string& text) {
+    u32(static_cast<std::uint32_t>(text.size()));
+    raw(text.data(), text.size());
+  }
+
+  /// Length-prefixed nested buffer.
+  void blob(const std::vector<std::byte>& bytes) {
+    u32(static_cast<std::uint32_t>(bytes.size()));
+    raw(bytes.data(), bytes.size());
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Positional decoder over a byte buffer produced by Writer. Does not own
+/// the buffer; it must outlive the Reader.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& bytes) : bytes_(&bytes) {}
+
+  void raw(void* out, std::size_t size) {
+    if (pos_ + size > bytes_->size()) {
+      throw WireError("cluster wire: decode ran past the end of the buffer");
+    }
+    std::memcpy(out, bytes_->data() + pos_, size);
+    pos_ += size;
+  }
+
+  template <class T>
+  T trivial() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    raw(&value, sizeof(T));
+    return value;
+  }
+
+  std::uint32_t u32() { return trivial<std::uint32_t>(); }
+  std::uint64_t u64() { return trivial<std::uint64_t>(); }
+  std::int32_t i32() { return trivial<std::int32_t>(); }
+  std::int64_t i64() { return trivial<std::int64_t>(); }
+  double f64() { return trivial<double>(); }
+
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (pos_ + size > bytes_->size()) {
+      throw WireError("cluster wire: string length exceeds the buffer");
+    }
+    std::string text(reinterpret_cast<const char*>(bytes_->data() + pos_),
+                     size);
+    pos_ += size;
+    return text;
+  }
+
+  std::vector<std::byte> blob() {
+    const std::uint32_t size = u32();
+    if (pos_ + size > bytes_->size()) {
+      throw WireError("cluster wire: blob length exceeds the buffer");
+    }
+    std::vector<std::byte> bytes(bytes_->begin() + static_cast<long>(pos_),
+                                 bytes_->begin() +
+                                     static_cast<long>(pos_ + size));
+    pos_ += size;
+    return bytes;
+  }
+
+  bool done() const { return pos_ == bytes_->size(); }
+  std::size_t remaining() const { return bytes_->size() - pos_; }
+
+ private:
+  const std::vector<std::byte>* bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Typed field codec over Writer/Reader, so the distributed MapReduce
+/// driver can ship any key/value type the thread-local jobs use:
+/// arithmetic types, std::string, std::pair, and std::vector of those.
+template <class T, class Enable = void>
+struct WireCodec;
+
+template <class T>
+struct WireCodec<T, std::enable_if_t<std::is_arithmetic_v<T>>> {
+  static void write(Writer& writer, const T& value) {
+    writer.trivial(value);
+  }
+  static T read(Reader& reader) { return reader.template trivial<T>(); }
+};
+
+template <>
+struct WireCodec<std::string> {
+  static void write(Writer& writer, const std::string& value) {
+    writer.str(value);
+  }
+  static std::string read(Reader& reader) { return reader.str(); }
+};
+
+template <class A, class B>
+struct WireCodec<std::pair<A, B>> {
+  static void write(Writer& writer, const std::pair<A, B>& value) {
+    WireCodec<A>::write(writer, value.first);
+    WireCodec<B>::write(writer, value.second);
+  }
+  static std::pair<A, B> read(Reader& reader) {
+    A a = WireCodec<A>::read(reader);
+    B b = WireCodec<B>::read(reader);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <class U>
+struct WireCodec<std::vector<U>> {
+  static void write(Writer& writer, const std::vector<U>& values) {
+    writer.u32(static_cast<std::uint32_t>(values.size()));
+    for (const U& value : values) {
+      WireCodec<U>::write(writer, value);
+    }
+  }
+  static std::vector<U> read(Reader& reader) {
+    const std::uint32_t count = reader.u32();
+    std::vector<U> values;
+    values.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      values.push_back(WireCodec<U>::read(reader));
+    }
+    return values;
+  }
+};
+
+}  // namespace pblpar::cluster

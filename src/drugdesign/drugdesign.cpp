@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/engine.hpp"
+#include "cluster/wire.hpp"
 #include "mapreduce/job.hpp"
 #include "rt/parallel.hpp"
 #include "sim/machine.hpp"
@@ -234,6 +236,62 @@ Result solve_mapreduce(const Config& config) {
   result.elapsed_seconds =
       std::chrono::duration<double>(end - start).count();
   result.run.host_seconds = result.elapsed_seconds;
+  return result;
+}
+
+Result solve_cluster(const Config& config, int nodes,
+                     const cluster::FaultPlan* faults,
+                     cluster::ClusterProfile* profile) {
+  util::require(nodes >= 2, "solve_cluster: need a master and a worker");
+  const Workload workload = make_workload(config);
+
+  // One task per ligand: the payload is the ligand's index, the result
+  // its LCS score. The modelled cost is charged in slices with progress
+  // points between, so a straggling worker heartbeats mid-ligand and a
+  // crash can hit a task partway through.
+  std::vector<std::vector<std::byte>> tasks;
+  tasks.reserve(workload.ligands.size());
+  for (std::size_t i = 0; i < workload.ligands.size(); ++i) {
+    cluster::Writer writer;
+    writer.i32(static_cast<std::int32_t>(i));
+    tasks.push_back(writer.take());
+  }
+
+  const cluster::TaskFn task_fn =
+      [&workload](cluster::TaskContext& ctx, int,
+                  const std::vector<std::byte>& payload) {
+        cluster::Reader reader(payload);
+        const auto index = static_cast<std::size_t>(reader.i32());
+        const std::string& ligand = workload.ligands[index];
+        const int score = match_score(ligand, workload.protein);
+        const double total_ops =
+            match_cost_ops(ligand.size(), workload.protein.size());
+        constexpr int kSlices = 4;
+        for (int s = 0; s < kSlices; ++s) {
+          ctx.charge(total_ops / kSlices);
+          ctx.progress();
+        }
+        cluster::Writer writer;
+        writer.i32(score);
+        return writer.take();
+      };
+
+  mp::ClusterSpec spec;
+  spec.node = config.machine;
+  cluster::SimClusterRun run =
+      cluster::run_sim_cluster(nodes, tasks, task_fn, {}, faults, spec);
+
+  std::vector<int> scores = score_all_expected_size(config);
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    cluster::Reader reader(run.results[i]);
+    scores[i] = reader.i32();
+  }
+
+  Result result = finalize(config, workload.ligands, scores);
+  result.elapsed_seconds = run.profile.stats.makespan_s;
+  if (profile != nullptr) {
+    *profile = run.profile;
+  }
   return result;
 }
 

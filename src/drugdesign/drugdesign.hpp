@@ -8,6 +8,11 @@
 #include "rt/schedule.hpp"
 #include "util/rng.hpp"
 
+namespace pblpar::cluster {
+struct FaultPlan;
+struct ClusterProfile;
+}  // namespace pblpar::cluster
+
 namespace pblpar::drugdesign {
 
 /// The Drug Design / DNA exemplar of the course's Assignment 5
@@ -71,6 +76,15 @@ Result solve_cxx11_threads(const Config& config);
 /// ligand to (score, ligand), reduce by max. Demonstrates the Assignment
 /// 5 reading; timing is host time, not simulated.
 Result solve_mapreduce(const Config& config);
+
+/// The ligand sweep on the fault-tolerant cluster engine: a simulated
+/// Pi cluster of `nodes` ranks (rank 0 masters, the rest score ligands,
+/// one task per ligand), with optional deterministic fault injection.
+/// The Result is byte-identical to solve_sequential's even when workers
+/// crash or straggle; elapsed_seconds is the virtual cluster makespan.
+Result solve_cluster(const Config& config, int nodes,
+                     const cluster::FaultPlan* faults = nullptr,
+                     cluster::ClusterProfile* profile = nullptr);
 
 /// Representative source-line counts of the three student solutions (the
 /// paper asks "What are the number of lines in each file?"); taken from

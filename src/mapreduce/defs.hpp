@@ -1,0 +1,121 @@
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/text.hpp"
+
+namespace pblpar::mapreduce::defs {
+
+/// The map/combine/reduce definitions of the Assignment-5 jobs, factored
+/// out of the thread-local wrappers so the distributed cluster driver
+/// runs byte-identical logic. Each def configures any job type exposing
+/// chainable `.map/.combine/.reduce` setters (mapreduce::Job and
+/// cluster::DistJob both do).
+
+/// Turn a vector of texts/lines into (index, item) input records.
+inline std::vector<std::pair<int, std::string>> indexed(
+    const std::vector<std::string>& items) {
+  std::vector<std::pair<int, std::string>> inputs;
+  inputs.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    inputs.emplace_back(static_cast<int>(i), items[i]);
+  }
+  return inputs;
+}
+
+/// Word frequency: (doc id, text) -> (word, count).
+struct WordCountDef {
+  template <class JobT>
+  void configure(JobT& job) const {
+    job.map([](const int&, const std::string& text, auto& out) {
+          for (std::string& word : util::tokenize_words(text)) {
+            out.emit(std::move(word), 1L);
+          }
+        })
+        .combine([](const std::string&, const std::vector<long>& counts) {
+          return std::accumulate(counts.begin(), counts.end(), 0L);
+        })
+        .reduce([](const std::string&, const std::vector<long>& counts) {
+          return std::accumulate(counts.begin(), counts.end(), 0L);
+        });
+  }
+};
+
+/// Inverted index: (doc id, text) -> (word, sorted unique doc ids).
+struct InvertedIndexDef {
+  template <class JobT>
+  void configure(JobT& job) const {
+    job.map([](const int& doc_id, const std::string& text, auto& out) {
+          std::vector<std::string> words = util::tokenize_words(text);
+          std::sort(words.begin(), words.end());
+          words.erase(std::unique(words.begin(), words.end()), words.end());
+          for (std::string& word : words) {
+            out.emit(std::move(word), doc_id);
+          }
+        })
+        .reduce([](const std::string&, const std::vector<int>& ids) {
+          std::vector<int> sorted = ids;
+          std::sort(sorted.begin(), sorted.end());
+          sorted.erase(std::unique(sorted.begin(), sorted.end()),
+                       sorted.end());
+          return sorted;
+        });
+  }
+};
+
+/// URL access frequency: first whitespace-separated field is the URL.
+struct UrlAccessCountsDef {
+  template <class JobT>
+  void configure(JobT& job) const {
+    job.map([](const int&, const std::string& line, auto& out) {
+          const std::vector<std::string> fields = util::split(line, " \t");
+          if (!fields.empty()) {
+            out.emit(fields.front(), 1L);
+          }
+        })
+        .combine([](const std::string&, const std::vector<long>& counts) {
+          return std::accumulate(counts.begin(), counts.end(), 0L);
+        })
+        .reduce([](const std::string&, const std::vector<long>& counts) {
+          return std::accumulate(counts.begin(), counts.end(), 0L);
+        });
+  }
+};
+
+/// Distributed grep: (line number, line) for lines containing `pattern`.
+struct DistributedGrepDef {
+  std::string pattern;
+
+  template <class JobT>
+  void configure(JobT& job) const {
+    job.map([pattern = pattern](const int& line_number,
+                                const std::string& line, auto& out) {
+          if (line.find(pattern) != std::string::npos) {
+            out.emit(line_number, line);
+          }
+        })
+        .reduce([](const int&, const std::vector<std::string>& matched) {
+          return matched.front();  // one line per line number
+        });
+  }
+};
+
+/// Mean value per key.
+struct MeanPerKeyDef {
+  template <class JobT>
+  void configure(JobT& job) const {
+    job.map([](const std::string& key, const double& value, auto& out) {
+          out.emit(key, value);
+        })
+        .reduce([](const std::string&, const std::vector<double>& values) {
+          return std::accumulate(values.begin(), values.end(), 0.0) /
+                 static_cast<double>(values.size());
+        });
+  }
+};
+
+}  // namespace pblpar::mapreduce::defs

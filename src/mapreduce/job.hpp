@@ -56,8 +56,11 @@ class Job {
     return *this;
   }
 
+  /// Worker count; 0 (the default) means one worker per hardware thread
+  /// (rt::hardware_threads()), resolved at run().
   Job& threads(int count) {
-    util::require(count >= 1, "Job::threads: need at least one thread");
+    util::require(count >= 0,
+                  "Job::threads: count must be >= 0 (0 = hardware threads)");
     num_threads_ = count;
     return *this;
   }
@@ -75,7 +78,8 @@ class Job {
     util::require(map_fn_ != nullptr, "Job::run: map function not set");
     util::require(reduce_fn_ != nullptr, "Job::run: reduce function not set");
 
-    const int threads = num_threads_;
+    const int threads =
+        num_threads_ > 0 ? num_threads_ : rt::hardware_threads();
     const int reducers = num_reducers_;
 
     // --- Map phase: each worker fills its own per-partition buckets, so
@@ -169,7 +173,7 @@ class Job {
   MapFn map_fn_;
   ReduceFn reduce_fn_;
   CombineFn combine_fn_;
-  int num_threads_ = 4;
+  int num_threads_ = 0;  // 0 = rt::hardware_threads() at run()
   int num_reducers_ = 4;
 };
 

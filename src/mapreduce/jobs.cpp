@@ -1,125 +1,48 @@
 #include "mapreduce/jobs.hpp"
 
-#include <algorithm>
-#include <numeric>
-
+#include "mapreduce/defs.hpp"
 #include "mapreduce/job.hpp"
-#include "util/text.hpp"
 
 namespace pblpar::mapreduce {
 
 std::vector<std::pair<std::string, long>> word_count(
     const std::vector<std::string>& documents, int threads) {
-  std::vector<std::pair<int, std::string>> inputs;
-  inputs.reserve(documents.size());
-  for (std::size_t d = 0; d < documents.size(); ++d) {
-    inputs.emplace_back(static_cast<int>(d), documents[d]);
-  }
-
   Job<int, std::string, std::string, long> job;
-  job.threads(threads)
-      .map([](const int&, const std::string& text,
-              Emitter<std::string, long>& out) {
-        for (std::string& word : util::tokenize_words(text)) {
-          out.emit(std::move(word), 1L);
-        }
-      })
-      .combine([](const std::string&, const std::vector<long>& counts) {
-        return std::accumulate(counts.begin(), counts.end(), 0L);
-      })
-      .reduce([](const std::string&, const std::vector<long>& counts) {
-        return std::accumulate(counts.begin(), counts.end(), 0L);
-      });
-  return job.run(inputs);
+  job.threads(threads);
+  defs::WordCountDef{}.configure(job);
+  return job.run(defs::indexed(documents));
 }
 
 std::vector<std::pair<std::string, std::vector<int>>> inverted_index(
     const std::vector<std::string>& documents, int threads) {
-  std::vector<std::pair<int, std::string>> inputs;
-  inputs.reserve(documents.size());
-  for (std::size_t d = 0; d < documents.size(); ++d) {
-    inputs.emplace_back(static_cast<int>(d), documents[d]);
-  }
-
   Job<int, std::string, std::string, int, std::vector<int>> job;
-  job.threads(threads)
-      .map([](const int& doc_id, const std::string& text,
-              Emitter<std::string, int>& out) {
-        std::vector<std::string> words = util::tokenize_words(text);
-        std::sort(words.begin(), words.end());
-        words.erase(std::unique(words.begin(), words.end()), words.end());
-        for (std::string& word : words) {
-          out.emit(std::move(word), doc_id);
-        }
-      })
-      .reduce([](const std::string&, const std::vector<int>& ids) {
-        std::vector<int> sorted = ids;
-        std::sort(sorted.begin(), sorted.end());
-        sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-        return sorted;
-      });
-  return job.run(inputs);
+  job.threads(threads);
+  defs::InvertedIndexDef{}.configure(job);
+  return job.run(defs::indexed(documents));
 }
 
 std::vector<std::pair<std::string, long>> url_access_counts(
     const std::vector<std::string>& log_lines, int threads) {
-  std::vector<std::pair<int, std::string>> inputs;
-  inputs.reserve(log_lines.size());
-  for (std::size_t i = 0; i < log_lines.size(); ++i) {
-    inputs.emplace_back(static_cast<int>(i), log_lines[i]);
-  }
-
   Job<int, std::string, std::string, long> job;
-  job.threads(threads)
-      .map([](const int&, const std::string& line,
-              Emitter<std::string, long>& out) {
-        const std::vector<std::string> fields = util::split(line, " \t");
-        if (!fields.empty()) {
-          out.emit(fields.front(), 1L);
-        }
-      })
-      .combine([](const std::string&, const std::vector<long>& counts) {
-        return std::accumulate(counts.begin(), counts.end(), 0L);
-      })
-      .reduce([](const std::string&, const std::vector<long>& counts) {
-        return std::accumulate(counts.begin(), counts.end(), 0L);
-      });
-  return job.run(inputs);
+  job.threads(threads);
+  defs::UrlAccessCountsDef{}.configure(job);
+  return job.run(defs::indexed(log_lines));
 }
 
 std::vector<std::pair<int, std::string>> distributed_grep(
     const std::vector<std::string>& lines, const std::string& pattern,
     int threads) {
-  std::vector<std::pair<int, std::string>> inputs;
-  inputs.reserve(lines.size());
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    inputs.emplace_back(static_cast<int>(i), lines[i]);
-  }
-
   Job<int, std::string, int, std::string> job;
-  job.threads(threads)
-      .map([&pattern](const int& line_number, const std::string& line,
-                      Emitter<int, std::string>& out) {
-        if (line.find(pattern) != std::string::npos) {
-          out.emit(line_number, line);
-        }
-      })
-      .reduce([](const int&, const std::vector<std::string>& matched) {
-        return matched.front();  // one line per line number
-      });
-  return job.run(inputs);
+  job.threads(threads);
+  defs::DistributedGrepDef{pattern}.configure(job);
+  return job.run(defs::indexed(lines));
 }
 
 std::vector<std::pair<std::string, double>> mean_per_key(
     const std::vector<std::pair<std::string, double>>& samples, int threads) {
   Job<std::string, double, std::string, double> job;
-  job.threads(threads)
-      .map([](const std::string& key, const double& value,
-              Emitter<std::string, double>& out) { out.emit(key, value); })
-      .reduce([](const std::string&, const std::vector<double>& values) {
-        return std::accumulate(values.begin(), values.end(), 0.0) /
-               static_cast<double>(values.size());
-      });
+  job.threads(threads);
+  defs::MeanPerKeyDef{}.configure(job);
   return job.run(samples);
 }
 

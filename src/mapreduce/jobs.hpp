@@ -8,32 +8,35 @@ namespace pblpar::mapreduce {
 
 /// The canonical example computations from the Assignment 5 reading
 /// ("Introduction to Parallel Programming and MapReduce"), each expressed
-/// as a Job over string inputs.
+/// as a Job over string inputs. `threads = 0` (the default) sizes the
+/// worker team to the host's hardware concurrency (rt::hardware_threads())
+/// instead of a hard-coded width. The map/combine/reduce definitions live
+/// in mapreduce/defs.hpp, shared with the distributed cluster driver.
 
 /// Word frequency across documents. Input: document texts. Output:
 /// (word, count) sorted by word.
 std::vector<std::pair<std::string, long>> word_count(
-    const std::vector<std::string>& documents, int threads = 4);
+    const std::vector<std::string>& documents, int threads = 0);
 
 /// Inverted index. Input: (implicit doc id = position, text). Output:
 /// (word, sorted unique doc ids).
 std::vector<std::pair<std::string, std::vector<int>>> inverted_index(
-    const std::vector<std::string>& documents, int threads = 4);
+    const std::vector<std::string>& documents, int threads = 0);
 
 /// URL access frequency from log lines whose first whitespace-separated
 /// field is the URL. Output: (url, hits).
 std::vector<std::pair<std::string, long>> url_access_counts(
-    const std::vector<std::string>& log_lines, int threads = 4);
+    const std::vector<std::string>& log_lines, int threads = 0);
 
 /// Distributed grep: return (line number, line) for lines containing
 /// `pattern`, in line order.
 std::vector<std::pair<int, std::string>> distributed_grep(
     const std::vector<std::string>& lines, const std::string& pattern,
-    int threads = 4);
+    int threads = 0);
 
 /// Mean value per key.
 std::vector<std::pair<std::string, double>> mean_per_key(
     const std::vector<std::pair<std::string, double>>& samples,
-    int threads = 4);
+    int threads = 0);
 
 }  // namespace pblpar::mapreduce

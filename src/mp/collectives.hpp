@@ -153,8 +153,17 @@ std::vector<T> gather(Transport& t, const T& value, int root) {
 
 template <class T, class Transport>
 std::vector<T> allgather(Transport& t, const T& value) {
+  // Gather at 0, then broadcast element-wise: broadcasting the collected
+  // vector whole would need a Codec for vector<T>, which only exists for
+  // trivially copyable T. Element-wise, any payload a point-to-point
+  // message can carry (strings, nested vectors) allgathers too.
   std::vector<T> collected = gather(t, value, 0);
-  bcast(t, collected, 0);
+  if (t.rank() != 0) {
+    collected.assign(static_cast<std::size_t>(t.size()), value);
+  }
+  for (int r = 0; r < t.size(); ++r) {
+    bcast(t, collected[static_cast<std::size_t>(r)], 0);
+  }
   return collected;
 }
 

@@ -21,4 +21,12 @@ RawMessage Comm::recv_raw(int source, int tag) {
       source, tag);
 }
 
+bool Comm::recv_raw_timed(int source, int tag, double timeout_s,
+                          RawMessage* out) {
+  util::require(source == kAnySource || (source >= 0 && source < size()),
+                "Comm::recv: source rank out of range");
+  return world_->mailboxes[static_cast<std::size_t>(rank_)]
+      ->pop_matching_timed(source, tag, timeout_s, out);
+}
+
 }  // namespace pblpar::mp

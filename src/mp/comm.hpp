@@ -27,7 +27,7 @@ struct WorldState {
   explicit WorldState(int size, double timeout_s) : size(size) {
     mailboxes.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r) {
-      mailboxes.push_back(std::make_unique<Mailbox>(abort, timeout_s));
+      mailboxes.push_back(std::make_unique<Mailbox>(abort, timeout_s, r));
     }
   }
   int size;
@@ -126,6 +126,12 @@ class Comm {
   void send_raw(int dest, int tag, std::size_t type_hash,
                 std::vector<std::byte> payload);
   RawMessage recv_raw(int source, int tag);
+
+  /// Non-throwing timed receive: true and *out filled when a match
+  /// arrives within `timeout_s`, false on timeout. Used by pollers (the
+  /// cluster master) that must keep running while peers are silent.
+  bool recv_raw_timed(int source, int tag, double timeout_s,
+                      RawMessage* out);
 
  private:
   detail::WorldState* world_;

@@ -14,6 +14,14 @@ bool matches(const RawMessage& message, int source, int tag) {
          (tag == kAnyValue || message.tag == tag);
 }
 
+void describe_endpoint(std::ostream& os, const char* label, int value) {
+  if (value == kAnyValue) {
+    os << label << "=ANY";
+  } else {
+    os << label << "=" << value;
+  }
+}
+
 }  // namespace
 
 void Mailbox::push(RawMessage message) {
@@ -24,32 +32,67 @@ void Mailbox::push(RawMessage message) {
   cv_.notify_all();
 }
 
-RawMessage Mailbox::pop_matching(int source, int tag) {
+bool Mailbox::pop_impl(int source, int tag, double timeout_s,
+                       RawMessage* out, bool throw_on_timeout) {
   std::unique_lock lk(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::duration<double>(timeout_s_));
+                            std::chrono::duration<double>(timeout_s));
   for (;;) {
     if (abort_->aborted.load()) {
       throw WorldAborted{};
     }
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (matches(*it, source, tag)) {
-        RawMessage found = std::move(*it);
+        *out = std::move(*it);
         queue_.erase(it);
-        return found;
+        return true;
       }
     }
     if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (!throw_on_timeout) {
+        return false;
+      }
+      // Name the blocked endpoint and every queued-but-unmatched message
+      // so a mismatched send/recv pair is identifiable from the text.
       std::ostringstream detail;
-      detail << "TeachMPI: receive (source=" << source << ", tag=" << tag
-             << ") timed out after " << timeout_s_
-             << "s with " << queue_.size()
-             << " unmatched message(s) queued — likely deadlock or "
-                "mismatched send/recv";
+      detail << "TeachMPI deadlock: rank "
+             << (owner_rank_ >= 0 ? std::to_string(owner_rank_)
+                                  : std::string("?"))
+             << " blocked in recv(";
+      describe_endpoint(detail, "source", source);
+      detail << ", ";
+      describe_endpoint(detail, "tag", tag);
+      detail << ") for " << timeout_s << "s; " << queue_.size()
+             << " unmatched message(s) queued";
+      if (!queue_.empty()) {
+        detail << ":";
+        constexpr std::size_t kMaxListed = 8;
+        std::size_t listed = 0;
+        for (const RawMessage& pending : queue_) {
+          if (listed++ == kMaxListed) {
+            detail << " ...";
+            break;
+          }
+          detail << " (source=" << pending.source << ", tag=" << pending.tag
+                 << ", " << pending.payload.size() << "B)";
+        }
+      }
+      detail << " — likely deadlock or mismatched send/recv";
       throw MpDeadlockError(detail.str());
     }
   }
+}
+
+RawMessage Mailbox::pop_matching(int source, int tag) {
+  RawMessage out;
+  pop_impl(source, tag, timeout_s_, &out, /*throw_on_timeout=*/true);
+  return out;
+}
+
+bool Mailbox::pop_matching_timed(int source, int tag, double timeout_s,
+                                 RawMessage* out) {
+  return pop_impl(source, tag, timeout_s, out, /*throw_on_timeout=*/false);
 }
 
 void Mailbox::interrupt() {

@@ -27,8 +27,8 @@ struct AbortState {
 /// FIFO order as MPI requires.
 class Mailbox {
  public:
-  Mailbox(AbortState& abort, double timeout_s)
-      : abort_(&abort), timeout_s_(timeout_s) {}
+  Mailbox(AbortState& abort, double timeout_s, int owner_rank = -1)
+      : abort_(&abort), timeout_s_(timeout_s), owner_rank_(owner_rank) {}
 
   /// Deliver a message (called by the sending rank's thread).
   void push(RawMessage message);
@@ -38,12 +38,22 @@ class Mailbox {
   /// MpDeadlockError on timeout and WorldAborted when the world aborts.
   RawMessage pop_matching(int source, int tag);
 
+  /// Like pop_matching but with a caller-supplied timeout: returns true
+  /// and fills *out when a match arrives within `timeout_s`, false on
+  /// timeout (no exception). Still throws WorldAborted on abort.
+  bool pop_matching_timed(int source, int tag, double timeout_s,
+                          RawMessage* out);
+
   /// Wake any blocked pop (used on abort).
   void interrupt();
 
  private:
+  bool pop_impl(int source, int tag, double timeout_s, RawMessage* out,
+                bool throw_on_timeout);
+
   AbortState* abort_;
   double timeout_s_;
+  int owner_rank_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<RawMessage> queue_;

@@ -70,6 +70,40 @@ RawMessage SimComm::recv_raw(int source, int tag) {
   }
 }
 
+bool SimComm::recv_raw_timed(int source, int tag, double timeout_s,
+                             RawMessage* out) {
+  util::require(source == kAnySource || (source >= 0 && source < size()),
+                "SimComm::recv: source rank out of range");
+  util::require(timeout_s >= 0.0,
+                "SimComm::recv_raw_timed: timeout must be non-negative");
+  const auto index = static_cast<std::size_t>(rank_);
+  auto& inbox = world_->inboxes[index];
+  const sim::MutexHandle mutex = world_->inbox_mutexes[index];
+  const sim::ConditionHandle condition = world_->inbox_conditions[index];
+  const double deadline_s = ctx_->now() + timeout_s;
+
+  ctx_->lock(mutex);
+  for (;;) {
+    for (auto it = inbox.begin(); it != inbox.end(); ++it) {
+      if (matches(it->message, source, tag)) {
+        detail::TimedMessage timed = std::move(*it);
+        inbox.erase(it);
+        ctx_->unlock(mutex);
+        const double remaining_s = timed.arrival_s - ctx_->now();
+        if (remaining_s > 0.0) {
+          ctx_->compute(ctx_->spec().us_to_ops(remaining_s * 1e6));
+        }
+        *out = std::move(timed.message);
+        return true;
+      }
+    }
+    if (!ctx_->wait_until(condition, mutex, deadline_s)) {
+      ctx_->unlock(mutex);
+      return false;
+    }
+  }
+}
+
 ClusterReport SimWorld::run(int num_ranks,
                             const std::function<void(SimComm&)>& rank_main,
                             ClusterSpec spec) {

@@ -155,6 +155,14 @@ class SimComm {
                 std::vector<std::byte> payload);
   RawMessage recv_raw(int source, int tag);
 
+  /// Non-throwing timed receive in *virtual* time: true and *out filled
+  /// when a match shows up within `timeout_s` virtual seconds, false
+  /// once the deadline passes with no match. A message matched just
+  /// before the deadline is still delivered (its remaining wire time is
+  /// waited out even past the deadline).
+  bool recv_raw_timed(int source, int tag, double timeout_s,
+                      RawMessage* out);
+
  private:
   detail::SimWorldState* world_;
   sim::Context* ctx_;

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
+#include <thread>
 
 #include "sim/machine.hpp"
 #include "sim/report.hpp"
@@ -10,6 +12,14 @@
 namespace pblpar::rt {
 
 struct RunProfile;
+
+/// Number of hardware threads on the host, never less than 1 (the
+/// standard allows hardware_concurrency() to return 0 when unknown).
+/// The canonical "how wide should a thread-local run be" answer for code
+/// that wants to match the machine rather than hard-code a width.
+inline int hardware_threads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
 
 /// Which substrate executes a parallel region.
 enum class BackendKind {

@@ -1,6 +1,7 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -56,6 +57,11 @@ void Context::unlock(MutexHandle handle) {
 
 void Context::wait(ConditionHandle condition, MutexHandle mutex) {
   machine_->api_wait(tid_, condition, mutex);
+}
+
+bool Context::wait_until(ConditionHandle condition, MutexHandle mutex,
+                         double deadline_s) {
+  return machine_->api_wait_until(tid_, condition, mutex, deadline_s);
 }
 
 void Context::notify_one(ConditionHandle condition) {
@@ -300,7 +306,15 @@ void Machine::advance_virtual_time_locked() {
       computing.push_back(thread->tid);
     }
   }
+  const double next_deadline = next_wait_deadline_locked();
   if (computing.empty()) {
+    if (next_deadline < std::numeric_limits<double>::infinity()) {
+      // No modelled work remains, but a timed wait can still fire: jump
+      // the clock to the earliest deadline and expire it.
+      now_s_ = std::max(now_s_, next_deadline);
+      expire_timed_waits_locked();
+      return;
+    }
     // Live threads exist (caller checked all_done) but none can make
     // progress: every live thread waits on a barrier/mutex/join that will
     // never be signalled.
@@ -340,6 +354,11 @@ void Machine::advance_virtual_time_locked() {
     }
   }
 
+  // A pending wait_until deadline caps the step so it fires on time.
+  if (next_deadline < std::numeric_limits<double>::infinity()) {
+    min_dt = std::min(min_dt, std::max(0.0, next_deadline - now_s_));
+  }
+
   now_s_ += min_dt;
   for (std::size_t i = 0; i < computing.size(); ++i) {
     ThreadState& state = state_of(computing[i]);
@@ -356,6 +375,33 @@ void Machine::advance_virtual_time_locked() {
       state.demand_ops = 0.0;
       state.phase = Phase::ReadyReal;
       enqueue_ready(state.tid);
+    }
+  }
+  expire_timed_waits_locked();
+}
+
+double Machine::next_wait_deadline_locked() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& condition : conditions_) {
+    for (const auto& waiter : condition.waiters) {
+      next = std::min(next, waiter.deadline_s);
+    }
+  }
+  return next;
+}
+
+void Machine::expire_timed_waits_locked() {
+  constexpr double kSlack = 1e-12;
+  for (auto& condition : conditions_) {
+    for (auto it = condition.waiters.begin(); it != condition.waiters.end();) {
+      if (it->deadline_s <= now_s_ + kSlack) {
+        const ConditionWaiter expired = *it;
+        it = condition.waiters.erase(it);
+        state_of(expired.tid).timed_out = true;
+        enqueue_for_mutex_locked(expired.tid, expired.mutex_id);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -605,6 +651,12 @@ void Machine::enqueue_for_mutex_locked(int tid, int mutex_id) {
 
 void Machine::api_wait(int tid, ConditionHandle condition,
                        MutexHandle mutex) {
+  api_wait_until(tid, condition, mutex,
+                 std::numeric_limits<double>::infinity());
+}
+
+bool Machine::api_wait_until(int tid, ConditionHandle condition,
+                             MutexHandle mutex, double deadline_s) {
   std::unique_lock lk(mu_);
   check_abort_locked(tid);
   util::require(condition.id >= 0 &&
@@ -616,13 +668,16 @@ void Machine::api_wait(int tid, ConditionHandle condition,
   util::require(mutexes_[static_cast<std::size_t>(mutex.id)].owner == tid,
                 "Context::wait: calling thread does not own the mutex");
 
-  conditions_[static_cast<std::size_t>(condition.id)].waiters.emplace_back(
-      tid, mutex.id);
+  ThreadState& self = state_of(tid);
+  self.timed_out = false;
+  conditions_[static_cast<std::size_t>(condition.id)].waiters.push_back(
+      ConditionWaiter{tid, mutex.id, deadline_s});
   unlock_locked(tid, mutex.id);
-  state_of(tid).phase = Phase::WaitCondition;
+  self.phase = Phase::WaitCondition;
   begin_wait_and_reschedule(lk, tid);
-  // On return the mutex has been re-acquired (api_notify routed this
-  // thread through the mutex queue).
+  // On return the mutex has been re-acquired (the notify or the timeout
+  // expiry routed this thread through the mutex queue).
+  return !self.timed_out;
 }
 
 void Machine::api_notify(int tid, ConditionHandle condition, bool all) {
@@ -636,9 +691,9 @@ void Machine::api_notify(int tid, ConditionHandle condition, bool all) {
   const std::size_t wake_count =
       all ? state.waiters.size() : std::min<std::size_t>(1, state.waiters.size());
   for (std::size_t i = 0; i < wake_count; ++i) {
-    const auto [waiter, mutex_id] = state.waiters.front();
+    const ConditionWaiter waiter = state.waiters.front();
     state.waiters.pop_front();
-    enqueue_for_mutex_locked(waiter, mutex_id);
+    enqueue_for_mutex_locked(waiter.tid, waiter.mutex_id);
   }
 }
 

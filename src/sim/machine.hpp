@@ -100,6 +100,14 @@ class Context {
   /// so spurious-wakeup-safe callers should re-check their predicate).
   void wait(ConditionHandle condition, MutexHandle mutex);
 
+  /// Like wait(), but gives up once virtual time reaches `deadline_s`
+  /// (absolute, seconds). Returns true if notified, false on timeout; the
+  /// mutex is re-acquired before returning either way. A deadline at or
+  /// before now() still releases the mutex and yields once, so peers can
+  /// run, then times out immediately.
+  bool wait_until(ConditionHandle condition, MutexHandle mutex,
+                  double deadline_s);
+
   /// Wake one / all waiters of the condition. The caller need not hold
   /// the associated mutex (as with std::condition_variable).
   void notify_one(ConditionHandle condition);
@@ -196,6 +204,7 @@ class Machine {
     std::condition_variable cv;
     std::function<void(Context&)> body;
     std::vector<int> joiners;
+    bool timed_out = false;  // set when a wait_until expired, not notified
     std::thread os_thread;
   };
 
@@ -209,9 +218,14 @@ class Machine {
     std::vector<int> arrived;
   };
 
+  struct ConditionWaiter {
+    int tid = -1;
+    int mutex_id = -1;  // re-acquired on wake
+    double deadline_s = 0.0;  // +inf for untimed waits
+  };
+
   struct ConditionState {
-    // Each waiter remembers the mutex it must re-acquire on wake.
-    std::deque<std::pair<int, int>> waiters;  // (tid, mutex id)
+    std::deque<ConditionWaiter> waiters;
   };
 
   // All private methods below require mu_ to be held by the caller.
@@ -221,6 +235,8 @@ class Machine {
   void enqueue_ready(int tid);
   void schedule_next_locked();
   void advance_virtual_time_locked();
+  double next_wait_deadline_locked() const;
+  void expire_timed_waits_locked();
   void begin_wait_and_reschedule(std::unique_lock<std::mutex>& lk, int tid);
   void charge_locked(int tid, double ops, double mem_intensity);
   void finish_thread_locked(int tid);
@@ -235,6 +251,8 @@ class Machine {
   void api_lock(int tid, MutexHandle handle);
   void api_unlock(int tid, MutexHandle handle);
   void api_wait(int tid, ConditionHandle condition, MutexHandle mutex);
+  bool api_wait_until(int tid, ConditionHandle condition, MutexHandle mutex,
+                      double deadline_s);
   void api_notify(int tid, ConditionHandle condition, bool all);
   void api_yield(int tid);
   void unlock_locked(int tid, int mutex_id);

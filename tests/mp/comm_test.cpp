@@ -158,6 +158,40 @@ TEST(PointToPointTest, MissingMessageTimesOutAsDeadlock) {
                MpDeadlockError);
 }
 
+TEST(PointToPointTest, DeadlockDiagnosticNamesRankPeerTagAndQueue) {
+  // A mismatched tag must produce a diagnostic a student can act on:
+  // who blocked, what they were waiting for, and what actually arrived.
+  WorldOptions options;
+  options.recv_timeout_s = 0.2;
+  try {
+    World::run(2,
+               [](Comm& comm) {
+                 if (comm.rank() == 0) {
+                   comm.send(1, 5, 41);
+                 } else {
+                   (void)comm.recv<int>(0, 6);  // wrong tag: 5 != 6
+                 }
+               },
+               options);
+    FAIL() << "expected MpDeadlockError";
+  } catch (const MpDeadlockError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("recv(source=0, tag=6)"), std::string::npos) << what;
+    EXPECT_NE(what.find("unmatched"), std::string::npos) << what;
+    EXPECT_NE(what.find("(source=0, tag=5,"), std::string::npos) << what;
+  }
+}
+
+TEST(PointToPointTest, TimedRecvReturnsFalseInsteadOfThrowing) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 1) {
+      RawMessage msg;
+      EXPECT_FALSE(comm.recv_raw_timed(0, 9, 0.05, &msg));
+    }
+  });
+}
+
 TEST(PointToPointTest, SendRecvRingShiftDoesNotDeadlock) {
   World::run(4, [](Comm& comm) {
     const int next = (comm.rank() + 1) % comm.size();

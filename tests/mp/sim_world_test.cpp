@@ -75,6 +75,88 @@ TEST(SimWorldTest, CollectivesMatchHostSemantics) {
   }
 }
 
+TEST(SimWorldTest, AllgatherAndAllreduceAtOddSizesAndNonZeroRoots) {
+  // The cluster shuffle leans on allreduce/allgather/scatter/gather with
+  // variable-size payloads; exercise them away from powers of two and
+  // away from root 0.
+  for (const int ranks : {3, 5, 7}) {
+    SimWorld::run(
+        ranks,
+        [ranks](SimComm& comm) {
+          // allgather of variable-length strings.
+          const std::string mine(
+              static_cast<std::size_t>(comm.rank() + 1),
+              static_cast<char>('a' + comm.rank()));
+          const std::vector<std::string> all = comm.allgather(mine);
+          ASSERT_EQ(all.size(), static_cast<std::size_t>(ranks));
+          for (int r = 0; r < ranks; ++r) {
+            EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                      std::string(static_cast<std::size_t>(r + 1),
+                                  static_cast<char>('a' + r)));
+          }
+          // allreduce over doubles.
+          const double total = comm.allreduce(
+              0.5 * comm.rank(), [](double a, double b) { return a + b; });
+          EXPECT_DOUBLE_EQ(total, 0.5 * ranks * (ranks - 1) / 2.0);
+          // scatter/gather of variable-size vectors at the last rank.
+          const int root = ranks - 1;
+          std::vector<std::vector<int>> parts;
+          if (comm.rank() == root) {
+            for (int r = 0; r < ranks; ++r) {
+              parts.emplace_back(static_cast<std::size_t>(r), r);
+            }
+          }
+          const std::vector<int> part = comm.scatter(parts, root);
+          EXPECT_EQ(part,
+                    std::vector<int>(static_cast<std::size_t>(comm.rank()),
+                                     comm.rank()));
+          const auto collected = comm.gather(part, root);
+          if (comm.rank() == root) {
+            ASSERT_EQ(collected.size(), static_cast<std::size_t>(ranks));
+            for (int r = 0; r < ranks; ++r) {
+              EXPECT_EQ(collected[static_cast<std::size_t>(r)],
+                        std::vector<int>(static_cast<std::size_t>(r), r));
+            }
+          }
+        },
+        fast_net());
+  }
+}
+
+TEST(SimWorldTest, TimedRecvTimesOutAdvancingVirtualTime) {
+  SimWorld::run(
+      2,
+      [](SimComm& comm) {
+        if (comm.rank() == 1) {
+          RawMessage msg;
+          const double before = comm.context().now();
+          const bool got = comm.recv_raw_timed(0, 5, 0.25, &msg);
+          EXPECT_FALSE(got);  // nothing was ever sent
+          EXPECT_NEAR(comm.context().now() - before, 0.25, 1e-9);
+        }
+      },
+      fast_net());
+}
+
+TEST(SimWorldTest, TimedRecvDeliversAMessageBeforeTheDeadline) {
+  SimWorld::run(
+      2,
+      [](SimComm& comm) {
+        if (comm.rank() == 0) {
+          comm.context().compute_us(100.0);
+          comm.send(1, 5, 42);
+        } else {
+          RawMessage msg;
+          const bool got = comm.recv_raw_timed(0, 5, 10.0, &msg);
+          ASSERT_TRUE(got);
+          EXPECT_EQ(msg.source, 0);
+          EXPECT_EQ(msg.tag, 5);
+          EXPECT_LT(comm.context().now(), 1.0);  // did not wait out 10 s
+        }
+      },
+      fast_net());
+}
+
 TEST(SimWorldTest, RingAllreduceOnCluster) {
   const int ranks = 4;
   SimWorld::run(

@@ -149,6 +149,91 @@ TEST(ConditionTest, ProducerConsumerQueue) {
   EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(ConditionTest, TimedWaitTimesOutAtTheDeadline) {
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  bool notified = true;
+  double woke_at = -1.0;
+  bool reacquired = false;
+
+  machine.run([&](Context& root) {
+    root.lock(mutex);
+    // Nobody ever notifies: the wait must expire, advancing virtual time
+    // to exactly the deadline, with the mutex re-acquired on wake.
+    notified = root.wait_until(condition, mutex, 0.75);
+    woke_at = root.now();
+    reacquired = true;  // writing under the mutex proves we hold it
+    root.unlock(mutex);
+  });
+
+  EXPECT_FALSE(notified);
+  EXPECT_DOUBLE_EQ(woke_at, 0.75);
+  EXPECT_TRUE(reacquired);
+}
+
+TEST(ConditionTest, TimedWaitReturnsTrueWhenNotifiedInTime) {
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  bool notified = false;
+  double woke_at = -1.0;
+
+  machine.run([&](Context& root) {
+    const ThreadHandle waiter = root.spawn([&](Context& ctx) {
+      ctx.lock(mutex);
+      notified = ctx.wait_until(condition, mutex, 5.0);
+      woke_at = ctx.now();
+      ctx.unlock(mutex);
+    });
+    root.compute(2e8);  // 0.2 virtual seconds of work
+    root.lock(mutex);
+    root.notify_one(condition);
+    root.unlock(mutex);
+    root.join(waiter);
+  });
+
+  EXPECT_TRUE(notified);
+  EXPECT_DOUBLE_EQ(woke_at, 0.2);
+}
+
+TEST(ConditionTest, TimedWaitCoexistsWithUntimedWaiters) {
+  // One waiter with a deadline, one without, on the same condition: the
+  // timed one expires and makes progress; the untimed one is woken by a
+  // later notify. No deadlock is declared while a deadline is pending.
+  Machine machine(exact_spec(4));
+  const MutexHandle mutex = machine.make_mutex();
+  const ConditionHandle condition = machine.make_condition();
+  bool open = false;
+  bool timed_result = true;
+  int through = 0;
+
+  machine.run([&](Context& root) {
+    const ThreadHandle timed = root.spawn([&](Context& ctx) {
+      ctx.lock(mutex);
+      timed_result = ctx.wait_until(condition, mutex, 0.1);
+      ctx.unlock(mutex);
+    });
+    const ThreadHandle untimed = root.spawn([&](Context& ctx) {
+      ctx.lock(mutex);
+      while (!open) {
+        ctx.wait(condition, mutex);
+      }
+      ++through;
+      ctx.unlock(mutex);
+    });
+    root.join(timed);
+    root.lock(mutex);
+    open = true;
+    root.notify_all(condition);
+    root.unlock(mutex);
+    root.join(untimed);
+  });
+
+  EXPECT_FALSE(timed_result);
+  EXPECT_EQ(through, 1);
+}
+
 TEST(ConditionTest, WaitWithoutOwningMutexIsRejected) {
   Machine machine(exact_spec(2));
   const MutexHandle mutex = machine.make_mutex();
