@@ -43,6 +43,8 @@ int main() {
       {"dynamic,3", rt::Schedule::dynamic(3)},
       {"dynamic,16", rt::Schedule::dynamic(16)},
       {"guided,1", rt::Schedule::guided(1)},
+      {"steal", rt::Schedule::steal()},
+      {"steal,4", rt::Schedule::steal(4)},
   };
 
   util::Table table(
@@ -61,7 +63,9 @@ int main() {
       "dynamic,1 pays the most overhead; on imbalanced work the "
       "dynamic/guided schedules rebalance and win, while plain static "
       "is hostage to its heaviest block. Round-robin static,k already "
-      "helps because heavy iterations interleave across threads.");
+      "helps because heavy iterations interleave across threads. Steal "
+      "starts like static but migrates the tail: near-static overhead "
+      "on uniform work, near-dynamic balance on imbalanced work.");
   std::printf("%s", table.to_ascii().c_str());
 
   // Chunk timelines, one per schedule kind, on the imbalanced loop:
@@ -78,6 +82,7 @@ int main() {
       {"static,4", rt::Schedule::static_chunk(4)},
       {"dynamic,2", rt::Schedule::dynamic(2)},
       {"guided,1", rt::Schedule::guided(1)},
+      {"steal,2", rt::Schedule::steal(2)},
   };
   for (const auto& [name, schedule] : kinds) {
     const rt::RunResult run = rt::parallel_for(

@@ -4,9 +4,10 @@
 // simulator's event throughput.
 //
 // Before the benchmarks run, this binary prints the trace showcase: a
-// per-thread chunk timeline for static/dynamic/guided schedules on both
-// the Host and the Sim backend, with the load-imbalance ratio and
-// barrier-wait fraction the tracing layer computes.
+// per-thread chunk timeline for static/dynamic/guided/steal schedules on
+// both the Host and the Sim backend, with the load-imbalance ratio and
+// barrier-wait fraction the tracing layer computes (steal timelines also
+// list each chunk migration).
 
 #include <benchmark/benchmark.h>
 
@@ -23,7 +24,8 @@ using namespace pblpar;
 rt::Schedule schedule_for(int kind) {
   return kind == 0   ? rt::Schedule::static_chunk(4)
          : kind == 1 ? rt::Schedule::dynamic(2)
-                     : rt::Schedule::guided(1);
+         : kind == 2 ? rt::Schedule::guided(1)
+                     : rt::Schedule::steal(2);
 }
 
 void print_timeline(const char* backend_name, const rt::ParallelConfig& base,
@@ -53,11 +55,11 @@ void print_trace_showcase() {
   std::printf(
       "==== TeachMP trace showcase: 48 triangular iterations, 4 threads "
       "====\n\n");
-  for (const int kind : {0, 1, 2}) {
+  for (const int kind : {0, 1, 2, 3}) {
     print_timeline("Host (real time)", rt::ParallelConfig::host(4),
                    schedule_for(kind));
   }
-  for (const int kind : {0, 1, 2}) {
+  for (const int kind : {0, 1, 2, 3}) {
     print_timeline("Sim (virtual Pi time)", rt::ParallelConfig::sim_pi(4),
                    schedule_for(kind));
   }

@@ -1,0 +1,264 @@
+// Scheduler shoot-out for the TeachMP runtime: static / dynamic / guided
+// against the work-stealing schedule, on a uniform and a tail-heavy cost
+// profile, across thread counts — plus the devirtualized for_each against
+// the std::function-based for_loop on a trivial body.
+//
+// Host rows are real time (min over repeats); Sim rows are deterministic
+// virtual Pi time, where dynamic,1's serialized shared-counter claims and
+// steal's mostly-local deque pops are modelled explicitly. Results go to
+// BENCH_rt.json in the working directory.
+//
+// --smoke runs a tiny shape in well under a second; the bench-smoke ctest
+// label uses it so the bench binary itself stays exercised by the suite.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rt/for_each.hpp"
+#include "rt/parallel.hpp"
+
+namespace {
+
+using namespace pblpar;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Busy work proportional to `units`; volatile so the optimizer keeps it.
+void spin(std::int64_t units) {
+  volatile double sink = 0.0;
+  for (std::int64_t k = 0; k < units; ++k) {
+    sink = sink + static_cast<double>(k);
+  }
+}
+
+struct LoopRow {
+  std::string backend;   // "host" | "sim"
+  std::string profile;   // "uniform" | "skewed"
+  int threads = 0;
+  std::string schedule;
+  double seconds = 0.0;
+};
+
+/// Host run of `total` iterations where [heavy_from, total) spin
+/// `heavy_units` and the rest `base_units`; min over `repeats`.
+double time_host_loop(int threads, rt::Schedule schedule, std::int64_t total,
+                      std::int64_t heavy_from, std::int64_t base_units,
+                      std::int64_t heavy_units, int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    rt::parallel(rt::ParallelConfig::host(threads), [&](rt::TeamContext& tc) {
+      rt::for_each(tc, rt::Range::upto(total), schedule,
+                   [&](std::int64_t i) {
+                     spin(i >= heavy_from ? heavy_units : base_units);
+                   });
+    });
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+/// Deterministic Sim run of the same shape: the body is free, the cost
+/// model charges the per-iteration ops, and the backend charges its own
+/// claim costs (serialized shared counter vs mostly-local deque pops).
+double sim_loop_makespan(int threads, rt::Schedule schedule,
+                         std::int64_t total, std::int64_t heavy_from,
+                         double base_ops, double heavy_ops) {
+  rt::CostModel cost;
+  cost.ops_fn = [=](std::int64_t i) {
+    return i >= heavy_from ? heavy_ops : base_ops;
+  };
+  const rt::RunResult run = rt::parallel_for(
+      rt::ParallelConfig::sim_pi(threads), rt::Range::upto(total), schedule,
+      [](std::int64_t) {}, cost);
+  return run.elapsed_seconds();
+}
+
+/// Trivial-body loop through either the templated for_each (body inlined)
+/// or the std::function for_loop (one indirect call per iteration).
+double time_trivial_loop(bool devirtualized, std::int64_t total,
+                         int repeats) {
+  std::vector<double> data(static_cast<std::size_t>(total), 0.0);
+  const auto body = [&data](std::int64_t i) {
+    data[static_cast<std::size_t>(i)] =
+        0.5 * static_cast<double>(i) + 1.0;
+  };
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    rt::parallel(rt::ParallelConfig::host(1), [&](rt::TeamContext& tc) {
+      if (devirtualized) {
+        rt::for_each(tc, rt::Range::upto(total), rt::Schedule::static_block(),
+                     body);
+      } else {
+        rt::for_loop(tc, rt::Range::upto(total), rt::Schedule::static_block(),
+                     body);
+      }
+    });
+    best = std::min(best, seconds_since(start));
+  }
+  volatile double keep = data[static_cast<std::size_t>(total / 2)];
+  (void)keep;
+  return best;
+}
+
+void append_json_row(std::string& out, const LoopRow& row, bool first) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%s\n    {\"backend\":\"%s\",\"profile\":\"%s\","
+                "\"threads\":%d,\"schedule\":\"%s\",\"seconds\":%.9f}",
+                first ? "" : ",", row.backend.c_str(), row.profile.c_str(),
+                row.threads, row.schedule.c_str(), row.seconds);
+  out += buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  // Shape: `total` iterations of a small spin; the skewed profile makes
+  // the last eighth `kHeavyFactor` times heavier — the tail a static
+  // block split dumps on the last thread, and enough cheap iterations
+  // that dynamic,1's per-iteration claim overhead is visible.
+  const std::int64_t total = smoke ? 4096 : (1 << 17);
+  const std::int64_t base_units = 16;
+  constexpr std::int64_t kHeavyFactor = 24;
+  const int repeats = smoke ? 2 : 7;
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{2, 4} : std::vector<int>{1, 2, 4, 8};
+
+  const std::vector<rt::Schedule> schedules = {
+      rt::Schedule::static_block(), rt::Schedule::dynamic(1),
+      rt::Schedule::dynamic(16), rt::Schedule::guided(1),
+      rt::Schedule::steal()};
+
+  std::vector<LoopRow> rows;
+  std::printf("==== scheduler shoot-out: %lld iterations, heavy tail x%lld "
+              "====\n",
+              static_cast<long long>(total),
+              static_cast<long long>(kHeavyFactor));
+  for (const char* profile : {"uniform", "skewed"}) {
+    const bool skewed = std::strcmp(profile, "skewed") == 0;
+    const std::int64_t heavy_from = skewed ? total - total / 8 : total;
+    for (const int threads : thread_counts) {
+      for (const rt::Schedule& schedule : schedules) {
+        const double seconds =
+            time_host_loop(threads, schedule, total, heavy_from, base_units,
+                           base_units * kHeavyFactor, repeats);
+        rows.push_back(LoopRow{"host", profile, threads,
+                               schedule.to_string(), seconds});
+        std::printf("host %-8s t=%d %-10s %9.3f ms\n", profile, threads,
+                    schedule.to_string().c_str(), seconds * 1e3);
+      }
+    }
+  }
+
+  // Sim rows: virtual Pi time, deterministic. Same shape scaled down (the
+  // simulator retires one event per claim/chunk, so fewer iterations keep
+  // the bench quick) with ops chosen so claim overhead matters.
+  const std::int64_t sim_total = smoke ? 1024 : 8192;
+  const std::int64_t sim_heavy_from = sim_total - sim_total / 8;
+  for (const int threads : thread_counts) {
+    for (const rt::Schedule& schedule : schedules) {
+      const double seconds =
+          sim_loop_makespan(threads, schedule, sim_total, sim_heavy_from,
+                            2e3, 2e3 * kHeavyFactor);
+      rows.push_back(LoopRow{"sim", "skewed", threads, schedule.to_string(),
+                             seconds});
+      std::printf("sim  %-8s t=%d %-10s %9.3f ms (virtual)\n", "skewed",
+                  threads, schedule.to_string().c_str(), seconds * 1e3);
+    }
+  }
+
+  // Devirtualization: identical trivial body through both drivers.
+  const std::int64_t devirt_total = smoke ? (1 << 16) : (1 << 21);
+  const int devirt_repeats = smoke ? 2 : 7;
+  const double wrapper_s =
+      time_trivial_loop(false, devirt_total, devirt_repeats);
+  const double inlined_s =
+      time_trivial_loop(true, devirt_total, devirt_repeats);
+  std::printf("devirt: for_loop %.3f ms, for_each %.3f ms over %lld trivial "
+              "iterations\n",
+              wrapper_s * 1e3, inlined_s * 1e3,
+              static_cast<long long>(devirt_total));
+
+  // Acceptance probes: does steal beat dynamic,1 on the skewed loop at
+  // every measured thread count >= 4 (host real time and sim virtual
+  // time), and does the inlined driver beat the type-erased one?
+  const auto loop_seconds = [&rows](const std::string& backend,
+                                    const std::string& profile, int threads,
+                                    const std::string& schedule) {
+    for (const LoopRow& row : rows) {
+      if (row.backend == backend && row.profile == profile &&
+          row.threads == threads && row.schedule == schedule) {
+        return row.seconds;
+      }
+    }
+    return -1.0;
+  };
+  bool steal_wins_host = true;
+  bool steal_wins_sim = true;
+  for (const int threads : thread_counts) {
+    if (threads < 4) {
+      continue;
+    }
+    steal_wins_host =
+        steal_wins_host && loop_seconds("host", "skewed", threads, "steal") <
+                               loop_seconds("host", "skewed", threads,
+                                            "dynamic,1");
+    steal_wins_sim =
+        steal_wins_sim && loop_seconds("sim", "skewed", threads, "steal") <
+                              loop_seconds("sim", "skewed", threads,
+                                           "dynamic,1");
+  }
+  const bool devirt_wins = inlined_s < wrapper_s;
+  std::printf("checks: steal<dynamic,1 skewed 4+t host=%s sim=%s, "
+              "for_each<for_loop=%s\n",
+              steal_wins_host ? "yes" : "no", steal_wins_sim ? "yes" : "no",
+              devirt_wins ? "yes" : "no");
+
+  std::string json = "{\n  \"bench\": \"ubench_schedulers\",\n";
+  json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
+  json += "  \"loops\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    append_json_row(json, rows[i], i == 0);
+  }
+  json += "\n  ],\n  \"devirt\": {";
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "\"iterations\":%lld,\"for_loop_seconds\":%.9f,"
+                "\"for_each_seconds\":%.9f",
+                static_cast<long long>(devirt_total), wrapper_s, inlined_s);
+  json += buffer;
+  json += "},\n  \"checks\": {";
+  std::snprintf(buffer, sizeof(buffer),
+                "\"steal_beats_dynamic1_skewed_host\":%s,"
+                "\"steal_beats_dynamic1_skewed_sim\":%s,"
+                "\"for_each_beats_for_loop\":%s",
+                steal_wins_host ? "true" : "false",
+                steal_wins_sim ? "true" : "false",
+                devirt_wins ? "true" : "false");
+  json += buffer;
+  json += "}\n}\n";
+
+  std::ofstream out("BENCH_rt.json");
+  out << json;
+  std::printf("wrote BENCH_rt.json (%zu loop rows)\n", rows.size());
+  return 0;
+}

@@ -321,6 +321,13 @@ std::vector<ExperimentRow> run_assignment5_experiment(Config base) {
     for (const int threads : {4, 5}) {
       config.threads = threads;
       add_row("openmp (TeachMP)", threads, max_len, solve_teachmp(config));
+      // Same TeachMP solution on the work-stealing schedule: the
+      // irregular 2^len ligand costs are exactly the imbalance stealing
+      // is built for.
+      Config steal_config = config;
+      steal_config.schedule = rt::Schedule::steal();
+      add_row("teachmp steal", threads, max_len,
+              solve_teachmp(steal_config));
       add_row("c++11 threads", threads, max_len,
               solve_cxx11_threads(config));
     }

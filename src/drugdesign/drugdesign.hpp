@@ -28,7 +28,9 @@ struct Config {
   std::uint64_t seed = 2018;
   int threads = 4;
 
-  /// Schedule used by the TeachMP solver.
+  /// Schedule used by the TeachMP solver. dynamic(1) is the exemplar's
+  /// answer to the irregular ligand costs; rt::Schedule::steal() trades
+  /// its per-chunk shared-counter contention for mostly-local deque pops.
   rt::Schedule schedule = rt::Schedule::dynamic(1);
 
   /// Machine the simulated solvers run on.

@@ -2,22 +2,28 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
+#include <iterator>
 #include <utility>
 #include <vector>
 
+#include "rt/for_each.hpp"
 #include "rt/parallel.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::mapreduce {
 
-/// Collects the (key, value) pairs a mapper emits.
+/// Collects the (key, value) pairs a mapper emits. Workers reuse one
+/// Emitter across records (clear() keeps the capacity), so steady-state
+/// mapping does not allocate per record.
 template <class K, class V>
 class Emitter {
  public:
   void emit(K key, V value) {
     pairs_.emplace_back(std::move(key), std::move(value));
   }
+
+  /// Drop the collected pairs but keep the buffer's capacity.
+  void clear() { pairs_.clear(); }
 
   std::vector<std::pair<K, V>>& pairs() { return pairs_; }
 
@@ -65,8 +71,13 @@ class Job {
     return *this;
   }
 
+  /// Partition count; 0 (the default) means one partition per worker
+  /// thread, resolved at run() — more partitions than reducers only adds
+  /// shuffle overhead, fewer starves the reduce phase.
   Job& reducers(int count) {
-    util::require(count >= 1, "Job::reducers: need at least one partition");
+    util::require(
+        count >= 0,
+        "Job::reducers: count must be >= 0 (0 = one per worker thread)");
     num_reducers_ = count;
     return *this;
   }
@@ -80,10 +91,13 @@ class Job {
 
     const int threads =
         num_threads_ > 0 ? num_threads_ : rt::hardware_threads();
-    const int reducers = num_reducers_;
+    const int reducers = num_reducers_ > 0 ? num_reducers_ : threads;
 
     // --- Map phase: each worker fills its own per-partition buckets, so
-    // there is no shared mutable state across threads (CP.3).
+    // there is no shared mutable state across threads (CP.3). Records are
+    // dealt by work stealing: expensive records (long documents, heavy
+    // parses) stop being a tail-latency problem because idle workers
+    // migrate the remaining chunks.
     using Bucket = std::vector<std::pair<K2, V2>>;
     std::vector<std::vector<Bucket>> worker_buckets(
         static_cast<std::size_t>(threads),
@@ -92,12 +106,29 @@ class Job {
     rt::ParallelConfig map_config = rt::ParallelConfig::host(threads);
     rt::parallel(map_config, [&](rt::TeamContext& tc) {
       auto& buckets = worker_buckets[static_cast<std::size_t>(tc.thread_num())];
-      rt::for_loop(
+      Emitter<K2, V2> emitter;  // reused: clear() keeps the capacity
+      bool reserved = false;
+      rt::for_each(
           tc, rt::Range::upto(static_cast<std::int64_t>(inputs.size())),
-          rt::Schedule::dynamic(8), [&](std::int64_t i) {
+          rt::Schedule::steal(), [&](std::int64_t i) {
             const auto& [key, value] = inputs[static_cast<std::size_t>(i)];
-            Emitter<K2, V2> emitter;
+            emitter.clear();
             map_fn_(key, value, emitter);
+            if (!reserved && !emitter.pairs().empty()) {
+              // First-record estimate: assume every record emits about
+              // this many pairs, this worker maps ~1/threads of the
+              // input, and the hash spreads pairs evenly over buckets.
+              reserved = true;
+              const std::size_t estimate =
+                  emitter.pairs().size() *
+                      (inputs.size() / static_cast<std::size_t>(threads) +
+                       1) /
+                      static_cast<std::size_t>(reducers) +
+                  1;
+              for (auto& bucket : buckets) {
+                bucket.reserve(estimate);
+              }
+            }
             for (auto& [k2, v2] : emitter.pairs()) {
               const std::size_t partition =
                   std::hash<K2>{}(k2) % static_cast<std::size_t>(reducers);
@@ -106,7 +137,7 @@ class Job {
           });
       if (combine_fn_ != nullptr) {
         for (auto& bucket : buckets) {
-          bucket = combine_bucket(bucket);
+          bucket = combine_bucket(std::move(bucket));
         }
       }
     });
@@ -125,56 +156,96 @@ class Job {
                    });
     });
 
-    // --- Merge: concatenate and sort by key for deterministic output.
-    std::vector<std::pair<K2, VOut>> output;
-    for (auto& partition : partition_outputs) {
-      output.insert(output.end(),
-                    std::make_move_iterator(partition.begin()),
-                    std::make_move_iterator(partition.end()));
+    // --- Merge: every partition is already key-sorted (the shuffle sorts
+    // it), so a balanced merge cascade — O(n log k) comparisons instead
+    // of re-sorting the concatenation — yields the same sorted output.
+    // Hash partitioning keeps key sets disjoint across partitions, so the
+    // merged order is exactly the old concatenate-and-sort order.
+    while (partition_outputs.size() > 1) {
+      std::vector<std::vector<std::pair<K2, VOut>>> next;
+      next.reserve((partition_outputs.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < partition_outputs.size(); i += 2) {
+        auto& left = partition_outputs[i];
+        auto& right = partition_outputs[i + 1];
+        std::vector<std::pair<K2, VOut>> merged;
+        merged.reserve(left.size() + right.size());
+        std::merge(
+            std::make_move_iterator(left.begin()),
+            std::make_move_iterator(left.end()),
+            std::make_move_iterator(right.begin()),
+            std::make_move_iterator(right.end()), std::back_inserter(merged),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        next.push_back(std::move(merged));
+      }
+      if (partition_outputs.size() % 2 == 1) {
+        next.push_back(std::move(partition_outputs.back()));
+      }
+      partition_outputs = std::move(next);
     }
-    std::sort(output.begin(), output.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    return output;
+    return std::move(partition_outputs.front());
   }
 
  private:
   using BucketT = std::vector<std::pair<K2, V2>>;
 
-  BucketT combine_bucket(const BucketT& bucket) const {
-    std::map<K2, std::vector<V2>> grouped;
-    for (const auto& [key, value] : bucket) {
-      grouped[key].push_back(value);
+  /// Sort-then-run-length grouping over a flat pair vector: the shuffle
+  /// core shared by the combiner and the reducer. stable_sort keeps equal
+  /// keys in emission order, so each key's value list is byte-identical
+  /// to what the old std::map<K2, std::vector<V2>> grouping produced,
+  /// without one node allocation per key.
+  template <class Fn, class Out>
+  static void group_and_apply(std::vector<std::pair<K2, V2>>& flat,
+                              const Fn& fn, std::vector<Out>& out) {
+    std::stable_sort(
+        flat.begin(), flat.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<V2> values;
+    std::size_t i = 0;
+    while (i < flat.size()) {
+      std::size_t j = i;
+      values.clear();
+      while (j < flat.size() && !(flat[i].first < flat[j].first)) {
+        values.push_back(std::move(flat[j].second));
+        ++j;
+      }
+      auto result = fn(flat[i].first, values);
+      out.emplace_back(std::move(flat[i].first), std::move(result));
+      i = j;
     }
+  }
+
+  BucketT combine_bucket(BucketT bucket) const {
     BucketT combined;
-    combined.reserve(grouped.size());
-    for (const auto& [key, values] : grouped) {
-      combined.emplace_back(key, combine_fn_(key, values));
-    }
+    group_and_apply(bucket, combine_fn_, combined);
     return combined;
   }
 
   std::vector<std::pair<K2, VOut>> reduce_partition(
-      const std::vector<std::vector<BucketT>>& worker_buckets,
+      std::vector<std::vector<BucketT>>& worker_buckets,
       std::size_t partition) const {
-    std::map<K2, std::vector<V2>> grouped;
+    // Flatten this partition's slice of every worker's output in worker
+    // order — the same scan order the map-based shuffle grouped in.
+    std::vector<std::pair<K2, V2>> flat;
+    std::size_t total = 0;
     for (const auto& buckets : worker_buckets) {
-      for (const auto& [key, value] : buckets[partition]) {
-        grouped[key].push_back(value);
-      }
+      total += buckets[partition].size();
+    }
+    flat.reserve(total);
+    for (auto& buckets : worker_buckets) {
+      flat.insert(flat.end(),
+                  std::make_move_iterator(buckets[partition].begin()),
+                  std::make_move_iterator(buckets[partition].end()));
     }
     std::vector<std::pair<K2, VOut>> reduced;
-    reduced.reserve(grouped.size());
-    for (const auto& [key, values] : grouped) {
-      reduced.emplace_back(key, reduce_fn_(key, values));
-    }
+    group_and_apply(flat, reduce_fn_, reduced);
     return reduced;
   }
 
   MapFn map_fn_;
   ReduceFn reduce_fn_;
   CombineFn combine_fn_;
-  int num_threads_ = 0;  // 0 = rt::hardware_threads() at run()
-  int num_reducers_ = 4;
+  int num_threads_ = 0;   // 0 = rt::hardware_threads() at run()
+  int num_reducers_ = 0;  // 0 = one partition per worker thread at run()
 };
 
 }  // namespace pblpar::mapreduce

@@ -47,9 +47,10 @@ struct ParallelConfig {
   /// race detector attached. Not owned; must outlive the call.
   sim::Machine* external_machine = nullptr;
 
-  /// Record a per-thread execution trace (chunk claims, barrier waits,
-  /// critical sections, single winners) into RunResult::profile. Off by
-  /// default: the hot paths then skip all bookkeeping.
+  /// Record a per-thread execution trace (chunk claims, steal-schedule
+  /// chunk migrations, barrier waits, critical sections, single winners)
+  /// into RunResult::profile. Off by default: the hot paths then skip all
+  /// bookkeeping.
   bool record_trace = false;
 
   /// Copy of this config with tracing switched on.

@@ -1,0 +1,154 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "rt/loops.hpp"
+#include "rt/schedule.hpp"
+#include "rt/team.hpp"
+#include "rt/trace.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::rt {
+
+namespace detail {
+
+/// Run one chunk of iterations, charging the modelled cost afterwards.
+/// `body` is a deduced callable, so the per-iteration call inlines — this
+/// is the devirtualized hot path; the std::function-based for_loop wraps
+/// it with one layer of type erasure for ABI-stable call sites.
+template <class Body>
+inline void run_chunk(TeamContext& tc, std::int64_t begin, std::int64_t end,
+                      Body& body, const CostModel& cost) {
+  for (std::int64_t i = begin; i < end; ++i) {
+    body(i);
+  }
+  if (!cost.empty()) {
+    tc.compute(cost.total_ops(begin, end), cost.mem_intensity);
+  }
+}
+
+/// run_chunk plus a trace record when tracing is on. The chunk's span on
+/// the trace clock covers the body and (on Sim) the charged cost, so host
+/// and sim timelines mean the same thing.
+template <class Body>
+inline void run_chunk_traced(TeamContext& tc, TraceRecorder* tracer,
+                             int loop_id, std::int64_t begin,
+                             std::int64_t end, Body& body,
+                             const CostModel& cost) {
+  if (tracer == nullptr) {
+    run_chunk(tc, begin, end, body, cost);
+    return;
+  }
+  const std::uint64_t claim_order = tracer->next_claim_order();
+  const double start_s = tc.trace_now();
+  run_chunk(tc, begin, end, body, cost);
+  tracer->record_chunk(tc.thread_num(), loop_id, begin, end, claim_order,
+                       start_s, tc.trace_now());
+}
+
+}  // namespace detail
+
+/// Worksharing loop over `range` (OpenMP's `#pragma omp for`), templated
+/// on the body so the per-iteration call inlines instead of going through
+/// std::function — use this from hot code; for_loop is the type-erased
+/// wrapper with identical semantics.
+///
+/// Must be encountered by every member of the team. Iterations are
+/// distributed according to `schedule`; `body` receives global iteration
+/// indices. `cost` is charged to the simulator per chunk (ignored on the
+/// host backend). Ends with an implicit team barrier unless
+/// `barrier_at_end` is false (OpenMP's nowait).
+template <class Body>
+void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
+              const CostModel& cost = {}, bool barrier_at_end = true) {
+  const std::int64_t total = range.size();
+  const int loop_id = tc.next_loop_id();
+  const int num_threads = tc.num_threads();
+  const int tid = tc.thread_num();
+  TraceRecorder* const tracer = tc.tracer();
+  if (tracer != nullptr) {
+    tracer->register_loop(loop_id, schedule.to_string(), total);
+  }
+
+  if (schedule.kind == Schedule::Kind::Static) {
+    if (schedule.chunk <= 0) {
+      // One contiguous block per thread, remainder spread over the first
+      // threads (OpenMP's default static split).
+      const std::int64_t base = total / num_threads;
+      const std::int64_t extra = total % num_threads;
+      const std::int64_t mine = base + (tid < extra ? 1 : 0);
+      const std::int64_t start =
+          range.begin + tid * base + std::min<std::int64_t>(tid, extra);
+      if (mine > 0) {
+        detail::run_chunk_traced(tc, tracer, loop_id, start, start + mine,
+                                 body, cost);
+      }
+    } else {
+      // Round-robin chunks of the given size. The chunk is clamped to the
+      // loop length (a bigger chunk cannot hand out more work anyway) so
+      // the stride arithmetic below stays inside int64.
+      const std::int64_t chunk =
+          std::min<std::int64_t>(schedule.chunk, total);
+      util::require(
+          chunk <= std::numeric_limits<std::int64_t>::max() / num_threads,
+          "for_each: static chunk * num_threads overflows int64");
+      const std::int64_t stride = chunk * num_threads;
+      std::int64_t chunk_start = chunk * tid;
+      while (chunk_start < total) {
+        const std::int64_t chunk_end =
+            chunk < total - chunk_start ? chunk_start + chunk : total;
+        detail::run_chunk_traced(tc, tracer, loop_id,
+                                 range.begin + chunk_start,
+                                 range.begin + chunk_end, body, cost);
+        if (stride > total - chunk_start) {
+          break;  // next round-robin turn would overflow / pass the end
+        }
+        chunk_start += stride;
+      }
+    }
+  } else if (schedule.kind == Schedule::Kind::Steal) {
+    // Work stealing: install our block of chunks, then drain — own deque
+    // first, peers' deques once ours is empty. A migrated chunk gets a
+    // steal event carrying the same claim order as its chunk event, so
+    // timelines can link the theft to the execution span.
+    tc.steal_install(loop_id, total, schedule);
+    for (;;) {
+      const StealClaim claim = tc.steal_next(loop_id, total, schedule);
+      if (claim.count == 0) {
+        break;
+      }
+      const std::int64_t begin = range.begin + claim.begin;
+      const std::int64_t end = begin + claim.count;
+      if (tracer == nullptr) {
+        detail::run_chunk(tc, begin, end, body, cost);
+      } else {
+        const std::uint64_t claim_order = tracer->next_claim_order();
+        const double start_s = tc.trace_now();
+        if (claim.victim != tid) {
+          tracer->record_steal(tid, loop_id, claim.victim, begin, end,
+                               claim_order, start_s);
+        }
+        detail::run_chunk(tc, begin, end, body, cost);
+        tracer->record_chunk(tid, loop_id, begin, end, claim_order, start_s,
+                             tc.trace_now());
+      }
+    }
+  } else {
+    for (;;) {
+      const auto [start, count] = tc.claim(loop_id, total, schedule);
+      if (count == 0) {
+        break;
+      }
+      detail::run_chunk_traced(tc, tracer, loop_id, range.begin + start,
+                               range.begin + start + count, body, cost);
+    }
+  }
+
+  if (barrier_at_end) {
+    tc.barrier();
+  }
+}
+
+}  // namespace pblpar::rt

@@ -54,9 +54,19 @@ namespace {
 /// the course workloads.
 constexpr int kMaxWorksharing = 256;
 
+/// One thread's steal deque: its remaining chunk-index span per loop,
+/// guarded by a per-deque mutex. Spans default to empty, so a thief that
+/// scans a deque before its owner reached steal_install simply moves on —
+/// the owner still drains everything it later installs.
+struct StealDeque {
+  std::mutex mu;
+  std::array<StealSpan, kMaxWorksharing> spans;
+};
+
 struct HostTeam {
   explicit HostTeam(int num_threads)
-      : num_threads(num_threads), barrier(num_threads) {
+      : num_threads(num_threads), barrier(num_threads),
+        steal_deques(static_cast<std::size_t>(num_threads)) {
     for (auto& counter : loop_counters) {
       counter.store(0, std::memory_order_relaxed);
     }
@@ -70,6 +80,7 @@ struct HostTeam {
   std::mutex critical_mu;
   std::array<std::atomic<std::int64_t>, kMaxWorksharing> loop_counters;
   std::array<std::atomic<int>, kMaxWorksharing> single_arrivals;
+  std::vector<StealDeque> steal_deques;  // indexed by tid
   std::atomic<bool> aborted{false};
 
   /// Observability (null / unset when tracing is off).
@@ -157,6 +168,49 @@ class HostTeamContext final : public TeamContext {
         return {current, size};
       }
     }
+  }
+
+  void steal_install(int loop_id, std::int64_t total,
+                     const Schedule& schedule) override {
+    util::require(loop_id >= 0 && loop_id < kMaxWorksharing,
+                  "TeamContext::steal_install: too many worksharing loops");
+    const std::int64_t chunk =
+        steal_chunk_size(schedule, total, team_->num_threads);
+    StealDeque& mine = team_->steal_deques[static_cast<std::size_t>(tid_)];
+    std::lock_guard guard(mine.mu);
+    mine.spans[static_cast<std::size_t>(loop_id)] =
+        steal_initial_span(total, chunk, team_->num_threads, tid_);
+  }
+
+  StealClaim steal_next(int loop_id, std::int64_t total,
+                        const Schedule& schedule) override {
+    util::require(loop_id >= 0 && loop_id < kMaxWorksharing,
+                  "TeamContext::steal_next: too many worksharing loops");
+    const std::int64_t chunk =
+        steal_chunk_size(schedule, total, team_->num_threads);
+    // Own deque first: pop the lowest chunk index, an ascending walk of
+    // our block (the LIFO end relative to how the block was dealt).
+    {
+      StealDeque& mine = team_->steal_deques[static_cast<std::size_t>(tid_)];
+      std::lock_guard guard(mine.mu);
+      StealSpan& span = mine.spans[static_cast<std::size_t>(loop_id)];
+      if (!span.empty()) {
+        return steal_claim_for(span.lo++, chunk, total, tid_);
+      }
+    }
+    // Then scan peers round-robin starting at our right-hand neighbour,
+    // taking from the FIFO end — the chunk the victim would reach last.
+    for (int k = 1; k < team_->num_threads; ++k) {
+      const int victim = (tid_ + k) % team_->num_threads;
+      StealDeque& theirs =
+          team_->steal_deques[static_cast<std::size_t>(victim)];
+      std::lock_guard guard(theirs.mu);
+      StealSpan& span = theirs.spans[static_cast<std::size_t>(loop_id)];
+      if (!span.empty()) {
+        return steal_claim_for(--span.hi, chunk, total, victim);
+      }
+    }
+    return StealClaim{total, 0, tid_};
   }
 
  private:

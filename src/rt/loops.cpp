@@ -1,9 +1,8 @@
 #include "rt/loops.hpp"
 
 #include <algorithm>
-#include <limits>
 
-#include "rt/trace.hpp"
+#include "rt/for_each.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::rt {
@@ -16,6 +15,8 @@ std::string Schedule::to_string() const {
       return "dynamic," + std::to_string(std::max<std::int64_t>(1, chunk));
     case Kind::Guided:
       return "guided," + std::to_string(std::max<std::int64_t>(1, chunk));
+    case Kind::Steal:
+      return chunk <= 0 ? "steal" : "steal," + std::to_string(chunk);
   }
   return "?";
 }
@@ -44,105 +45,63 @@ std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
       return std::min<std::int64_t>(remaining,
                                     std::max<std::int64_t>(min_chunk, guided));
     }
+    case Schedule::Kind::Steal:
+      // Steal claims go through the per-thread deques, not the shared
+      // queue; behave like dynamic if fed through it anyway.
+      return std::min<std::int64_t>(
+          remaining, schedule.chunk > 0 ? schedule.chunk : 1);
   }
   return 0;
 }
 
-namespace {
-
-void run_chunk(TeamContext& tc, std::int64_t begin, std::int64_t end,
-               const std::function<void(std::int64_t)>& body,
-               const CostModel& cost) {
-  for (std::int64_t i = begin; i < end; ++i) {
-    body(i);
+std::int64_t steal_chunk_size(const Schedule& schedule, std::int64_t total,
+                              int num_threads) {
+  util::require(num_threads >= 1, "steal_chunk_size: need >= 1 thread");
+  if (total <= 0) {
+    return 1;
   }
-  if (!cost.empty()) {
-    tc.compute(cost.total_ops(begin, end), cost.mem_intensity);
+  if (schedule.chunk > 0) {
+    return std::min<std::int64_t>(schedule.chunk, total);
   }
+  // Auto chunk: aim for ~16 chunks per thread. Coarse enough that a
+  // thread's claims are mostly uncontended local pops, fine enough that a
+  // thread stuck on a heavy block still has chunks worth stealing.
+  constexpr std::int64_t kChunksPerThread = 16;
+  const std::int64_t target =
+      static_cast<std::int64_t>(num_threads) * kChunksPerThread;
+  return std::max<std::int64_t>(1, (total + target - 1) / target);
 }
 
-/// run_chunk plus a trace record when tracing is on. The chunk's span on
-/// the trace clock covers the body and (on Sim) the charged cost, so host
-/// and sim timelines mean the same thing.
-void run_chunk_traced(TeamContext& tc, TraceRecorder* tracer, int loop_id,
-                      std::int64_t begin, std::int64_t end,
-                      const std::function<void(std::int64_t)>& body,
-                      const CostModel& cost) {
-  if (tracer == nullptr) {
-    run_chunk(tc, begin, end, body, cost);
-    return;
-  }
-  const std::uint64_t claim_order = tracer->next_claim_order();
-  const double start_s = tc.trace_now();
-  run_chunk(tc, begin, end, body, cost);
-  tracer->record_chunk(tc.thread_num(), loop_id, begin, end, claim_order,
-                       start_s, tc.trace_now());
+StealSpan steal_initial_span(std::int64_t total, std::int64_t chunk,
+                             int num_threads, int tid) {
+  util::require(chunk >= 1, "steal_initial_span: chunk must be >= 1");
+  util::require(tid >= 0 && tid < num_threads,
+                "steal_initial_span: tid out of range");
+  const std::int64_t num_chunks =
+      total > 0 ? (total + chunk - 1) / chunk : 0;
+  const std::int64_t base = num_chunks / num_threads;
+  const std::int64_t extra = num_chunks % num_threads;
+  const std::int64_t lo = tid * base + std::min<std::int64_t>(tid, extra);
+  return StealSpan{lo, lo + base + (tid < extra ? 1 : 0)};
 }
 
-}  // namespace
+StealClaim steal_claim_for(std::int64_t chunk_index, std::int64_t chunk,
+                           std::int64_t total, int victim) {
+  util::require(chunk >= 1, "steal_claim_for: chunk must be >= 1");
+  const std::int64_t begin = chunk_index * chunk;
+  util::require(begin >= 0 && begin < total,
+                "steal_claim_for: chunk index outside the loop");
+  return StealClaim{begin, std::min<std::int64_t>(chunk, total - begin),
+                    victim};
+}
 
 void for_loop(TeamContext& tc, Range range, Schedule schedule,
               const std::function<void(std::int64_t)>& body,
               const CostModel& cost, bool barrier_at_end) {
   util::require(body != nullptr, "for_loop: body must be callable");
-  const std::int64_t total = range.size();
-  const int loop_id = tc.next_loop_id();
-  const int num_threads = tc.num_threads();
-  const int tid = tc.thread_num();
-  TraceRecorder* const tracer = tc.tracer();
-  if (tracer != nullptr) {
-    tracer->register_loop(loop_id, schedule.to_string(), total);
-  }
-
-  if (schedule.kind == Schedule::Kind::Static) {
-    if (schedule.chunk <= 0) {
-      // One contiguous block per thread, remainder spread over the first
-      // threads (OpenMP's default static split).
-      const std::int64_t base = total / num_threads;
-      const std::int64_t extra = total % num_threads;
-      const std::int64_t mine = base + (tid < extra ? 1 : 0);
-      const std::int64_t start =
-          range.begin + tid * base + std::min<std::int64_t>(tid, extra);
-      if (mine > 0) {
-        run_chunk_traced(tc, tracer, loop_id, start, start + mine, body,
-                         cost);
-      }
-    } else {
-      // Round-robin chunks of the given size. The chunk is clamped to the
-      // loop length (a bigger chunk cannot hand out more work anyway) so
-      // the stride arithmetic below stays inside int64.
-      const std::int64_t chunk =
-          std::min<std::int64_t>(schedule.chunk, total);
-      util::require(
-          chunk <= std::numeric_limits<std::int64_t>::max() / num_threads,
-          "for_loop: static chunk * num_threads overflows int64");
-      const std::int64_t stride = chunk * num_threads;
-      std::int64_t chunk_start = chunk * tid;
-      while (chunk_start < total) {
-        const std::int64_t chunk_end =
-            chunk < total - chunk_start ? chunk_start + chunk : total;
-        run_chunk_traced(tc, tracer, loop_id, range.begin + chunk_start,
-                         range.begin + chunk_end, body, cost);
-        if (stride > total - chunk_start) {
-          break;  // next round-robin turn would overflow / pass the end
-        }
-        chunk_start += stride;
-      }
-    }
-  } else {
-    for (;;) {
-      const auto [start, count] = tc.claim(loop_id, total, schedule);
-      if (count == 0) {
-        break;
-      }
-      run_chunk_traced(tc, tracer, loop_id, range.begin + start,
-                       range.begin + start + count, body, cost);
-    }
-  }
-
-  if (barrier_at_end) {
-    tc.barrier();
-  }
+  // Thin type-erased wrapper: all scheduling logic lives in the templated
+  // for_each; this call just pays one std::function hop per iteration.
+  for_each(tc, range, schedule, body, cost, barrier_at_end);
 }
 
 }  // namespace pblpar::rt

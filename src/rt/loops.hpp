@@ -13,6 +13,37 @@ namespace pblpar::rt {
 std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
                             int num_threads);
 
+/// Chunk size a Schedule::steal loop is split into before the chunks are
+/// dealt to the per-thread deques. An explicit schedule.chunk wins
+/// (clamped to the loop length); chunk 0 auto-sizes so every thread
+/// starts with roughly 16 chunks — local pops stay cheap while thieves
+/// still find granularity worth migrating. Shared by both backends so
+/// host and sim deal identical deques.
+std::int64_t steal_chunk_size(const Schedule& schedule, std::int64_t total,
+                              int num_threads);
+
+/// Remaining contiguous block of chunk indices in one thread's steal
+/// deque: [lo, hi). The owner pops from lo (ascending walk of its block);
+/// thieves take from hi.
+struct StealSpan {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  bool empty() const { return lo >= hi; }
+};
+
+/// The block of chunk indices initially dealt to `tid` when `total`
+/// iterations are split into chunks of `chunk`: the OpenMP-static block
+/// partition of the chunk index space, remainder to the first threads.
+StealSpan steal_initial_span(std::int64_t total, std::int64_t chunk,
+                             int num_threads, int tid);
+
+/// The iteration claim produced when chunk index `chunk_index` of a steal
+/// loop (chunks of size `chunk` over `total` iterations) is removed from
+/// `victim`'s deque. The final chunk is clamped to the loop end.
+StealClaim steal_claim_for(std::int64_t chunk_index, std::int64_t chunk,
+                           std::int64_t total, int victim);
+
 /// Worksharing loop over `range` (OpenMP's `#pragma omp for`).
 ///
 /// Must be encountered by every member of the team. Iterations are

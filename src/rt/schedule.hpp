@@ -18,15 +18,18 @@ struct Range {
   static Range upto(std::int64_t n) { return Range{0, n}; }
 };
 
-/// Loop schedule, mirroring OpenMP's schedule(static|dynamic|guided, chunk).
+/// Loop schedule, mirroring OpenMP's schedule(static|dynamic|guided, chunk)
+/// plus a work-stealing schedule the course runtime adds on top.
 struct Schedule {
-  enum class Kind { Static, Dynamic, Guided };
+  enum class Kind { Static, Dynamic, Guided, Steal };
 
   Kind kind = Kind::Static;
 
   /// Chunk size. For Static, 0 means one contiguous block per thread;
   /// otherwise chunks are dealt round-robin. For Dynamic it is the grab
   /// size (default 1). For Guided it is the minimum chunk (default 1).
+  /// For Steal it is the deque chunk size; 0 (the default) auto-sizes to
+  /// a handful of chunks per thread (see steal_chunk_size).
   std::int64_t chunk = 0;
 
   static Schedule static_block() { return {Kind::Static, 0}; }
@@ -41,6 +44,20 @@ struct Schedule {
   static Schedule guided(std::int64_t min_chunk = 1) {
     util::require(min_chunk >= 1, "Schedule::guided: min chunk must be >= 1");
     return {Kind::Guided, min_chunk};
+  }
+
+  /// Work stealing: iterations are pre-split into chunks and dealt out as
+  /// one contiguous block of chunks per thread, held in a per-thread
+  /// deque. Owners pop from their own deque (LIFO end, walking their
+  /// block in ascending order); an idle thread scans its peers and steals
+  /// a chunk from the opposite (FIFO) end of the first non-empty deque it
+  /// finds. No shared counter: claims are per-deque, so uncontended pops
+  /// stay cheap and only migration pays for synchronization. `chunk` 0
+  /// (the default) auto-sizes the chunk so every thread starts with a
+  /// handful of stealable chunks.
+  static Schedule steal(std::int64_t chunk = 0) {
+    util::require(chunk >= 0, "Schedule::steal: chunk must be >= 0 (0 = auto)");
+    return {Kind::Steal, chunk};
   }
 
   std::string to_string() const;

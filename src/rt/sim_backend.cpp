@@ -24,6 +24,14 @@ struct SimTeam {
   std::vector<std::int64_t> loop_counters;
   std::vector<int> single_arrivals;
 
+  /// Schedule::steal state: steal_spans[tid][loop_id] is tid's remaining
+  /// chunk-index span, guarded by steal_mutexes[tid] so local pops by
+  /// different owners do not serialize against each other in virtual
+  /// time. The machine's deterministic scheduler makes steal placement
+  /// replay bit-for-bit for a given machine seed.
+  std::vector<std::vector<StealSpan>> steal_spans;
+  std::vector<sim::MutexHandle> steal_mutexes;
+
   /// Observability (null when tracing is off). Timestamps are virtual
   /// time; Machine::run starts each run at t = 0.
   TraceRecorder* tracer = nullptr;
@@ -116,6 +124,58 @@ class SimTeamContext final : public TeamContext {
     return {start, size};
   }
 
+  void steal_install(int loop_id, std::int64_t total,
+                     const Schedule& schedule) override {
+    const std::int64_t chunk =
+        steal_chunk_size(schedule, total, team_->num_threads);
+    sim::ScopedLock lock(
+        *ctx_, team_->steal_mutexes[static_cast<std::size_t>(tid_)]);
+    // Installing touches only our own deque: charge a quarter of the
+    // shared-queue claim cost (a local push, not a contended counter).
+    ctx_->compute_us(0.25 * ctx_->spec().sched_chunk_cost_us);
+    auto& spans = team_->steal_spans[static_cast<std::size_t>(tid_)];
+    if (spans.size() <= static_cast<std::size_t>(loop_id)) {
+      spans.resize(static_cast<std::size_t>(loop_id) + 1);
+    }
+    spans[static_cast<std::size_t>(loop_id)] =
+        steal_initial_span(total, chunk, team_->num_threads, tid_);
+  }
+
+  StealClaim steal_next(int loop_id, std::int64_t total,
+                        const Schedule& schedule) override {
+    const std::int64_t chunk =
+        steal_chunk_size(schedule, total, team_->num_threads);
+    {
+      sim::ScopedLock lock(
+          *ctx_, team_->steal_mutexes[static_cast<std::size_t>(tid_)]);
+      ctx_->compute_us(0.25 * ctx_->spec().sched_chunk_cost_us);
+      auto& spans = team_->steal_spans[static_cast<std::size_t>(tid_)];
+      if (spans.size() > static_cast<std::size_t>(loop_id)) {
+        StealSpan& span = spans[static_cast<std::size_t>(loop_id)];
+        if (!span.empty()) {
+          return steal_claim_for(span.lo++, chunk, total, tid_);
+        }
+      }
+    }
+    // Probe peers round-robin; a remote probe pays the full claim cost
+    // (cache-line transfer of the victim's deque) whether or not it
+    // finds work, so stealing is modelled as dearer than local pops.
+    for (int k = 1; k < team_->num_threads; ++k) {
+      const int victim = (tid_ + k) % team_->num_threads;
+      sim::ScopedLock lock(
+          *ctx_, team_->steal_mutexes[static_cast<std::size_t>(victim)]);
+      ctx_->compute_us(ctx_->spec().sched_chunk_cost_us);
+      auto& spans = team_->steal_spans[static_cast<std::size_t>(victim)];
+      if (spans.size() > static_cast<std::size_t>(loop_id)) {
+        StealSpan& span = spans[static_cast<std::size_t>(loop_id)];
+        if (!span.empty()) {
+          return steal_claim_for(--span.hi, chunk, total, victim);
+        }
+      }
+    }
+    return StealClaim{total, 0, tid_};
+  }
+
  private:
   SimTeam* team_;
   sim::Context* ctx_;
@@ -136,6 +196,11 @@ RunResult sim_parallel(sim::Machine& machine, const ParallelConfig& config,
   team.barrier = machine.make_barrier(num_threads);
   team.critical_mutex = machine.make_mutex();
   team.claim_mutex = machine.make_mutex();
+  team.steal_spans.resize(static_cast<std::size_t>(num_threads));
+  team.steal_mutexes.reserve(static_cast<std::size_t>(num_threads));
+  for (int tid = 0; tid < num_threads; ++tid) {
+    team.steal_mutexes.push_back(machine.make_mutex());
+  }
   std::unique_ptr<TraceRecorder> recorder;
   if (config.record_trace) {
     recorder = std::make_unique<TraceRecorder>(num_threads,

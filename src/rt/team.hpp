@@ -10,6 +10,16 @@ namespace pblpar::rt {
 
 class TraceRecorder;
 
+/// One chunk of a Schedule::steal loop handed to a team member by
+/// TeamContext::steal_next. `begin` is loop-relative (callers add the
+/// range offset); `victim` is the deque the chunk came from, equal to the
+/// claimant's own thread_num() for local pops.
+struct StealClaim {
+  std::int64_t begin = 0;
+  std::int64_t count = 0;  // 0 = the loop is fully drained
+  int victim = -1;
+};
+
 /// The view a team member has of its parallel region — the TeachMP
 /// equivalent of OpenMP's implicit thread context.
 ///
@@ -50,6 +60,37 @@ class TeamContext {
   /// exhausted. Used by dynamic/guided scheduling.
   virtual std::pair<std::int64_t, std::int64_t> claim(
       int loop_id, std::int64_t total, const Schedule& schedule) = 0;
+
+  /// Install this member's initial block of chunks for a Schedule::steal
+  /// loop. Called once per member at loop entry, before any steal_next;
+  /// not a collective (no barrier), so a fast peer can scan this deque
+  /// before it is installed and simply find it empty — the owner still
+  /// executes (or donates) every chunk it installs, so each iteration
+  /// runs exactly once either way.
+  virtual void steal_install(int loop_id, std::int64_t total,
+                             const Schedule& schedule) {
+    (void)loop_id;
+    (void)total;
+    (void)schedule;
+    util::require(false,
+                  "TeamContext::steal_install: this backend does not "
+                  "implement Schedule::steal");
+  }
+
+  /// Claim the next chunk of a Schedule::steal loop: pop from this
+  /// member's own deque, or steal from a peer once it is empty. A count
+  /// of 0 means no deque holds work any more and the member should leave
+  /// for the loop-end barrier.
+  virtual StealClaim steal_next(int loop_id, std::int64_t total,
+                                const Schedule& schedule) {
+    (void)loop_id;
+    (void)total;
+    (void)schedule;
+    util::require(false,
+                  "TeamContext::steal_next: this backend does not "
+                  "implement Schedule::steal");
+    return {};
+  }
 
   /// Per-member worksharing-loop sequence number. Every member encounters
   /// loops in the same order, so equal ids refer to the same loop.

@@ -44,6 +44,13 @@ void TraceRecorder::record_chunk(int tid, int loop_id, std::int64_t begin,
       ChunkEvent{loop_id, tid, begin, end, claim_order, start_s, end_s});
 }
 
+void TraceRecorder::record_steal(int thief_tid, int loop_id, int victim_tid,
+                                 std::int64_t begin, std::int64_t end,
+                                 std::uint64_t claim_order, double time_s) {
+  threads_[static_cast<std::size_t>(thief_tid)].steals.push_back(StealEvent{
+      loop_id, thief_tid, victim_tid, begin, end, claim_order, time_s});
+}
+
 void TraceRecorder::record_barrier(int tid, double arrive_s,
                                    double release_s) {
   threads_[static_cast<std::size_t>(tid)].barriers.push_back(
@@ -77,6 +84,8 @@ RunProfile TraceRecorder::finish(double region_s) {
   for (const PerThread& thread : threads_) {
     profile.chunks.insert(profile.chunks.end(), thread.chunks.begin(),
                           thread.chunks.end());
+    profile.steals.insert(profile.steals.end(), thread.steals.begin(),
+                          thread.steals.end());
     profile.barriers.insert(profile.barriers.end(), thread.barriers.begin(),
                             thread.barriers.end());
     profile.criticals.insert(profile.criticals.end(),
@@ -87,6 +96,10 @@ RunProfile TraceRecorder::finish(double region_s) {
   }
   std::sort(profile.chunks.begin(), profile.chunks.end(),
             [](const ChunkEvent& a, const ChunkEvent& b) {
+              return a.claim_order < b.claim_order;
+            });
+  std::sort(profile.steals.begin(), profile.steals.end(),
+            [](const StealEvent& a, const StealEvent& b) {
               return a.claim_order < b.claim_order;
             });
   std::sort(profile.singles.begin(), profile.singles.end(),
@@ -109,6 +122,12 @@ std::vector<ThreadProfile> RunProfile::per_thread() const {
     thread.work_s += chunk.duration_s();
     thread.iterations += chunk.iterations();
     ++thread.chunks;
+  }
+  for (const StealEvent& steal : steals) {
+    ThreadProfile& thread =
+        threads[static_cast<std::size_t>(steal.thief_tid)];
+    ++thread.steals;
+    thread.stolen_iterations += steal.iterations();
   }
   for (const BarrierEvent& barrier : barriers) {
     ThreadProfile& thread = threads[static_cast<std::size_t>(barrier.tid)];
@@ -264,6 +283,15 @@ std::string RunProfile::timeline_chart(int loop_id, int width) const {
         << " iters in " << threads[static_cast<std::size_t>(tid)].chunks
         << " chunk(s)\n";
   }
+  for (const StealEvent& steal : steals) {
+    if (loop_id >= 0 && steal.loop_id != loop_id) {
+      continue;
+    }
+    out << "  steal t" << steal.thief_tid << "<-t" << steal.victim_tid
+        << " [" << steal.begin << "," << steal.end << ") order "
+        << steal.claim_order << " @ "
+        << util::Table::num(steal.time_s * 1e3, 3) << " ms\n";
+  }
   return out.str();
 }
 
@@ -307,6 +335,18 @@ std::string RunProfile::to_json() const {
     append_json_number(out, chunk.end_s);
     out << "}";
   }
+  out << "],\"steals\":[";
+  for (std::size_t i = 0; i < steals.size(); ++i) {
+    const StealEvent& steal = steals[i];
+    out << (i ? "," : "") << "{\"loop\":" << steal.loop_id
+        << ",\"order\":" << steal.claim_order
+        << ",\"thief\":" << steal.thief_tid
+        << ",\"victim\":" << steal.victim_tid
+        << ",\"begin\":" << steal.begin << ",\"end\":" << steal.end
+        << ",\"time_s\":";
+    append_json_number(out, steal.time_s);
+    out << "}";
+  }
   out << "],\"barriers\":[";
   for (std::size_t i = 0; i < barriers.size(); ++i) {
     const BarrierEvent& barrier = barriers[i];
@@ -347,6 +387,8 @@ std::string RunProfile::to_json() const {
     append_json_number(out, thread.critical_hold_s);
     out << ",\"iterations\":" << thread.iterations
         << ",\"chunks\":" << thread.chunks
+        << ",\"steals\":" << thread.steals
+        << ",\"stolen_iterations\":" << thread.stolen_iterations
         << ",\"barriers\":" << thread.barriers
         << ",\"criticals\":" << thread.criticals
         << ",\"singles_won\":" << thread.singles_won << "}";
@@ -364,7 +406,7 @@ std::string RunProfile::summary() const {
   out << num_threads << " threads on the " << to_string(clock) << " clock, "
       << util::Table::num(region_s * 1e3, 3) << " ms region: "
       << chunks.size() << " chunk(s) over " << loops.size()
-      << " loop(s), load imbalance "
+      << " loop(s), " << steals.size() << " stolen, load imbalance "
       << util::Table::num(load_imbalance(), 3) << ", barrier-wait fraction "
       << util::Table::num(barrier_wait_fraction(), 3) << ", "
       << critical_contentions() << " contended critical entr"

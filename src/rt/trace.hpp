@@ -43,6 +43,23 @@ struct ChunkEvent {
   double duration_s() const { return end_s - start_s; }
 };
 
+/// One chunk migration of a Schedule::steal loop: `thief_tid` took the
+/// iterations [begin, end) out of `victim_tid`'s deque. `claim_order`
+/// equals the claim order of the ChunkEvent the thief then recorded for
+/// the stolen chunk, so a timeline can link the migration to the
+/// execution span it produced.
+struct StealEvent {
+  int loop_id = 0;
+  int thief_tid = 0;
+  int victim_tid = 0;
+  std::int64_t begin = 0;  // global iteration indices [begin, end)
+  std::int64_t end = 0;
+  std::uint64_t claim_order = 0;
+  double time_s = 0.0;  // when the steal claim happened, on the trace clock
+
+  std::int64_t iterations() const { return end - begin; }
+};
+
 /// One thread's passage through one barrier episode.
 struct BarrierEvent {
   int tid = 0;
@@ -81,6 +98,8 @@ struct ThreadProfile {
   std::uint64_t barriers = 0;
   std::uint64_t criticals = 0;
   std::uint64_t singles_won = 0;
+  std::uint64_t steals = 0;             // chunks this thread stole
+  std::int64_t stolen_iterations = 0;   // iterations it gained that way
 };
 
 /// Full observability record of one parallel region, attached to
@@ -93,6 +112,7 @@ struct RunProfile {
 
   std::vector<LoopInfo> loops;
   std::vector<ChunkEvent> chunks;  // sorted by claim_order
+  std::vector<StealEvent> steals;  // sorted by claim_order
   std::vector<BarrierEvent> barriers;
   std::vector<CriticalEvent> criticals;
   std::vector<SingleEvent> singles;
@@ -124,7 +144,9 @@ struct RunProfile {
   ///   t1 |222222......33333333|  work  1.10 ms
   ///
   /// Dots are time outside any chunk of the selected loop (waiting at
-  /// the tail barrier, claiming, or running other code).
+  /// the tail barrier, claiming, or running other code). Steal-schedule
+  /// loops append one legend line per migration ("steal t2<-t0 ...") so
+  /// the chunk marked with that claim order can be traced to its victim.
   std::string timeline_chart(int loop_id = -1, int width = 64) const;
 
   /// Machine-readable exports (schema identical across backends).
@@ -157,6 +179,9 @@ class TraceRecorder {
   void record_chunk(int tid, int loop_id, std::int64_t begin,
                     std::int64_t end, std::uint64_t claim_order,
                     double start_s, double end_s);
+  void record_steal(int thief_tid, int loop_id, int victim_tid,
+                    std::int64_t begin, std::int64_t end,
+                    std::uint64_t claim_order, double time_s);
   void record_barrier(int tid, double arrive_s, double release_s);
   void record_critical(int tid, double request_s, double acquire_s,
                        double release_s);
@@ -169,6 +194,7 @@ class TraceRecorder {
  private:
   struct PerThread {
     std::vector<ChunkEvent> chunks;
+    std::vector<StealEvent> steals;
     std::vector<BarrierEvent> barriers;
     std::vector<CriticalEvent> criticals;
     std::vector<SingleEvent> singles;

@@ -172,8 +172,8 @@ TEST(ExperimentTest, ProducesAllRows) {
   c.num_ligands = 40;
   c.protein_len = 150;
   const auto rows = run_assignment5_experiment(c);
-  // 2 ligand lengths x (sequential + 2 approaches x 2 thread counts).
-  ASSERT_EQ(rows.size(), 10u);
+  // 2 ligand lengths x (sequential + 3 approaches x 2 thread counts).
+  ASSERT_EQ(rows.size(), 14u);
   for (const ExperimentRow& row : rows) {
     EXPECT_GT(row.time_seconds, 0.0);
     EXPECT_GT(row.best_score, 0);

@@ -122,6 +122,62 @@ TEST(JobTest, ThreadCountInvariance) {
   EXPECT_EQ(t4, t7);
 }
 
+TEST(JobTest, ReducerCountInvariance) {
+  // The sort-based shuffle and the pairwise merge of partition outputs
+  // must give the same sorted result whatever the partition count —
+  // including more partitions than keys, and the thread-derived default.
+  std::vector<std::pair<int, std::string>> inputs;
+  for (int i = 0; i < 36; ++i) {
+    inputs.emplace_back(i, "delta echo foxtrot delta echo delta");
+  }
+  const auto run_with = [&](int reducers) {
+    Job<int, std::string, std::string, long> job;
+    job.threads(4)
+        .reducers(reducers)
+        .map([](const int&, const std::string& text,
+                Emitter<std::string, long>& out) {
+          for (const std::string& word : util::tokenize_words(text)) {
+            out.emit(word, 1L);
+          }
+        })
+        .reduce([](const std::string&, const std::vector<long>& counts) {
+          long sum = 0;
+          for (const long c : counts) {
+            sum += c;
+          }
+          return sum;
+        });
+    return job.run(inputs);
+  };
+  const auto baseline = run_with(1);
+  ASSERT_EQ(baseline.size(), 3u);
+  for (const int reducers : {0, 2, 3, 5, 16}) {  // 0 = per-thread default
+    EXPECT_EQ(run_with(reducers), baseline) << "reducers " << reducers;
+  }
+}
+
+TEST(JobTest, ValueListsArriveInWorkerScanOrder) {
+  // Pin the shuffle's grouping order: values of one key are grouped in
+  // emission order (stable sort), so a single-threaded run must hand the
+  // reducer the value list exactly as emitted.
+  Job<int, int, int, int, std::vector<int>> job;
+  job.threads(1).reducers(2).map(
+      [](const int& k, const int& v, Emitter<int, int>& out) {
+        out.emit(k % 2, v);
+      });
+  job.reduce([](const int&, const std::vector<int>& values) {
+    return values;  // expose the grouped list itself
+  });
+  std::vector<std::pair<int, int>> inputs;
+  for (int i = 0; i < 10; ++i) {
+    inputs.emplace_back(i, 100 + i);
+  }
+  const auto output = job.run(inputs);
+  ASSERT_EQ(output.size(), 2u);
+  EXPECT_EQ(output[0].second, (std::vector<int>{100, 102, 104, 106, 108}));
+  EXPECT_EQ(output[1].second, (std::vector<int>{101, 103, 105, 107, 109}));
+}
+
 TEST(WordCountTest, CountsAcrossDocuments) {
   const std::vector<std::string> docs{
       "To be or not to be",
