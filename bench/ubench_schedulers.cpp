@@ -1,12 +1,17 @@
 // Scheduler shoot-out for the TeachMP runtime: static / dynamic / guided
 // against the work-stealing schedule, on a uniform and a tail-heavy cost
-// profile, across thread counts — plus the devirtualized for_each against
-// the std::function-based for_loop on a trivial body.
+// profile, across thread counts — plus region-launch latency (persistent
+// pool vs per-region spawn) and the devirtualized for_each against the
+// std::function-based for_loop on a trivial body.
 //
-// Host rows are real time (min over repeats); Sim rows are deterministic
-// virtual Pi time, where dynamic,1's serialized shared-counter claims and
-// steal's mostly-local deque pops are modelled explicitly. Results go to
-// BENCH_rt.json in the working directory.
+// Host rows are real time (min over repeats); launch rows are medians of
+// per-region samples (launch cost is paid on every region, so the typical
+// cost is the honest number, and the median shrugs off the occasional
+// region that eats a scheduler preemption mid-handoff); Sim rows are
+// deterministic virtual Pi time, where dynamic,1's
+// serialized shared-counter claims and steal's mostly-local deque pops
+// are modelled explicitly. Results go to BENCH_rt.json in the working
+// directory.
 //
 // --smoke runs a tiny shape in well under a second; the bench-smoke ctest
 // label uses it so the bench binary itself stays exercised by the suite.
@@ -50,10 +55,13 @@ struct LoopRow {
 };
 
 /// Host run of `total` iterations where [heavy_from, total) spin
-/// `heavy_units` and the rest `base_units`; min over `repeats`.
+/// `heavy_units` and the rest `base_units`; min over `repeats`. The warm
+/// pool is part of what is measured: regions launch on parked workers,
+/// exactly like the second and later regions of any real program.
 double time_host_loop(int threads, rt::Schedule schedule, std::int64_t total,
                       std::int64_t heavy_from, std::int64_t base_units,
                       std::int64_t heavy_units, int repeats) {
+  rt::warm_up(rt::ParallelConfig::host(threads));
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     const auto start = std::chrono::steady_clock::now();
@@ -67,6 +75,36 @@ double time_host_loop(int threads, rt::Schedule schedule, std::int64_t total,
   }
   return best;
 }
+
+/// Median latency of an empty parallel region — the pure launch + join
+/// cost — on the persistent pool or the per-region spawn path. One
+/// untimed region first so the pool's workers exist (or the allocator
+/// and thread stacks are warm on the spawn path). Each region is timed
+/// individually and the median taken: on a loaded machine a few samples
+/// absorb a preemption mid-handoff, and those tails say nothing about
+/// what a region launch costs.
+double time_region_launch(int threads, bool pooled, int repeats) {
+  rt::ParallelConfig config = rt::ParallelConfig::host(threads);
+  if (!pooled) {
+    config = config.unpooled();
+  }
+  rt::parallel(config, [](rt::TeamContext&) {});
+  std::vector<double> samples(static_cast<std::size_t>(repeats), 0.0);
+  for (double& sample : samples) {
+    const auto start = std::chrono::steady_clock::now();
+    rt::parallel(config, [](rt::TeamContext&) {});
+    sample = seconds_since(start);
+  }
+  const auto mid = samples.begin() + samples.size() / 2;
+  std::nth_element(samples.begin(), mid, samples.end());
+  return *mid;
+}
+
+struct LaunchRow {
+  int threads = 0;
+  double spawn_seconds = 0.0;
+  double pool_seconds = 0.0;
+};
 
 /// Deterministic Sim run of the same shape: the body is free, the cost
 /// model charges the per-iteration ops, and the backend charges its own
@@ -139,7 +177,7 @@ int main(int argc, char** argv) {
   const std::int64_t total = smoke ? 4096 : (1 << 17);
   const std::int64_t base_units = 16;
   constexpr std::int64_t kHeavyFactor = 24;
-  const int repeats = smoke ? 2 : 7;
+  const int repeats = smoke ? 2 : 15;
   const std::vector<int> thread_counts =
       smoke ? std::vector<int>{2, 4} : std::vector<int>{1, 2, 4, 8};
 
@@ -186,6 +224,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Region-launch latency: what one empty parallel() costs on the
+  // persistent pool (parked workers, generation handoff) vs the spawn
+  // path (fresh threads per region) — the number that decides whether a
+  // thread-count sweep measures the loop or the fork.
+  const int launch_repeats = smoke ? 50 : 500;
+  std::vector<LaunchRow> launch_rows;
+  for (const int threads : thread_counts) {
+    LaunchRow row;
+    row.threads = threads;
+    row.spawn_seconds = time_region_launch(threads, false, launch_repeats);
+    row.pool_seconds = time_region_launch(threads, true, launch_repeats);
+    launch_rows.push_back(row);
+    std::printf("launch t=%d spawn %8.2f us, pool %8.2f us (%.1fx)\n",
+                threads, row.spawn_seconds * 1e6, row.pool_seconds * 1e6,
+                row.pool_seconds > 0.0
+                    ? row.spawn_seconds / row.pool_seconds
+                    : 0.0);
+  }
+
   // Devirtualization: identical trivial body through both drivers.
   const std::int64_t devirt_total = smoke ? (1 << 16) : (1 << 21);
   const int devirt_repeats = smoke ? 2 : 7;
@@ -228,10 +285,47 @@ int main(int argc, char** argv) {
                                            "dynamic,1");
   }
   const bool devirt_wins = inlined_s < wrapper_s;
+
+  // Pool checks: launching on parked workers must beat spawning by >= 5x
+  // at 4 threads (the Pi-class team width); uniform host loops must not
+  // degrade from 1 to 4 threads any more (launch off the critical path);
+  // and dynamic,1's wait-free inlined claims must sit within 1.25x of
+  // static on the uniform loop at 1 thread — the pure per-iteration
+  // claim-overhead margin, measured without any multi-thread scheduling
+  // noise.
+  const auto launch_of = [&launch_rows](int threads) {
+    for (const LaunchRow& row : launch_rows) {
+      if (row.threads == threads) {
+        return row;
+      }
+    }
+    return LaunchRow{};
+  };
+  const int pool_check_threads =
+      std::find(thread_counts.begin(), thread_counts.end(), 4) !=
+              thread_counts.end()
+          ? 4
+          : thread_counts.back();
+  const LaunchRow check_row = launch_of(pool_check_threads);
+  const bool pool_beats_spawn =
+      check_row.pool_seconds > 0.0 &&
+      check_row.spawn_seconds >= 5.0 * check_row.pool_seconds;
+  const int t_lo = thread_counts.front();
+  const bool static_no_degrade =
+      loop_seconds("host", "uniform", pool_check_threads, "static") <=
+      loop_seconds("host", "uniform", t_lo, "static");
+  const bool dynamic1_close =
+      loop_seconds("host", "uniform", t_lo, "dynamic,1") <=
+      1.25 * loop_seconds("host", "uniform", t_lo, "static");
+
   std::printf("checks: steal<dynamic,1 skewed 4+t host=%s sim=%s, "
-              "for_each<for_loop=%s\n",
+              "for_each<for_loop=%s, pool>=5x spawn@t%d=%s, "
+              "static t%d<=t%d uniform=%s, dynamic,1<=1.25x static@t%d=%s\n",
               steal_wins_host ? "yes" : "no", steal_wins_sim ? "yes" : "no",
-              devirt_wins ? "yes" : "no");
+              devirt_wins ? "yes" : "no", pool_check_threads,
+              pool_beats_spawn ? "yes" : "no", pool_check_threads, t_lo,
+              static_no_degrade ? "yes" : "no", t_lo,
+              dynamic1_close ? "yes" : "no");
 
   std::string json = "{\n  \"bench\": \"ubench_schedulers\",\n";
   json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
@@ -239,8 +333,18 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     append_json_row(json, rows[i], i == 0);
   }
+  json += "\n  ],\n  \"launch\": [";
+  char buffer[384];
+  for (std::size_t i = 0; i < launch_rows.size(); ++i) {
+    const LaunchRow& row = launch_rows[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\n    {\"threads\":%d,\"spawn_seconds\":%.9f,"
+                  "\"pool_seconds\":%.9f}",
+                  i == 0 ? "" : ",", row.threads, row.spawn_seconds,
+                  row.pool_seconds);
+    json += buffer;
+  }
   json += "\n  ],\n  \"devirt\": {";
-  char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
                 "\"iterations\":%lld,\"for_loop_seconds\":%.9f,"
                 "\"for_each_seconds\":%.9f",
@@ -250,10 +354,16 @@ int main(int argc, char** argv) {
   std::snprintf(buffer, sizeof(buffer),
                 "\"steal_beats_dynamic1_skewed_host\":%s,"
                 "\"steal_beats_dynamic1_skewed_sim\":%s,"
-                "\"for_each_beats_for_loop\":%s",
+                "\"for_each_beats_for_loop\":%s,"
+                "\"pool_launch_beats_spawn\":%s,"
+                "\"static_uniform_no_degradation\":%s,"
+                "\"dynamic1_within_1p25x_static_uniform\":%s",
                 steal_wins_host ? "true" : "false",
                 steal_wins_sim ? "true" : "false",
-                devirt_wins ? "true" : "false");
+                devirt_wins ? "true" : "false",
+                pool_beats_spawn ? "true" : "false",
+                static_no_degrade ? "true" : "false",
+                dynamic1_close ? "true" : "false");
   json += buffer;
   json += "}\n}\n";
 

@@ -103,7 +103,12 @@ class Job {
         static_cast<std::size_t>(threads),
         std::vector<Bucket>(static_cast<std::size_t>(reducers)));
 
+    // Both phases (and every job this process runs after this one) share
+    // the persistent host worker pool: warming it here moves one-time
+    // thread creation out of the map phase, so a job's cost is map +
+    // shuffle + reduce, not spawn + map + spawn + shuffle + reduce.
     rt::ParallelConfig map_config = rt::ParallelConfig::host(threads);
+    rt::warm_up(map_config);
     rt::parallel(map_config, [&](rt::TeamContext& tc) {
       auto& buckets = worker_buckets[static_cast<std::size_t>(tc.thread_num())];
       Emitter<K2, V2> emitter;  // reused: clear() keeps the capacity

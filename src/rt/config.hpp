@@ -53,10 +53,27 @@ struct ParallelConfig {
   /// bookkeeping.
   bool record_trace = false;
 
+  /// Host backend only: run the region on the process-wide persistent
+  /// worker pool (workers spawn once and park between regions) instead of
+  /// spawning fresh threads per region. On by default — that is what real
+  /// OpenMP runtimes do, and it takes region launch off the critical path
+  /// of thread-count sweeps. Set false to measure raw spawn cost or to
+  /// guarantee a region runs on threads no other code has touched.
+  /// Ignored by the Sim backend (virtual threads cost nothing to fork).
+  bool use_pool = true;
+
   /// Copy of this config with tracing switched on.
   ParallelConfig traced() const {
     ParallelConfig config = *this;
     config.record_trace = true;
+    return config;
+  }
+
+  /// Copy of this config that bypasses the persistent worker pool and
+  /// spawns fresh threads for the region (the pre-pool behaviour).
+  ParallelConfig unpooled() const {
+    ParallelConfig config = *this;
+    config.use_pool = false;
     return config;
   }
 

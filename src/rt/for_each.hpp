@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
@@ -136,13 +137,60 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
       }
     }
   } else {
-    for (;;) {
-      const auto [start, count] = tc.claim(loop_id, total, schedule);
-      if (count == 0) {
-        break;
+    // Dynamic chunks have a fixed size, so when the backend exposes its
+    // shared counter (host), every claim is one inlined relaxed fetch_add
+    // instead of a virtual call per chunk — at chunk 1 that is the
+    // difference between dynamic scheduling costing a few ns per
+    // iteration and costing a function call per iteration. Guided chunk
+    // sizes depend on the remaining work, and Sim charges virtual time
+    // per claim, so those stay on the claim() virtual.
+    std::atomic<std::int64_t>* const counter =
+        schedule.kind == Schedule::Kind::Dynamic ? tc.claim_counter(loop_id)
+                                                 : nullptr;
+    if (counter != nullptr) {
+      const std::int64_t grab = fixed_claim_size(schedule, total);
+      if (num_threads == 1) {
+        // Sole claimant: a one-member team owns the whole loop, so no
+        // atomic RMW per chunk — the serialized-team case every sweep
+        // uses as its t=1 baseline should measure the body, not
+        // lock-prefixed adds nobody races. When chunk granularity is
+        // unobservable (no tracer recording per-chunk events, no cost
+        // model charged per chunk) the loop collapses to one chunk;
+        // otherwise the identical chunk stream is walked serially.
+        if (tracer == nullptr && cost.empty()) {
+          detail::run_chunk(tc, range.begin, range.begin + total, body,
+                            cost);
+        } else {
+          for (std::int64_t start = 0; start < total; start += grab) {
+            const std::int64_t end =
+                grab < total - start ? start + grab : total;
+            detail::run_chunk_traced(tc, tracer, loop_id,
+                                     range.begin + start, range.begin + end,
+                                     body, cost);
+          }
+        }
+      } else {
+        for (;;) {
+          const std::int64_t start =
+              counter->fetch_add(grab, std::memory_order_relaxed);
+          if (start >= total) {
+            break;
+          }
+          const std::int64_t end =
+              grab < total - start ? start + grab : total;
+          detail::run_chunk_traced(tc, tracer, loop_id, range.begin + start,
+                                   range.begin + end, body, cost);
+        }
       }
-      detail::run_chunk_traced(tc, tracer, loop_id, range.begin + start,
-                               range.begin + start + count, body, cost);
+    } else {
+      for (;;) {
+        const auto [start, count] = tc.claim(loop_id, total, schedule);
+        if (count == 0) {
+          break;
+        }
+        detail::run_chunk_traced(tc, tracer, loop_id, range.begin + start,
+                                 range.begin + start + count, body, cost);
+      }
     }
   }
 

@@ -2,10 +2,13 @@
 
 #include "rt/loops.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,32 +21,77 @@ AbortableBarrier::AbortableBarrier(int parties) : parties_(parties) {
   util::require(parties >= 1, "AbortableBarrier: need at least one party");
 }
 
+/// How many yields a barrier waiter spends watching the generation before
+/// parking on the condvar. A yielding spinner cedes its core to members
+/// still computing, so each spin costs one pass through the scheduler,
+/// not stolen compute — and a release during the spin is seen without any
+/// futex wake. Sized like the pool's kDoneSpins: spinners with no
+/// runnable peers burn through it in well under a millisecond.
+constexpr int kBarrierSpins = 4096;
+
 void AbortableBarrier::arrive_and_wait() {
   std::unique_lock lk(mu_);
-  if (aborted_) {
+  if (aborted_.load(std::memory_order_relaxed)) {
     throw TeamAborted{};
   }
-  const std::uint64_t my_generation = generation_;
+  const std::uint64_t my_generation =
+      generation_.load(std::memory_order_relaxed);
   if (++arrived_ == parties_) {
     arrived_ = 0;
-    ++generation_;
+    generation_.store(my_generation + 1, std::memory_order_release);
+    // Unlock before notifying: woken waiters re-acquire mu_ to re-check
+    // the predicate, and waking them while still holding it would march
+    // each one straight from the futex into a mutex collision — on a
+    // busy host that is an extra context switch per waiter per barrier.
+    lk.unlock();
     cv_.notify_all();
     return;
   }
-  cv_.wait(lk, [&] { return generation_ != my_generation || aborted_; });
+  lk.unlock();
+  // Spin phase: watch the generation from user space. The releaser's
+  // store-release on generation_ happens after it observed (under mu_)
+  // every party's arrival, so an acquire load of the new generation also
+  // carries every member's pre-barrier writes.
+  for (int spin = 0; spin < kBarrierSpins; ++spin) {
+    if (generation_.load(std::memory_order_acquire) != my_generation) {
+      if (aborted_.load(std::memory_order_acquire)) {
+        throw TeamAborted{};
+      }
+      return;
+    }
+    if (aborted_.load(std::memory_order_acquire)) {
+      throw TeamAborted{};
+    }
+    std::this_thread::yield();
+  }
+  lk.lock();
+  cv_.wait(lk, [&] {
+    return generation_.load(std::memory_order_relaxed) != my_generation ||
+           aborted_.load(std::memory_order_relaxed);
+  });
   // Abort wins over a concurrent release: without the plain re-check a
   // waiter whose generation was bumped in the same mutex epoch as abort()
   // would return normally and the abort would be lost until (unless) it
   // reached another barrier.
-  if (aborted_) {
+  if (aborted_.load(std::memory_order_relaxed)) {
     throw TeamAborted{};
   }
 }
 
 void AbortableBarrier::abort() {
-  std::lock_guard guard(mu_);
-  aborted_ = true;
+  {
+    std::lock_guard guard(mu_);
+    aborted_ = true;
+  }
   cv_.notify_all();
+}
+
+void AbortableBarrier::reset(int parties) {
+  util::require(parties >= 1, "AbortableBarrier: need at least one party");
+  std::lock_guard guard(mu_);
+  parties_ = parties;
+  arrived_ = 0;
+  aborted_ = false;
 }
 
 namespace {
@@ -57,21 +105,78 @@ constexpr int kMaxWorksharing = 256;
 /// One thread's steal deque: its remaining chunk-index span per loop,
 /// guarded by a per-deque mutex. Spans default to empty, so a thief that
 /// scans a deque before its owner reached steal_install simply moves on —
-/// the owner still drains everything it later installs.
-struct StealDeque {
+/// the owner still drains everything it later installs. Cache-line
+/// aligned: the owner hammers its own deque on every local pop, and with
+/// the deques now living for the whole process (the team is reused across
+/// regions) two owners sharing a line would pay false sharing on every
+/// chunk, not just within one region.
+struct alignas(kCacheLineBytes) StealDeque {
   std::mutex mu;
   std::array<StealSpan, kMaxWorksharing> spans;
+  /// Spans [0, dirty) may be stale from an earlier region; freshly built
+  /// deques start clean. Guarded by the team reset protocol, not mu.
+  int dirty = 0;
 };
 
 struct HostTeam {
-  explicit HostTeam(int num_threads)
-      : num_threads(num_threads), barrier(num_threads),
-        steal_deques(static_cast<std::size_t>(num_threads)) {
-    for (auto& counter : loop_counters) {
-      counter.store(0, std::memory_order_relaxed);
+  explicit HostTeam(int nthreads) : num_threads(nthreads), barrier(nthreads) {
+    grow_deques(nthreads);
+    clear_worksharing(nthreads);
+  }
+
+  /// Re-arm this team for a fresh region of `nthreads` members. Only
+  /// valid when no member of the previous region is still running — the
+  /// pool observes every member's exit (unfinished count reaching zero)
+  /// before calling this.
+  void reset(int nthreads, TraceRecorder* recorder,
+             std::chrono::steady_clock::time_point epoch) {
+    const int prev_width = num_threads;
+    num_threads = nthreads;
+    barrier.reset(nthreads);
+    grow_deques(nthreads);
+    clear_worksharing(prev_width);
+    aborted.store(false, std::memory_order_relaxed);
+    tracer = recorder;
+    trace_epoch = epoch;
+  }
+
+  void grow_deques(int nthreads) {
+    while (static_cast<int>(steal_deques.size()) < nthreads) {
+      steal_deques.push_back(std::make_unique<StealDeque>());
     }
-    for (auto& flag : single_arrivals) {
-      flag.store(0, std::memory_order_relaxed);
+  }
+
+  /// Re-arm the worksharing slots the previous region dirtied: its
+  /// members reported their high-water construct count into
+  /// worksharing_high_water, so only [0, used) of the counters and single
+  /// flags need clearing — not the whole preallocated table on every
+  /// region launch. Steal spans are tracked per deque: the finished
+  /// region (width `prev_width`) dirtied its deques up to `used`, and a
+  /// deque parked outside the current width keeps its dirty mark until a
+  /// later region widens over it.
+  void clear_worksharing(int prev_width) {
+    const int used = std::min(
+        worksharing_high_water.exchange(0, std::memory_order_relaxed),
+        kMaxWorksharing);
+    for (int id = 0; id < used; ++id) {
+      loop_counters[static_cast<std::size_t>(id)].store(
+          0, std::memory_order_relaxed);
+      single_arrivals[static_cast<std::size_t>(id)].store(
+          0, std::memory_order_relaxed);
+    }
+    for (int tid = 0; tid < prev_width; ++tid) {
+      StealDeque& deque = *steal_deques[static_cast<std::size_t>(tid)];
+      deque.dirty = std::max(deque.dirty, used);
+    }
+    for (int tid = 0; tid < num_threads; ++tid) {
+      StealDeque& deque = *steal_deques[static_cast<std::size_t>(tid)];
+      if (deque.dirty == 0) {
+        continue;
+      }
+      std::lock_guard guard(deque.mu);
+      std::fill(deque.spans.begin(), deque.spans.begin() + deque.dirty,
+                StealSpan{});
+      deque.dirty = 0;
     }
   }
 
@@ -80,8 +185,15 @@ struct HostTeam {
   std::mutex critical_mu;
   std::array<std::atomic<std::int64_t>, kMaxWorksharing> loop_counters;
   std::array<std::atomic<int>, kMaxWorksharing> single_arrivals;
-  std::vector<StealDeque> steal_deques;  // indexed by tid
+  /// Indexed by tid; unique_ptr so the deques keep their cache-line
+  /// alignment and their addresses survive grow_deques reallocating the
+  /// vector when a later region widens the team.
+  std::vector<std::unique_ptr<StealDeque>> steal_deques;
   std::atomic<bool> aborted{false};
+  /// Max worksharing constructs any member of the last region opened
+  /// (CAS-max by each member as it finishes). Starts at the table size so
+  /// the first clear wipes the uninitialized atomics.
+  std::atomic<int> worksharing_high_water{kMaxWorksharing};
 
   /// Observability (null / unset when tracing is off).
   TraceRecorder* tracer = nullptr;
@@ -155,19 +267,43 @@ class HostTeamContext final : public TeamContext {
       int loop_id, std::int64_t total, const Schedule& schedule) override {
     util::require(loop_id >= 0 && loop_id < kMaxWorksharing,
                   "TeamContext::claim: too many worksharing loops");
+    // Relaxed ordering throughout: a claim only needs atomicity so chunks
+    // stay disjoint. Cross-thread data visibility is the job of barriers
+    // and the region join, exactly as in OpenMP.
     auto& counter = team_->loop_counters[static_cast<std::size_t>(loop_id)];
-    std::int64_t current = counter.load(std::memory_order_relaxed);
-    for (;;) {
-      if (current >= total) {
-        return {total, 0};
-      }
-      const std::int64_t size =
-          chunk_size_for(schedule, total - current, team_->num_threads);
-      if (counter.compare_exchange_weak(current, current + size,
-                                        std::memory_order_acq_rel)) {
-        return {current, size};
+    if (schedule.kind == Schedule::Kind::Guided) {
+      // Guided chunks shrink with the remaining work, so the claim must
+      // read `remaining` and publish its grab atomically: a CAS loop.
+      std::int64_t current = counter.load(std::memory_order_relaxed);
+      for (;;) {
+        if (current >= total) {
+          return {total, 0};
+        }
+        const std::int64_t size =
+            chunk_size_for(schedule, total - current, team_->num_threads);
+        if (counter.compare_exchange_weak(current, current + size,
+                                          std::memory_order_relaxed)) {
+          return {current, size};
+        }
       }
     }
+    // Every other schedule hands out fixed-size chunks, so one wait-free
+    // fetch_add claims the next one. Threads racing past the end each
+    // overshoot the counter by at most one clamped grab, which the bounds
+    // check discards.
+    const std::int64_t grab = fixed_claim_size(schedule, total);
+    const std::int64_t start =
+        counter.fetch_add(grab, std::memory_order_relaxed);
+    if (start >= total) {
+      return {total, 0};
+    }
+    return {start, grab < total - start ? grab : total - start};
+  }
+
+  std::atomic<std::int64_t>* claim_counter(int loop_id) override {
+    util::require(loop_id >= 0 && loop_id < kMaxWorksharing,
+                  "TeamContext::claim_counter: too many worksharing loops");
+    return &team_->loop_counters[static_cast<std::size_t>(loop_id)];
   }
 
   void steal_install(int loop_id, std::int64_t total,
@@ -176,7 +312,7 @@ class HostTeamContext final : public TeamContext {
                   "TeamContext::steal_install: too many worksharing loops");
     const std::int64_t chunk =
         steal_chunk_size(schedule, total, team_->num_threads);
-    StealDeque& mine = team_->steal_deques[static_cast<std::size_t>(tid_)];
+    StealDeque& mine = *team_->steal_deques[static_cast<std::size_t>(tid_)];
     std::lock_guard guard(mine.mu);
     mine.spans[static_cast<std::size_t>(loop_id)] =
         steal_initial_span(total, chunk, team_->num_threads, tid_);
@@ -191,7 +327,7 @@ class HostTeamContext final : public TeamContext {
     // Own deque first: pop the lowest chunk index, an ascending walk of
     // our block (the LIFO end relative to how the block was dealt).
     {
-      StealDeque& mine = team_->steal_deques[static_cast<std::size_t>(tid_)];
+      StealDeque& mine = *team_->steal_deques[static_cast<std::size_t>(tid_)];
       std::lock_guard guard(mine.mu);
       StealSpan& span = mine.spans[static_cast<std::size_t>(loop_id)];
       if (!span.empty()) {
@@ -203,7 +339,7 @@ class HostTeamContext final : public TeamContext {
     for (int k = 1; k < team_->num_threads; ++k) {
       const int victim = (tid_ + k) % team_->num_threads;
       StealDeque& theirs =
-          team_->steal_deques[static_cast<std::size_t>(victim)];
+          *team_->steal_deques[static_cast<std::size_t>(victim)];
       std::lock_guard guard(theirs.mu);
       StealSpan& span = theirs.spans[static_cast<std::size_t>(loop_id)];
       if (!span.empty()) {
@@ -213,25 +349,70 @@ class HostTeamContext final : public TeamContext {
     return StealClaim{total, 0, tid_};
   }
 
+  /// Highest worksharing slot this member touched, for the team's
+  /// proportional re-arm between regions.
+  int worksharing_used() const {
+    return std::max(loop_ids_issued(), next_single_id_);
+  }
+
  private:
   HostTeam* team_;
   int tid_;
   int next_single_id_ = 0;
 };
 
-}  // namespace
+/// One team member's run: execute the body, swallow TeamAborted (another
+/// member failed and this one just unwound past its barriers), convert
+/// anything else into a recorded error plus a team-wide barrier abort.
+void run_member(HostTeam& team, int tid,
+                const std::function<void(TeamContext&)>& body,
+                std::vector<std::exception_ptr>& errors) {
+  HostTeamContext ctx(team, tid);
+  try {
+    body(ctx);
+  } catch (const TeamAborted&) {
+    // Another member failed; we just unwound past its barriers.
+  } catch (...) {
+    errors[static_cast<std::size_t>(tid)] = std::current_exception();
+    team.aborted.store(true);
+    team.barrier.abort();
+  }
+  const int used = ctx.worksharing_used();
+  int seen = team.worksharing_high_water.load(std::memory_order_relaxed);
+  while (seen < used && !team.worksharing_high_water.compare_exchange_weak(
+                            seen, used, std::memory_order_relaxed)) {
+  }
+}
 
-RunResult host_parallel(const ParallelConfig& config,
-                        const std::function<void(TeamContext&)>& body) {
+RunResult finish_region(std::vector<std::exception_ptr>& errors,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end,
+                        TraceRecorder* recorder) {
+  for (const auto& error : errors) {
+    if (error != nullptr) {
+      std::rethrow_exception(error);
+    }
+  }
+  RunResult result;
+  result.host_seconds = std::chrono::duration<double>(end - start).count();
+  if (recorder != nullptr) {
+    result.profile = std::make_shared<const RunProfile>(
+        recorder->finish(result.host_seconds));
+  }
+  return result;
+}
+
+/// The pre-pool execution path: spawn a fresh team of jthreads for this
+/// region and join them at the end. Still used when the config opts out
+/// of the pool and when a nested/concurrent region finds the pool busy.
+RunResult host_parallel_spawn(const ParallelConfig& config,
+                              const std::function<void(TeamContext&)>& body) {
   const int num_threads = config.num_threads;
-  util::require(num_threads >= 1, "host_parallel: need at least one thread");
-  util::require(body != nullptr, "host_parallel: body must be callable");
-
   HostTeam team(num_threads);
   std::unique_ptr<TraceRecorder> recorder;
   if (config.record_trace) {
-    recorder = std::make_unique<TraceRecorder>(num_threads,
-                                               TraceClock::HostSteady);
+    recorder =
+        std::make_unique<TraceRecorder>(num_threads, TraceClock::HostSteady);
     team.tracer = recorder.get();
   }
 
@@ -244,35 +425,247 @@ RunResult host_parallel(const ParallelConfig& config,
     std::vector<std::jthread> members;
     members.reserve(static_cast<std::size_t>(num_threads));
     for (int tid = 0; tid < num_threads; ++tid) {
-      members.emplace_back([&team, &errors, &body, tid] {
-        HostTeamContext ctx(team, tid);
-        try {
-          body(ctx);
-        } catch (const TeamAborted&) {
-          // Another member failed; we just unwound past its barriers.
-        } catch (...) {
-          errors[static_cast<std::size_t>(tid)] = std::current_exception();
-          team.aborted.store(true);
-          team.barrier.abort();
-        }
-      });
+      members.emplace_back(
+          [&team, &errors, &body, tid] { run_member(team, tid, body, errors); });
     }
   }  // jthreads join here
   const auto end = std::chrono::steady_clock::now();
+  return finish_region(errors, start, end, recorder.get());
+}
 
-  for (const auto& error : errors) {
-    if (error != nullptr) {
-      std::rethrow_exception(error);
+/// How long threads yield-spin before touching the kernel. Workers spin
+/// kParkSpins yields after a region before parking on the condvar, and
+/// the caller spins kDoneSpins yields before sleeping for region end —
+/// back-to-back regions (thread-count sweeps, benches, MapReduce phases)
+/// then hand off entirely in user space. Yield, not pause: on an
+/// oversubscribed host (more runnable threads than cores) a yielding
+/// spinner cedes its core to whoever has real work, so the burn is
+/// bounded scheduler churn rather than stolen compute.
+/// kParkSpins is sized so a region-dense phase keeps its workers in the
+/// spin the whole time: a handful of wasted yields between regions is
+/// cheaper than the futex wake (a context switch per worker) every
+/// region start would otherwise pay.
+constexpr int kParkSpins = 2048;
+constexpr int kDoneSpins = 4096;
+
+/// The process-wide persistent worker pool behind host_parallel.
+///
+/// Handoff protocol: the caller — always team member 0 — resets the
+/// shared HostTeam, publishes (body, errors, active width) under mu_,
+/// bumps generation_, and runs its own member inline. Worker `slot` runs
+/// as tid slot + 1: it spins briefly, then parks on its own condvar until
+/// the generation moves with slot < active_, runs its member, and
+/// decrements
+/// unfinished_; the caller spins-then-parks on done_cv_ until unfinished_
+/// reaches zero. That final acquire of unfinished_ == 0 orders every
+/// worker's team/errors writes before the caller reads them (the
+/// fetch_subs form one release sequence), so reset and rethrow race with
+/// nothing.
+///
+/// A region owns the whole pool: host_parallel acquires busy_ first and
+/// nested or concurrent regions that find it taken take the spawn path,
+/// so the protocol never sees two regions at once. Workers beyond the
+/// current region's width stay parked (their slot fails the slot <
+/// active_ check) and teams can shrink and regrow freely between regions.
+/// Each worker parks on its own condvar so a narrow region on a wide pool
+/// wakes only the workers it uses — with one shared condvar, every
+/// region's notify would context-switch each parked high slot just to
+/// re-check its predicate, and launch latency would scale with the widest
+/// team ever seen instead of the team being launched.
+class TeamPool {
+ public:
+  static TeamPool& instance() {
+    static TeamPool pool;
+    return pool;
+  }
+
+  /// Claim exclusive use of the pool; pair with release(). Fails (without
+  /// blocking) when another region is running on it.
+  bool try_acquire() {
+    return !busy_.exchange(true, std::memory_order_acquire);
+  }
+
+  void release() { busy_.store(false, std::memory_order_release); }
+
+  /// Pre-spawn workers for teams of up to `num_threads`. Skipped when the
+  /// pool is busy — the running region already paid for its workers.
+  void warm(int num_threads) {
+    if (!try_acquire()) {
+      return;
+    }
+    ensure_workers(num_threads - 1);
+    release();
+  }
+
+  /// Run one region. Caller must hold the pool via try_acquire().
+  RunResult run_acquired(const ParallelConfig& config,
+                         const std::function<void(TeamContext&)>& body) {
+    const int num_threads = config.num_threads;
+    ensure_workers(num_threads - 1);
+
+    std::unique_ptr<TraceRecorder> recorder;
+    if (config.record_trace) {
+      recorder = std::make_unique<TraceRecorder>(num_threads,
+                                                 TraceClock::HostSteady);
+    }
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(num_threads));
+
+    const auto start = std::chrono::steady_clock::now();
+    team_.reset(num_threads, recorder.get(), start);
+    if (num_threads == 1) {
+      // The caller is the whole team; no handoff at all.
+      run_member(team_, 0, body, errors);
+    } else {
+      {
+        std::lock_guard lk(mu_);
+        body_ = &body;
+        errors_ = &errors;
+        active_ = num_threads - 1;
+        unfinished_.store(num_threads - 1, std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_release);
+      }
+      for (int slot = 0; slot < num_threads - 1; ++slot) {
+        work_cvs_[static_cast<std::size_t>(slot)]->notify_one();
+      }
+      run_member(team_, 0, body, errors);
+      wait_for_workers();
+    }
+    const auto end = std::chrono::steady_clock::now();
+    return finish_region(errors, start, end, recorder.get());
+  }
+
+  ~TeamPool() {
+    {
+      std::lock_guard lk(mu_);
+      shutdown_.store(true, std::memory_order_release);
+    }
+    for (const auto& cv : work_cvs_) {
+      cv->notify_one();
+    }
+    for (std::thread& worker : workers_) {
+      worker.join();
     }
   }
 
-  RunResult result;
-  result.host_seconds = std::chrono::duration<double>(end - start).count();
-  if (recorder != nullptr) {
-    result.profile = std::make_shared<const RunProfile>(
-        recorder->finish(result.host_seconds));
+ private:
+  TeamPool() = default;
+
+  void ensure_workers(int count) {
+    if (static_cast<int>(workers_.size()) >= count) {
+      return;
+    }
+    {
+      // Grow the condvar vector under mu_: already-running workers index
+      // it under mu_ inside their wait, and push_back may reallocate.
+      // The condvars themselves live behind unique_ptr, so their
+      // addresses survive the reallocation.
+      std::lock_guard lk(mu_);
+      while (static_cast<int>(work_cvs_.size()) < count) {
+        work_cvs_.push_back(std::make_unique<std::condition_variable>());
+      }
+    }
+    while (static_cast<int>(workers_.size()) < count) {
+      const int slot = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, slot] { worker_main(slot); });
+    }
   }
-  return result;
+
+  void worker_main(int slot) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      for (int spin = 0; spin < kParkSpins; ++spin) {
+        if (generation_.load(std::memory_order_acquire) != seen ||
+            shutdown_.load(std::memory_order_acquire)) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      const std::function<void(TeamContext&)>* body = nullptr;
+      std::vector<std::exception_ptr>* errors = nullptr;
+      {
+        std::unique_lock lk(mu_);
+        work_cvs_[static_cast<std::size_t>(slot)]->wait(lk, [&] {
+          return shutdown_.load(std::memory_order_relaxed) ||
+                 (generation_.load(std::memory_order_relaxed) != seen &&
+                  slot < active_);
+        });
+        if (shutdown_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        seen = generation_.load(std::memory_order_relaxed);
+        body = body_;
+        errors = errors_;
+      }
+      run_member(team_, slot + 1, *body, *errors);
+      // The decrement must happen under mu_ or it could slip between a
+      // sleeping caller's predicate check and its wait; the notify itself
+      // happens after unlocking so the caller wakes straight through.
+      bool last = false;
+      {
+        std::lock_guard lk(mu_);
+        last = unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+      }
+      if (last) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+
+  void wait_for_workers() {
+    for (int spin = 0; spin < kDoneSpins; ++spin) {
+      if (unfinished_.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return unfinished_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  std::atomic<bool> busy_{false};
+  HostTeam team_{1};
+
+  std::mutex mu_;
+  // One park condvar per worker slot (stable addresses via unique_ptr);
+  // region launch notifies exactly the slots it activates.
+  std::vector<std::unique_ptr<std::condition_variable>> work_cvs_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;  // worker at slot s runs as tid s + 1
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int> unfinished_{0};
+  int active_ = 0;  // workers participating in the current region
+  const std::function<void(TeamContext&)>* body_ = nullptr;
+  std::vector<std::exception_ptr>* errors_ = nullptr;
+};
+
+}  // namespace
+
+void warm_host_pool(int num_threads) {
+  util::require(num_threads >= 1, "warm_host_pool: need at least one thread");
+  TeamPool::instance().warm(num_threads);
+}
+
+RunResult host_parallel(const ParallelConfig& config,
+                        const std::function<void(TeamContext&)>& body) {
+  util::require(config.num_threads >= 1,
+                "host_parallel: need at least one thread");
+  util::require(body != nullptr, "host_parallel: body must be callable");
+
+  if (config.use_pool) {
+    TeamPool& pool = TeamPool::instance();
+    if (pool.try_acquire()) {
+      struct Release {
+        TeamPool& pool;
+        ~Release() { pool.release(); }
+      } release{pool};
+      return pool.run_acquired(config, body);
+    }
+  }
+  return host_parallel_spawn(config, body);
 }
 
 }  // namespace pblpar::rt

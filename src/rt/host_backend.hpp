@@ -40,20 +40,43 @@ class AbortableBarrier {
   /// Release all current and future waiters with TeamAborted.
   void abort();
 
+  /// Re-arm the barrier for a fresh team of `parties` threads, clearing
+  /// the abort flag and the arrival count. Only valid when no thread is
+  /// inside arrive_and_wait — the worker pool calls this between regions,
+  /// after it has observed every member of the previous region exit.
+  void reset(int parties);
+
  private:
   std::mutex mu_;
   std::condition_variable cv_;
   int parties_;
   int arrived_ = 0;
-  std::uint64_t generation_ = 0;
-  bool aborted_ = false;
+  /// Atomic so waiters can yield-spin for the release outside mu_ — on a
+  /// loaded machine that detects it without a futex wake per waiter.
+  /// Writes still happen under mu_ for the condvar fallback path.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> aborted_{false};
 };
 
-/// Execute `body` as a team of `config.num_threads` real std::threads.
+/// Execute `body` as a team of `config.num_threads` real threads.
 /// Rethrows the first exception thrown by any member after the region.
 /// With config.record_trace set, attaches a RunProfile stamped on the
 /// host steady clock to the result.
+///
+/// With config.use_pool (the default) the region runs on the process-wide
+/// persistent worker pool: the calling thread is always member 0 and
+/// num_threads - 1 pool workers — spawned on first use, parked between
+/// regions, re-used thereafter — are the rest. Nested or concurrent
+/// regions that find the pool busy fall back to spawning a fresh team, so
+/// pooling never changes which programs are valid, only how fast regions
+/// launch.
 RunResult host_parallel(const ParallelConfig& config,
                         const std::function<void(TeamContext&)>& body);
+
+/// Pre-spawn the persistent pool's workers for teams of up to
+/// `num_threads` (i.e. num_threads - 1 workers). Call before a timed or
+/// latency-sensitive section so the first region does not pay thread
+/// creation. No-op if the pool is already at least that wide.
+void warm_host_pool(int num_threads);
 
 }  // namespace pblpar::rt

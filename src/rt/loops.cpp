@@ -8,6 +8,9 @@
 namespace pblpar::rt {
 
 std::string Schedule::to_string() const {
+  // Exhaustive switch (no default): a new Kind without a spelling is a
+  // compile-time -Wswitch error, and a corrupted kind at runtime fails
+  // loudly below instead of leaking "?" into traces and bench output.
   switch (kind) {
     case Kind::Static:
       return chunk <= 0 ? "static" : "static," + std::to_string(chunk);
@@ -18,7 +21,7 @@ std::string Schedule::to_string() const {
     case Kind::Steal:
       return chunk <= 0 ? "steal" : "steal," + std::to_string(chunk);
   }
-  return "?";
+  throw util::PreconditionError("Schedule::to_string: invalid Kind value");
 }
 
 std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
@@ -51,7 +54,7 @@ std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
       return std::min<std::int64_t>(
           remaining, schedule.chunk > 0 ? schedule.chunk : 1);
   }
-  return 0;
+  throw util::PreconditionError("chunk_size_for: invalid Schedule::Kind");
 }
 
 std::int64_t steal_chunk_size(const Schedule& schedule, std::int64_t total,

@@ -13,6 +13,18 @@ namespace pblpar::rt {
 std::int64_t chunk_size_for(const Schedule& schedule, std::int64_t remaining,
                             int num_threads);
 
+/// Claim size of schedules whose chunks do not depend on the remaining
+/// work (everything but guided), clamped to the loop length so claims
+/// racing past the end overshoot a shared fetch_add counter by at most
+/// one grab each without ever overflowing it. Matches chunk_size_for on
+/// the same schedule, which is what keeps the wait-free fetch_add claim
+/// path and the CAS path interchangeable chunk-for-chunk.
+inline std::int64_t fixed_claim_size(const Schedule& schedule,
+                                     std::int64_t total) {
+  const std::int64_t chunk = schedule.chunk > 0 ? schedule.chunk : 1;
+  return total > 0 ? (chunk < total ? chunk : total) : 1;
+}
+
 /// Chunk size a Schedule::steal loop is split into before the chunks are
 /// dealt to the per-thread deques. An explicit schedule.chunk wins
 /// (clamped to the loop length); chunk 0 auto-sizes so every thread

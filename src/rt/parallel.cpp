@@ -33,4 +33,10 @@ RunResult parallel_for(const ParallelConfig& config, Range range,
   });
 }
 
+void warm_up(const ParallelConfig& config) {
+  if (config.backend == BackendKind::Host && config.use_pool) {
+    warm_host_pool(config.num_threads);
+  }
+}
+
 }  // namespace pblpar::rt

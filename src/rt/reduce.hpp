@@ -1,5 +1,8 @@
 #pragma once
 
+#include <optional>
+#include <utility>
+
 #include "rt/parallel.hpp"
 
 namespace pblpar::rt {
@@ -31,21 +34,23 @@ void reduce_loop(TeamContext& tc, Range range, Schedule schedule, T& result,
                  MapFn map, CombineFn combine, const CostModel& cost = {},
                  ReduceStrategy strategy = ReduceStrategy::PerThreadPartials) {
   if (strategy == ReduceStrategy::PerThreadPartials) {
-    T local{};
-    bool has_local = false;
+    // The partial lives in an optional so T never needs to be
+    // default-constructible — OpenMP initializes reduction privates from
+    // the operation's identity, but a generic combine has no identity to
+    // offer, so "no iterations ran here" is simply an empty partial.
+    std::optional<T> local;
     for_loop(
         tc, range, schedule,
         [&](std::int64_t i) {
-          if (has_local) {
-            local = combine(local, map(i));
+          if (local.has_value()) {
+            local = combine(*std::move(local), map(i));
           } else {
             local = map(i);
-            has_local = true;
           }
         },
         cost, /*barrier_at_end=*/false);
-    if (has_local) {
-      tc.critical([&] { result = combine(result, local); });
+    if (local.has_value()) {
+      tc.critical([&] { result = combine(result, *std::move(local)); });
     }
     tc.barrier();
   } else {
@@ -66,8 +71,10 @@ ReduceResult<T> parallel_reduce(
     const ParallelConfig& config, Range range, Schedule schedule, T identity,
     MapFn map, CombineFn combine, const CostModel& cost = {},
     ReduceStrategy strategy = ReduceStrategy::PerThreadPartials) {
-  ReduceResult<T> reduced;
-  reduced.value = identity;
+  // Aggregate-init from the identity: ReduceResult's `T value{}` member
+  // initializer is never instantiated this way, so non-default-
+  // constructible accumulators work here too.
+  ReduceResult<T> reduced{std::move(identity), RunResult{}};
   reduced.run = parallel(config, [&](TeamContext& tc) {
     reduce_loop(tc, range, schedule, reduced.value, map, combine, cost,
                 strategy);

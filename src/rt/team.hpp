@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -9,6 +11,14 @@
 namespace pblpar::rt {
 
 class TraceRecorder;
+
+/// Alignment used to keep per-thread mutable state (steal deques, trace
+/// buffers) on distinct cache lines. 64 bytes covers every target the
+/// course cares about (Cortex-A53/A72 and x86-64 all use 64-byte lines);
+/// std::hardware_destructive_interference_size is deliberately not used —
+/// it varies per compiler flag set and would make layouts (and therefore
+/// false-sharing behaviour) differ between the default and TSan builds.
+inline constexpr std::size_t kCacheLineBytes = 64;
 
 /// One chunk of a Schedule::steal loop handed to a team member by
 /// TeamContext::steal_next. `begin` is loop-relative (callers add the
@@ -92,9 +102,25 @@ class TeamContext {
     return {};
   }
 
+  /// The shared claim counter of loop `loop_id`, or nullptr when this
+  /// backend has no directly usable counter. When non-null, a fixed-size
+  /// claim (dynamic scheduling) may be performed as one relaxed fetch_add
+  /// on it — the loop driver inlines that instead of paying a virtual
+  /// claim() per chunk. Backends that charge modelled time per claim
+  /// (Sim) return nullptr so every claim still flows through claim().
+  virtual std::atomic<std::int64_t>* claim_counter(int loop_id) {
+    (void)loop_id;
+    return nullptr;
+  }
+
   /// Per-member worksharing-loop sequence number. Every member encounters
   /// loops in the same order, so equal ids refer to the same loop.
   int next_loop_id() { return next_loop_id_++; }
+
+  /// How many loop ids this member has drawn so far. A pooled backend
+  /// uses the team-wide maximum to re-arm only the worksharing slots a
+  /// region actually touched instead of the whole preallocated table.
+  int loop_ids_issued() const { return next_loop_id_; }
 
   /// Trace collector of this region, or nullptr when tracing is off.
   /// Worksharing constructs record chunk/barrier/critical events into it.

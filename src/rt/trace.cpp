@@ -9,13 +9,16 @@
 namespace pblpar::rt {
 
 std::string to_string(TraceClock clock) {
+  // Exhaustive switch (no default): adding a TraceClock value without a
+  // name is a compile-time -Wswitch error, and a corrupted value at
+  // runtime fails loudly below instead of leaking "?" into exports.
   switch (clock) {
     case TraceClock::HostSteady:
       return "host-steady";
     case TraceClock::SimVirtual:
       return "sim-virtual";
   }
-  return "?";
+  throw util::PreconditionError("to_string: invalid TraceClock value");
 }
 
 // --- TraceRecorder ---------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "rt/team.hpp"
 #include "util/table.hpp"
 
 namespace pblpar::rt {
@@ -192,7 +193,10 @@ class TraceRecorder {
   RunProfile finish(double region_s);
 
  private:
-  struct PerThread {
+  /// Cache-line aligned: every record_* call appends to its own thread's
+  /// buffers, and adjacent threads' vector headers sharing a line would
+  /// make a traced run measure false sharing instead of the program.
+  struct alignas(kCacheLineBytes) PerThread {
     std::vector<ChunkEvent> chunks;
     std::vector<StealEvent> steals;
     std::vector<BarrierEvent> barriers;

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <type_traits>
 
 namespace pblpar::rt {
 namespace {
@@ -158,6 +159,47 @@ TEST(ReduceTest, ReduceLoopInsideExistingRegion) {
   });
   EXPECT_EQ(sum, 99 * 100 / 2);
   EXPECT_EQ(count, 4);
+}
+
+/// An accumulator with no default constructor: OpenMP reductions
+/// initialize privates from the operation's identity, so requiring T{}
+/// was an implementation leak, not a semantic requirement.
+struct MinMax {
+  explicit MinMax(long value) : lo(value), hi(value) {}
+  MinMax(long lo, long hi) : lo(lo), hi(hi) {}
+  long lo;
+  long hi;
+};
+static_assert(!std::is_default_constructible_v<MinMax>);
+
+MinMax merge_minmax(const MinMax& a, const MinMax& b) {
+  return MinMax(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+TEST(ReduceTest, NonDefaultConstructibleAccumulator) {
+  for (const BackendKind backend : {BackendKind::Host, BackendKind::Sim}) {
+    const auto result = parallel_reduce<MinMax>(
+        config_for(backend, 4), Range{10, 500}, Schedule::dynamic(7),
+        MinMax(250),  // a seed inside the range, so it never wins
+        [](std::int64_t i) { return MinMax(static_cast<long>(i)); },
+        merge_minmax);
+    EXPECT_EQ(result.value.lo, 10);
+    EXPECT_EQ(result.value.hi, 499);
+  }
+}
+
+TEST(ReduceTest, NonDefaultConstructibleReduceLoopWithIdleThreads) {
+  // More threads than iterations: some members never touch their partial
+  // (it stays an empty optional) and must contribute nothing.
+  MinMax result(7);
+  parallel(config_for(BackendKind::Host, 8), [&](TeamContext& tc) {
+    reduce_loop<MinMax>(
+        tc, Range::upto(3), Schedule::dynamic(1), result,
+        [](std::int64_t i) { return MinMax(static_cast<long>(i) * 10); },
+        merge_minmax);
+  });
+  EXPECT_EQ(result.lo, 0);
+  EXPECT_EQ(result.hi, 20);
 }
 
 }  // namespace
