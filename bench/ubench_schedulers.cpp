@@ -17,14 +17,17 @@
 // label uses it so the bench binary itself stays exercised by the suite.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "rt/cancel.hpp"
 #include "rt/for_each.hpp"
 #include "rt/parallel.hpp"
 
@@ -101,6 +104,61 @@ double time_region_launch(int threads, bool pooled, int repeats) {
 }
 
 struct LaunchRow {
+  int threads = 0;
+  double spawn_seconds = 0.0;
+  double pool_seconds = 0.0;
+};
+
+/// Median latency from an external cancel() to rt::Cancelled surfacing
+/// out of the region — the cooperative drain cost the runtime promises.
+/// A helper thread waits until the loop has demonstrably started, stamps
+/// the clock, and cancels; the region runs dynamic,1 over a range far too
+/// large to finish, so every sample measures the drain, not completion.
+double time_cancel_drain(int threads, bool pooled, int repeats) {
+  rt::ParallelConfig base = rt::ParallelConfig::host(threads);
+  if (!pooled) {
+    base = base.unpooled();
+  }
+  rt::parallel(base, [](rt::TeamContext&) {});
+  std::vector<double> samples(static_cast<std::size_t>(repeats), 0.0);
+  for (double& sample : samples) {
+    rt::CancelSource source;
+    std::atomic<bool> started{false};
+    std::atomic<std::int64_t> cancelled_at_ns{0};
+    std::thread canceller([&] {
+      while (!started.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      cancelled_at_ns.store(std::chrono::steady_clock::now()
+                                .time_since_epoch()
+                                .count(),
+                            std::memory_order_release);
+      source.cancel();
+    });
+    try {
+      rt::parallel(
+          base.cancellable(source.token()), [&](rt::TeamContext& tc) {
+            rt::for_each(tc, rt::Range::upto(std::int64_t{1} << 30),
+                         rt::Schedule::dynamic(1), [&](std::int64_t) {
+                           started.store(true, std::memory_order_release);
+                           spin(16);
+                         });
+          });
+    } catch (const rt::Cancelled&) {
+      const auto end_ns =
+          std::chrono::steady_clock::now().time_since_epoch().count();
+      sample = static_cast<double>(
+                   end_ns - cancelled_at_ns.load(std::memory_order_acquire)) *
+               1e-9;
+    }
+    canceller.join();
+  }
+  const auto mid = samples.begin() + samples.size() / 2;
+  std::nth_element(samples.begin(), mid, samples.end());
+  return *mid;
+}
+
+struct CancelRow {
   int threads = 0;
   double spawn_seconds = 0.0;
   double pool_seconds = 0.0;
@@ -243,6 +301,23 @@ int main(int argc, char** argv) {
                     : 0.0);
   }
 
+  // Cancellation-drain latency: how long after an external cancel() the
+  // region actually returns control (as rt::Cancelled), pool vs spawn.
+  // Chunk-boundary polling means this is roughly one dynamic,1 chunk plus
+  // the abortable-barrier drain — it must stay in launch-latency
+  // territory, not loop-runtime territory.
+  const int cancel_repeats = smoke ? 10 : 100;
+  std::vector<CancelRow> cancel_rows;
+  for (const int threads : thread_counts) {
+    CancelRow row;
+    row.threads = threads;
+    row.spawn_seconds = time_cancel_drain(threads, false, cancel_repeats);
+    row.pool_seconds = time_cancel_drain(threads, true, cancel_repeats);
+    cancel_rows.push_back(row);
+    std::printf("cancel t=%d spawn %8.2f us, pool %8.2f us\n", threads,
+                row.spawn_seconds * 1e6, row.pool_seconds * 1e6);
+  }
+
   // Devirtualization: identical trivial body through both drivers.
   const std::int64_t devirt_total = smoke ? (1 << 16) : (1 << 21);
   const int devirt_repeats = smoke ? 2 : 7;
@@ -318,14 +393,35 @@ int main(int argc, char** argv) {
       loop_seconds("host", "uniform", t_lo, "dynamic,1") <=
       1.25 * loop_seconds("host", "uniform", t_lo, "static");
 
+  // Cancellation must drain in launch-latency territory: the pooled
+  // cancel drain at the Pi-class team width stays within 100x of a
+  // pooled empty-region launch (a deliberately loose multiple — the
+  // drain includes one in-flight chunk and an OS-scheduler wakeup — but
+  // tight enough to catch a drain that degenerates into running the
+  // rest of the loop).
+  const auto cancel_of = [&cancel_rows](int threads) {
+    for (const CancelRow& row : cancel_rows) {
+      if (row.threads == threads) {
+        return row;
+      }
+    }
+    return CancelRow{};
+  };
+  const CancelRow cancel_check_row = cancel_of(pool_check_threads);
+  const bool cancel_drain_fast =
+      check_row.pool_seconds > 0.0 &&
+      cancel_check_row.pool_seconds <= 100.0 * check_row.pool_seconds;
+
   std::printf("checks: steal<dynamic,1 skewed 4+t host=%s sim=%s, "
               "for_each<for_loop=%s, pool>=5x spawn@t%d=%s, "
-              "static t%d<=t%d uniform=%s, dynamic,1<=1.25x static@t%d=%s\n",
+              "static t%d<=t%d uniform=%s, dynamic,1<=1.25x static@t%d=%s, "
+              "cancel drain<=100x pool launch@t%d=%s\n",
               steal_wins_host ? "yes" : "no", steal_wins_sim ? "yes" : "no",
               devirt_wins ? "yes" : "no", pool_check_threads,
               pool_beats_spawn ? "yes" : "no", pool_check_threads, t_lo,
               static_no_degrade ? "yes" : "no", t_lo,
-              dynamic1_close ? "yes" : "no");
+              dynamic1_close ? "yes" : "no", pool_check_threads,
+              cancel_drain_fast ? "yes" : "no");
 
   std::string json = "{\n  \"bench\": \"ubench_schedulers\",\n";
   json += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
@@ -337,6 +433,16 @@ int main(int argc, char** argv) {
   char buffer[384];
   for (std::size_t i = 0; i < launch_rows.size(); ++i) {
     const LaunchRow& row = launch_rows[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\n    {\"threads\":%d,\"spawn_seconds\":%.9f,"
+                  "\"pool_seconds\":%.9f}",
+                  i == 0 ? "" : ",", row.threads, row.spawn_seconds,
+                  row.pool_seconds);
+    json += buffer;
+  }
+  json += "\n  ],\n  \"cancel\": [";
+  for (std::size_t i = 0; i < cancel_rows.size(); ++i) {
+    const CancelRow& row = cancel_rows[i];
     std::snprintf(buffer, sizeof(buffer),
                   "%s\n    {\"threads\":%d,\"spawn_seconds\":%.9f,"
                   "\"pool_seconds\":%.9f}",
@@ -357,13 +463,15 @@ int main(int argc, char** argv) {
                 "\"for_each_beats_for_loop\":%s,"
                 "\"pool_launch_beats_spawn\":%s,"
                 "\"static_uniform_no_degradation\":%s,"
-                "\"dynamic1_within_1p25x_static_uniform\":%s",
+                "\"dynamic1_within_1p25x_static_uniform\":%s,"
+                "\"cancel_drain_within_100x_pool_launch\":%s",
                 steal_wins_host ? "true" : "false",
                 steal_wins_sim ? "true" : "false",
                 devirt_wins ? "true" : "false",
                 pool_beats_spawn ? "true" : "false",
                 static_no_degrade ? "true" : "false",
-                dynamic1_close ? "true" : "false");
+                dynamic1_close ? "true" : "false",
+                cancel_drain_fast ? "true" : "false");
   json += buffer;
   json += "}\n}\n";
 

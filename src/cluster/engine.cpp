@@ -57,6 +57,10 @@ std::string ClusterProfile::summary() const {
   if (stats.resurrections > 0) {
     os << " (" << stats.resurrections << " came back)";
   }
+  if (stats.cancelled_tasks > 0) {
+    os << ", " << stats.cancelled_tasks
+       << " task(s) cancelled at the job deadline";
+  }
   os << ", " << stats.heartbeats << " heartbeat(s); results complete at "
      << stats.completion_s * 1e3 << " ms, engine wound down at "
      << stats.makespan_s * 1e3 << " ms";
@@ -82,6 +86,7 @@ std::string ClusterProfile::to_json() const {
      << ",\"dead_workers\":" << stats.dead_workers
      << ",\"resurrections\":" << stats.resurrections
      << ",\"heartbeats\":" << stats.heartbeats
+     << ",\"cancelled_tasks\":" << stats.cancelled_tasks
      << ",\"completion_s\":" << stats.completion_s
      << ",\"makespan_s\":" << stats.makespan_s << "},\"dead_workers\":[";
   for (std::size_t i = 0; i < dead_workers.size(); ++i) {
@@ -117,6 +122,8 @@ SimClusterRun run_sim_cluster(int nodes,
           if (result.is_master) {
             run.results = std::move(result.results);
             run.dead_workers = std::move(result.dead_workers);
+            run.job_cancelled = result.job_cancelled;
+            run.incomplete_tasks = std::move(result.incomplete_tasks);
           }
         },
         spec);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -62,6 +63,16 @@ struct ClusterOptions {
   /// Master poll period; 0 derives heartbeat_timeout_s / 4.
   double tick_s = 0.0;
 
+  /// Job-level deadline (engine-relative seconds). Once the master's
+  /// clock passes it with tasks outstanding, the run is cancelled: the
+  /// queue is dropped, busy workers receive a Cancel and stop at their
+  /// next progress() call, parked workers are shut down. Results of
+  /// tasks that finished in time are kept (see
+  /// ClusterRunResult::job_cancelled / incomplete_tasks). 0 disables.
+  /// Workers only poll for Cancel when this is set, so runs without a
+  /// deadline are byte-identical to earlier engine versions on Sim.
+  double job_deadline_s = 0.0;
+
   double effective_tick_s() const {
     return tick_s > 0.0 ? tick_s : heartbeat_timeout_s / 4.0;
   }
@@ -70,7 +81,7 @@ struct ClusterOptions {
 /// One master-side scheduling event, timestamped relative to engine
 /// start on the transport clock. Kinds: assign, spec-assign, done,
 /// dup-done, heartbeat, lost-result, requeue, task-timeout, worker-dead,
-/// worker-back, shutdown, all-done.
+/// worker-back, shutdown, all-done, job-deadline, cancel, cancel-drain.
 struct ClusterEvent {
   double t_s = 0.0;
   int worker = -1;
@@ -89,6 +100,9 @@ struct ClusterStats {
   int dead_workers = 0;
   int resurrections = 0;
   int heartbeats = 0;
+  /// Tasks still incomplete when the engine wound down after a
+  /// job-deadline cancellation (0 on uncancelled runs).
+  int cancelled_tasks = 0;
   /// When the last task result arrived (engine-relative seconds).
   double completion_s = 0.0;
   /// When the engine fully wound down (stragglers drained, shutdowns
@@ -177,6 +191,13 @@ struct ClusterRunResult {
   bool is_master = false;
   /// This rank hit an injected crash fault (worker ranks only).
   bool crashed = false;
+  /// The run was cancelled by ClusterOptions::job_deadline_s. On the
+  /// master: the deadline fired with tasks outstanding. On a worker:
+  /// this rank abandoned an in-flight attempt after receiving Cancel.
+  bool job_cancelled = false;
+  /// Ids of tasks without a result when a cancelled run wound down,
+  /// ascending. Master only; empty on uncancelled runs.
+  std::vector<int> incomplete_tasks;
 };
 
 /// How the engine reads the clock and charges modelled work on each
@@ -223,6 +244,7 @@ constexpr int kTagDone = (1 << 20) + 1;       // worker -> master
 constexpr int kTagHeartbeat = (1 << 20) + 2;  // worker -> master
 constexpr int kTagAssign = (1 << 20) + 3;     // master -> worker
 constexpr int kTagShutdown = (1 << 20) + 4;   // master -> worker, empty
+constexpr int kTagCancel = (1 << 20) + 5;     // master -> worker, empty
 
 inline std::size_t engine_payload_hash() {
   return mp::type_hash_of<std::vector<std::byte>>();
@@ -231,6 +253,11 @@ inline std::size_t engine_payload_hash() {
 /// Internal unwinding signal for an injected worker crash. Caught by
 /// run_worker; never escapes the engine.
 struct WorkerCrashSignal {};
+
+/// Internal unwinding signal for a cooperative job cancellation: the
+/// worker saw the master's Cancel at a progress() poll and abandons the
+/// attempt at that boundary. Caught by run_worker; never escapes.
+struct WorkerCancelSignal {};
 
 template <class CommT>
 void send_request(CommT& comm) {
@@ -270,6 +297,11 @@ void send_shutdown(CommT& comm, int worker) {
   comm.send_raw(worker, kTagShutdown, engine_payload_hash(), {});
 }
 
+template <class CommT>
+void send_cancel(CommT& comm, int worker) {
+  comm.send_raw(worker, kTagCancel, engine_payload_hash(), {});
+}
+
 struct TaskHeader {
   int task_id = -1;
   std::uint64_t claim = 0;
@@ -303,6 +335,9 @@ class Master {
     util::require(options.max_live_attempts >= 1 &&
                       options.max_attempts_per_task >= 1,
                   "ClusterOptions: attempt limits must be >= 1");
+    util::require(std::isfinite(options.job_deadline_s) &&
+                      options.job_deadline_s >= 0.0,
+                  "ClusterOptions: job_deadline_s must be finite and >= 0");
   }
 
   ClusterRunResult run(const TaskFn& task_fn) {
@@ -338,11 +373,23 @@ class Master {
       }
     }
 
-    finalize_profile();
     ClusterRunResult result;
+    if (cancelled_) {
+      // A straggler's Done can still land between the deadline firing
+      // and the drain completing, so incompleteness is judged only now.
+      for (int t = 0; t < n; ++t) {
+        if (!task_states_[static_cast<std::size_t>(t)].done) {
+          result.incomplete_tasks.push_back(t);
+        }
+      }
+      stats_.cancelled_tasks =
+          static_cast<int>(result.incomplete_tasks.size());
+    }
+    finalize_profile();
     result.results = std::move(results_);
     result.dead_workers = dead_list();
     result.is_master = true;
+    result.job_cancelled = cancelled_;
     return result;
   }
 
@@ -387,9 +434,17 @@ class Master {
   }
 
   void run_serial(const TaskFn& task_fn) {
-    // Single-rank world: the master executes every task inline.
+    // Single-rank world: the master executes every task inline. The job
+    // deadline is honoured between tasks — the inline task body has no
+    // Cancel channel to poll.
     const int n = static_cast<int>(tasks_.size());
     for (int t = 0; t < n; ++t) {
+      if (options_.job_deadline_s > 0.0 &&
+          now_rel() >= options_.job_deadline_s) {
+        cancelled_ = true;
+        event(now_rel(), -1, -1, 0, "job-deadline");
+        return;
+      }
       const std::uint64_t claim = ++claim_seq_;
       const double begin_s = now_rel();
       event(begin_s, 0, t, claim, "assign");
@@ -399,6 +454,7 @@ class Master {
           [] {});
       results_[static_cast<std::size_t>(t)] =
           task_fn(ctx, t, tasks_[static_cast<std::size_t>(t)]);
+      task_states_[static_cast<std::size_t>(t)].done = true;
       --remaining_;
       const double end_s = now_rel();
       event(end_s, 0, t, claim, "done");
@@ -419,6 +475,7 @@ class Master {
       if (got) {
         dispatch(msg, now);
       }
+      maybe_cancel(now);
       check_timeouts(now);
       drive_idle(now);
       if (remaining_ == 0 && stats_.completion_s == 0.0 &&
@@ -433,8 +490,37 @@ class Master {
     }
   }
 
+  /// Fire the job deadline once: drop the queue, cancel busy workers,
+  /// shut down parked ones. From here on the loop only drains — no
+  /// assignment, no requeue, no all-dead error.
+  void maybe_cancel(double now) {
+    if (cancelled_ || options_.job_deadline_s <= 0.0 ||
+        now < options_.job_deadline_s || remaining_ == 0) {
+      return;
+    }
+    cancelled_ = true;
+    event(now, -1, -1, 0, "job-deadline");
+    for (const int task : queue_) {
+      task_states_[static_cast<std::size_t>(task)].queued = false;
+    }
+    queue_.clear();
+    for (int w = 1; w < comm_.size(); ++w) {
+      WorkerState& ws = workers_[static_cast<std::size_t>(w)];
+      if (ws.phase == WPhase::Busy) {
+        send_cancel(comm_, w);
+        event(now, w, ws.task, ws.claim, "cancel");
+      } else if (ws.phase == WPhase::Parked) {
+        send_shutdown(comm_, w);
+        ws.phase = WPhase::ShutdownSent;
+        event(now, w, -1, 0, "shutdown");
+      }
+      // Unknown and Returning workers get their Shutdown when their
+      // next Request arrives; Dead ones are swept after run_loop.
+    }
+  }
+
   bool finished() const {
-    if (remaining_ > 0) {
+    if (remaining_ > 0 && !cancelled_) {
       return false;
     }
     for (int w = 1; w < comm_.size(); ++w) {
@@ -455,12 +541,20 @@ class Master {
         if (ws.phase == WPhase::Dead) {
           resurrect(w, now);
         } else if (ws.phase == WPhase::Busy) {
-          // A busy worker asking for work means its Done never reached
-          // us: the result is lost, the attempt is void.
-          ++stats_.lost_results;
-          event(now, w, ws.task, ws.claim, "lost-result");
-          end_attempt(ws.task, ws.claim, now);
-          requeue_if_needed(ws.task, now, /*front=*/true);
+          if (cancelled_) {
+            // The worker abandoned its attempt at a progress() poll
+            // after our Cancel — the expected drain handshake, not a
+            // lost result.
+            event(now, w, ws.task, ws.claim, "cancel-drain");
+            end_attempt(ws.task, ws.claim, now);
+          } else {
+            // A busy worker asking for work means its Done never
+            // reached us: the result is lost, the attempt is void.
+            ++stats_.lost_results;
+            event(now, w, ws.task, ws.claim, "lost-result");
+            end_attempt(ws.task, ws.claim, now);
+            requeue_if_needed(ws.task, now, /*front=*/true);
+          }
         }
         ws.phase = WPhase::Parked;
         ws.task = -1;
@@ -555,6 +649,9 @@ class Master {
   }
 
   void requeue_if_needed(int task, double now, bool front) {
+    if (cancelled_) {
+      return;  // nothing is re-executed after the job deadline
+    }
     TaskState& ts = task_states_[static_cast<std::size_t>(task)];
     if (ts.done || ts.queued) {
       return;
@@ -631,6 +728,14 @@ class Master {
   }
 
   void try_assign(int w, double now) {
+    if (cancelled_) {
+      // Every worker that reports in after the deadline leaves the
+      // protocol; the queue was already dropped by maybe_cancel.
+      send_shutdown(comm_, w);
+      workers_[static_cast<std::size_t>(w)].phase = WPhase::ShutdownSent;
+      event(now, w, -1, 0, "shutdown");
+      return;
+    }
     if (!queue_.empty()) {
       const int task = queue_.front();
       queue_.pop_front();
@@ -700,7 +805,7 @@ class Master {
   }
 
   void check_liveness(double now) {
-    if (remaining_ == 0) {
+    if (remaining_ == 0 || cancelled_) {
       return;
     }
     for (int w = 1; w < comm_.size(); ++w) {
@@ -756,15 +861,23 @@ class Master {
   std::uint64_t claim_seq_ = 0;
   int remaining_ = 0;
   double start_s_ = 0.0;
+  bool cancelled_ = false;
 };
 
 /// Worker side: pull work, execute, report, heartbeat. Returns true if
 /// an injected crash fault fired (the rank silently left the protocol).
+/// Sets *job_cancelled when the worker abandoned an attempt after a
+/// master Cancel (job deadline).
 template <class CommT>
 bool run_worker(CommT& comm, const TaskFn& task_fn,
-                const ClusterOptions& options, const FaultPlan* faults) {
+                const ClusterOptions& options, const FaultPlan* faults,
+                bool* job_cancelled) {
   using Traits = TransportTraits<CommT>;
   const int rank = comm.rank();
+  // Polling the Cancel channel costs a scheduler yield per progress()
+  // call on the Sim transport, so it is armed only when the run can
+  // actually be cancelled — deadline-free runs stay byte-identical.
+  const bool cancellable = options.job_deadline_s > 0.0;
   const CrashFault* crash = faults ? faults->crash_for(rank) : nullptr;
   const double slowdown = faults ? faults->slowdown_for(rank) : 1.0;
   const bool jitter = faults != nullptr && faults->delay_jitter_s > 0.0;
@@ -785,7 +898,14 @@ bool run_worker(CommT& comm, const TaskFn& task_fn,
     for (;;) {
       maybe_delay();
       detail::send_request(comm);
-      const mp::RawMessage msg = comm.recv_raw(0, mp::kAnyTag);
+      mp::RawMessage msg;
+      do {
+        // A Cancel that raced our Done (or one consumed by nobody
+        // because the attempt finished first) may still sit in the
+        // inbox; the master always follows it with a Shutdown, so
+        // stale Cancels are simply discarded here.
+        msg = comm.recv_raw(0, mp::kAnyTag);
+      } while (msg.tag == detail::kTagCancel);
       if (msg.tag == detail::kTagShutdown) {
         return false;
       }
@@ -805,6 +925,13 @@ bool run_worker(CommT& comm, const TaskFn& task_fn,
           [&] {
             if (crash_this) {
               throw detail::WorkerCrashSignal{};
+            }
+            if (cancellable) {
+              mp::RawMessage cancel_msg;
+              if (comm.recv_raw_timed(0, detail::kTagCancel, 0.0,
+                                      &cancel_msg)) {
+                throw detail::WorkerCancelSignal{};
+              }
             }
             const double now = Traits::now(comm);
             if (now - last_heartbeat_s >= options.heartbeat_interval_s) {
@@ -831,6 +958,21 @@ bool run_worker(CommT& comm, const TaskFn& task_fn,
     // Fail-stop: abandon the protocol. The rank's thread lives on so
     // SPMD code after the engine (collectives) still runs.
     return true;
+  } catch (const detail::WorkerCancelSignal&) {
+    // Cooperative stop at a progress() boundary. Tell the master the
+    // attempt is abandoned (a Request from a busy worker) and wait for
+    // the Shutdown it answers a cancelled worker with.
+    detail::send_request(comm);
+    for (;;) {
+      const mp::RawMessage msg = comm.recv_raw(0, mp::kAnyTag);
+      if (msg.tag == detail::kTagShutdown) {
+        break;
+      }
+    }
+    if (job_cancelled != nullptr) {
+      *job_cancelled = true;
+    }
+    return false;
   }
 }
 
@@ -854,12 +996,16 @@ ClusterRunResult run_cluster_tasks(
     const FaultPlan* faults = nullptr, ClusterProfile* profile = nullptr) {
   util::require(task_fn != nullptr,
                 "run_cluster_tasks: task body must be callable");
+  if (faults != nullptr) {
+    faults->validate();
+  }
   if (comm.rank() == 0) {
     detail::Master<CommT> master(comm, tasks, options, profile);
     return master.run(task_fn);
   }
   ClusterRunResult result;
-  result.crashed = detail::run_worker(comm, task_fn, options, faults);
+  result.crashed = detail::run_worker(comm, task_fn, options, faults,
+                                      &result.job_cancelled);
   return result;
 }
 
@@ -867,6 +1013,9 @@ ClusterRunResult run_cluster_tasks(
 struct SimClusterRun {
   std::vector<std::vector<std::byte>> results;
   std::vector<int> dead_workers;
+  /// Master-side job-deadline outcome (see ClusterRunResult).
+  bool job_cancelled = false;
+  std::vector<int> incomplete_tasks;
   ClusterProfile profile;
   mp::ClusterReport report;
 };

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "util/error.hpp"
 
 namespace pblpar::cluster {
 
@@ -47,6 +51,44 @@ struct FaultPlan {
   /// xoshiro stream per rank. 0 disables. Sim transport only.
   double delay_jitter_s = 0.0;
   std::uint64_t seed = 1;
+
+  /// Reject malformed plans loudly at engine entry instead of letting
+  /// them silently never fire (negative ranks match no worker) or fire
+  /// ambiguously (crash_for returns the first of two CrashFaults on the
+  /// same rank).
+  void validate() const {
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+      const CrashFault& crash = crashes[i];
+      util::require(crash.rank >= 0,
+                    "FaultPlan: CrashFault rank must be >= 0, got " +
+                        std::to_string(crash.rank));
+      util::require(crash.nth_task >= 0,
+                    "FaultPlan: CrashFault nth_task must be >= 0");
+      for (std::size_t j = 0; j < i; ++j) {
+        util::require(crashes[j].rank != crash.rank,
+                      "FaultPlan: duplicate CrashFault for rank " +
+                          std::to_string(crash.rank));
+      }
+    }
+    for (const StragglerFault& straggler : stragglers) {
+      util::require(straggler.rank >= 0,
+                    "FaultPlan: StragglerFault rank must be >= 0, got " +
+                        std::to_string(straggler.rank));
+      util::require(std::isfinite(straggler.slowdown) &&
+                        straggler.slowdown > 0.0,
+                    "FaultPlan: StragglerFault slowdown must be finite "
+                    "and > 0");
+    }
+    for (const DropResultFault& drop : drops) {
+      util::require(drop.rank >= 0,
+                    "FaultPlan: DropResultFault rank must be >= 0, got " +
+                        std::to_string(drop.rank));
+      util::require(drop.nth_done >= 0,
+                    "FaultPlan: DropResultFault nth_done must be >= 0");
+    }
+    util::require(std::isfinite(delay_jitter_s) && delay_jitter_s >= 0.0,
+                  "FaultPlan: delay_jitter_s must be finite and >= 0");
+  }
 
   /// The crash scheduled for `rank`, or nullptr.
   const CrashFault* crash_for(int rank) const {

@@ -26,6 +26,9 @@ class WireError : public std::runtime_error {
 class Writer {
  public:
   void raw(const void* data, std::size_t size) {
+    if (size == 0) {
+      return;  // empty blobs and strings may pass data() == nullptr
+    }
     const auto* bytes = static_cast<const std::byte*>(data);
     bytes_.insert(bytes_.end(), bytes, bytes + size);
   }

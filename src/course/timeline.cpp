@@ -33,14 +33,14 @@ std::vector<TimelineEvent> semester_timeline() {
   // a quiz in the week after its due date.
   int week = 2;
   for (const Assignment& assignment : five_assignments()) {
+    std::string label = "A";
+    label += std::to_string(assignment.number);
     events.push_back({week, EventKind::AssignmentStart, assignment.number,
-                      "A" + std::to_string(assignment.number) + ": " +
-                          assignment.title});
+                      label + ": " + assignment.title});
     events.push_back({week + 1, EventKind::AssignmentDue, assignment.number,
-                      "A" + std::to_string(assignment.number) + " due"});
+                      label + " due"});
     events.push_back({week + 2 <= kSemesterWeeks ? week + 2 : kSemesterWeeks,
-                      EventKind::Quiz, assignment.number,
-                      "Quiz on A" + std::to_string(assignment.number)});
+                      EventKind::Quiz, assignment.number, "Quiz on " + label});
     week += 2;
   }
 

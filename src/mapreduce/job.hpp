@@ -1,6 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <iterator>
 #include <utility>
@@ -11,6 +14,26 @@
 #include "util/error.hpp"
 
 namespace pblpar::mapreduce {
+
+/// What a Job does when its deadline fires during the map phase.
+enum class DeadlinePolicy {
+  /// Rethrow the region's rt::Cancelled: the job produces nothing.
+  Abort,
+
+  /// Keep whatever records finished mapping and run shuffle + reduce over
+  /// them. Members stop at chunk boundaries only, so every kept record is
+  /// whole — the salvaged output equals a full run of the job over
+  /// exactly the completed record set (never a torn record, and grouping
+  /// order stays the deterministic worker-order scan).
+  Salvage,
+};
+
+/// Outcome metadata of one Job::run, for callers that opt into deadlines.
+struct RunReport {
+  bool deadline_hit = false;        // the map phase was cut short
+  std::int64_t mapped_records = 0;  // records fully mapped into the output
+  std::int64_t total_records = 0;
+};
 
 /// Collects the (key, value) pairs a mapper emits. Workers reuse one
 /// Emitter across records (clear() keeps the capacity), so steady-state
@@ -82,12 +105,35 @@ class Job {
     return *this;
   }
 
+  /// Job-level budget in host seconds, enforced cooperatively at
+  /// chunk-claim boundaries of the map phase; what happens when it fires
+  /// is `policy`. With Abort, a map phase that finishes in time passes
+  /// the remaining budget on to the reduce phase; with Salvage, the
+  /// shuffle/reduce over the kept records always runs to completion (a
+  /// salvaged job must still yield a usable result).
+  Job& deadline(double seconds, DeadlinePolicy policy = DeadlinePolicy::Abort) {
+    util::require(std::isfinite(seconds) && seconds > 0.0,
+                  "Job::deadline: need a finite deadline > 0");
+    deadline_s_ = seconds;
+    deadline_policy_ = policy;
+    return *this;
+  }
+
   /// Execute the job over `inputs` and return (key, reduced value) pairs
   /// sorted by key.
   std::vector<std::pair<K2, VOut>> run(
       const std::vector<std::pair<K1, V1>>& inputs) const {
+    return run(inputs, nullptr);
+  }
+
+  /// run() that also reports how the deadline played out. `report` may be
+  /// null; it is only written on successful return (an Abort that fires
+  /// throws rt::Cancelled instead).
+  std::vector<std::pair<K2, VOut>> run(
+      const std::vector<std::pair<K1, V1>>& inputs, RunReport* report) const {
     util::require(map_fn_ != nullptr, "Job::run: map function not set");
     util::require(reduce_fn_ != nullptr, "Job::run: reduce function not set");
+    const auto job_start = std::chrono::steady_clock::now();
 
     const int threads =
         num_threads_ > 0 ? num_threads_ : rt::hardware_threads();
@@ -108,50 +154,80 @@ class Job {
     // thread creation out of the map phase, so a job's cost is map +
     // shuffle + reduce, not spawn + map + spawn + shuffle + reduce.
     rt::ParallelConfig map_config = rt::ParallelConfig::host(threads);
+    if (deadline_s_ > 0.0) {
+      map_config = map_config.deadline(deadline_s_);
+    }
     rt::warm_up(map_config);
-    rt::parallel(map_config, [&](rt::TeamContext& tc) {
-      auto& buckets = worker_buckets[static_cast<std::size_t>(tc.thread_num())];
-      Emitter<K2, V2> emitter;  // reused: clear() keeps the capacity
-      bool reserved = false;
-      rt::for_each(
-          tc, rt::Range::upto(static_cast<std::int64_t>(inputs.size())),
-          rt::Schedule::steal(), [&](std::int64_t i) {
-            const auto& [key, value] = inputs[static_cast<std::size_t>(i)];
-            emitter.clear();
-            map_fn_(key, value, emitter);
-            if (!reserved && !emitter.pairs().empty()) {
-              // First-record estimate: assume every record emits about
-              // this many pairs, this worker maps ~1/threads of the
-              // input, and the hash spreads pairs evenly over buckets.
-              reserved = true;
-              const std::size_t estimate =
-                  emitter.pairs().size() *
-                      (inputs.size() / static_cast<std::size_t>(threads) +
-                       1) /
-                      static_cast<std::size_t>(reducers) +
-                  1;
-              for (auto& bucket : buckets) {
-                bucket.reserve(estimate);
+    bool deadline_hit = false;
+    std::int64_t mapped_records = static_cast<std::int64_t>(inputs.size());
+    try {
+      rt::parallel(map_config, [&](rt::TeamContext& tc) {
+        auto& buckets =
+            worker_buckets[static_cast<std::size_t>(tc.thread_num())];
+        Emitter<K2, V2> emitter;  // reused: clear() keeps the capacity
+        bool reserved = false;
+        rt::for_each(
+            tc, rt::Range::upto(static_cast<std::int64_t>(inputs.size())),
+            rt::Schedule::steal(), [&](std::int64_t i) {
+              const auto& [key, value] = inputs[static_cast<std::size_t>(i)];
+              emitter.clear();
+              map_fn_(key, value, emitter);
+              if (!reserved && !emitter.pairs().empty()) {
+                // First-record estimate: assume every record emits about
+                // this many pairs, this worker maps ~1/threads of the
+                // input, and the hash spreads pairs evenly over buckets.
+                reserved = true;
+                const std::size_t estimate =
+                    emitter.pairs().size() *
+                        (inputs.size() / static_cast<std::size_t>(threads) +
+                         1) /
+                        static_cast<std::size_t>(reducers) +
+                    1;
+                for (auto& bucket : buckets) {
+                  bucket.reserve(estimate);
+                }
               }
-            }
-            for (auto& [k2, v2] : emitter.pairs()) {
-              const std::size_t partition =
-                  std::hash<K2>{}(k2) % static_cast<std::size_t>(reducers);
-              buckets[partition].emplace_back(std::move(k2), std::move(v2));
-            }
-          });
-      if (combine_fn_ != nullptr) {
-        for (auto& bucket : buckets) {
-          bucket = combine_bucket(std::move(bucket));
+              for (auto& [k2, v2] : emitter.pairs()) {
+                const std::size_t partition =
+                    std::hash<K2>{}(k2) % static_cast<std::size_t>(reducers);
+                buckets[partition].emplace_back(std::move(k2), std::move(v2));
+              }
+            });
+        if (combine_fn_ != nullptr) {
+          for (auto& bucket : buckets) {
+            bucket = combine_bucket(std::move(bucket));
+          }
         }
+      });
+    } catch (const rt::Cancelled& cancelled) {
+      if (deadline_policy_ == DeadlinePolicy::Abort) {
+        throw;
       }
-    });
+      // Salvage: each record's emissions land in the buckets within its
+      // own iteration and members only stop at chunk boundaries, so the
+      // buckets hold exactly the completed records — never a torn one.
+      // The for_each end barrier gates the combiner, so no worker
+      // combined before the drain; skipping the combiner outright keeps
+      // every bucket in the same (uncombined) state, which the reducer
+      // handles anyway.
+      deadline_hit = true;
+      mapped_records = cancelled.total_completed();
+    }
 
     // --- Shuffle + reduce phase: one task per partition, in parallel.
     std::vector<std::vector<std::pair<K2, VOut>>> partition_outputs(
         static_cast<std::size_t>(reducers));
     rt::ParallelConfig reduce_config =
         rt::ParallelConfig::host(std::min(threads, reducers));
+    if (deadline_s_ > 0.0 && deadline_policy_ == DeadlinePolicy::Abort) {
+      // Pass what is left of the budget to the reduce phase; an already
+      // overspent budget cancels at the first chunk boundary.
+      const double elapsed = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - job_start)
+                                 .count();
+      reduce_config =
+          reduce_config.deadline(std::max(deadline_s_ - elapsed, 1e-9));
+    }
     rt::parallel(reduce_config, [&](rt::TeamContext& tc) {
       rt::for_loop(tc, rt::Range::upto(reducers), rt::Schedule::dynamic(1),
                    [&](std::int64_t p) {
@@ -186,6 +262,11 @@ class Job {
         next.push_back(std::move(partition_outputs.back()));
       }
       partition_outputs = std::move(next);
+    }
+    if (report != nullptr) {
+      report->deadline_hit = deadline_hit;
+      report->mapped_records = mapped_records;
+      report->total_records = static_cast<std::int64_t>(inputs.size());
     }
     return std::move(partition_outputs.front());
   }
@@ -251,6 +332,8 @@ class Job {
   CombineFn combine_fn_;
   int num_threads_ = 0;   // 0 = rt::hardware_threads() at run()
   int num_reducers_ = 0;  // 0 = one partition per worker thread at run()
+  double deadline_s_ = 0.0;  // 0 = no deadline
+  DeadlinePolicy deadline_policy_ = DeadlinePolicy::Abort;
 };
 
 }  // namespace pblpar::mapreduce

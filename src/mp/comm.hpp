@@ -128,8 +128,11 @@ class Comm {
   RawMessage recv_raw(int source, int tag);
 
   /// Non-throwing timed receive: true and *out filled when a match
-  /// arrives within `timeout_s`, false on timeout. Used by pollers (the
-  /// cluster master) that must keep running while peers are silent.
+  /// arrives within `timeout_s`, false on timeout. A zero (or negative)
+  /// timeout is a poll: the mailbox is scanned once and the call
+  /// returns immediately, never blocking. Used by pollers (the cluster
+  /// master, a worker's cancel check) that must keep running while
+  /// peers are silent.
   bool recv_raw_timed(int source, int tag, double timeout_s,
                       RawMessage* out);
 

@@ -1,5 +1,7 @@
 #include "mp/sim_world.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace pblpar::mp {
@@ -74,13 +76,13 @@ bool SimComm::recv_raw_timed(int source, int tag, double timeout_s,
                              RawMessage* out) {
   util::require(source == kAnySource || (source >= 0 && source < size()),
                 "SimComm::recv: source rank out of range");
-  util::require(timeout_s >= 0.0,
-                "SimComm::recv_raw_timed: timeout must be non-negative");
   const auto index = static_cast<std::size_t>(rank_);
   auto& inbox = world_->inboxes[index];
   const sim::MutexHandle mutex = world_->inbox_mutexes[index];
   const sim::ConditionHandle condition = world_->inbox_conditions[index];
-  const double deadline_s = ctx_->now() + timeout_s;
+  // Zero (or negative, clamped) timeout = a poll: scan the inbox once,
+  // then wait_until with a past deadline yields and times out at once.
+  const double deadline_s = ctx_->now() + std::max(timeout_s, 0.0);
 
   ctx_->lock(mutex);
   for (;;) {

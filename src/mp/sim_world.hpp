@@ -157,8 +157,11 @@ class SimComm {
 
   /// Non-throwing timed receive in *virtual* time: true and *out filled
   /// when a match shows up within `timeout_s` virtual seconds, false
-  /// once the deadline passes with no match. A message matched just
-  /// before the deadline is still delivered (its remaining wire time is
+  /// once the deadline passes with no match. A zero (or negative,
+  /// clamped to zero) timeout is a poll: the inbox is scanned once and
+  /// the rank yields exactly once before timing out, so polling costs
+  /// one deterministic scheduler step. A message matched just before
+  /// the deadline is still delivered (its remaining wire time is
   /// waited out even past the deadline).
   bool recv_raw_timed(int source, int tag, double timeout_s,
                       RawMessage* out);

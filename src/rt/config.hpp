@@ -1,13 +1,17 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <memory>
 #include <optional>
 #include <thread>
 
+#include "rt/cancel.hpp"
 #include "sim/machine.hpp"
 #include "sim/report.hpp"
 #include "sim/spec.hpp"
+#include "util/error.hpp"
 
 namespace pblpar::rt {
 
@@ -62,10 +66,63 @@ struct ParallelConfig {
   /// Ignored by the Sim backend (virtual threads cost nothing to fork).
   bool use_pool = true;
 
+  /// Cooperative cancellation token; every team member polls it at
+  /// chunk-claim boundaries and the region throws rt::Cancelled (with
+  /// per-thread completed-iteration counts) once a member observes it.
+  /// Default-constructed = the region is not cancellable.
+  CancelToken cancel_token;
+
+  /// Region deadline in seconds since region start, on the backend's
+  /// clock (host steady clock / sim virtual time). 0 = none. Like token
+  /// cancellation, enforced cooperatively at chunk-claim boundaries —
+  /// a single enormous chunk overstays the deadline unchecked.
+  double deadline_s = 0.0;
+
+  /// Chunk-boundary fault injection (delays / thrown exceptions). Empty
+  /// (the default) = off with zero polling overhead.
+  ChaosPlan chaos;
+
   /// Copy of this config with tracing switched on.
   ParallelConfig traced() const {
     ParallelConfig config = *this;
     config.record_trace = true;
+    return config;
+  }
+
+  /// Copy of this config that polls `token` at chunk-claim boundaries.
+  ParallelConfig cancellable(CancelToken token) const {
+    util::require(token.valid(),
+                  "ParallelConfig::cancellable: token is not connected to a "
+                  "CancelSource (default-constructed tokens never fire)");
+    ParallelConfig config = *this;
+    config.cancel_token = std::move(token);
+    return config;
+  }
+
+  /// Copy of this config with a region deadline of `seconds` (> 0, finite)
+  /// on the backend's clock.
+  ParallelConfig deadline(double seconds) const {
+    util::require(std::isfinite(seconds) && seconds > 0.0,
+                  "ParallelConfig::deadline: need a finite deadline > 0");
+    ParallelConfig config = *this;
+    config.deadline_s = seconds;
+    return config;
+  }
+
+  /// Chrono-flavoured deadline: config.deadline(std::chrono::milliseconds(5)).
+  template <class Rep, class Period>
+  ParallelConfig deadline(std::chrono::duration<Rep, Period> duration) const {
+    return deadline(
+        std::chrono::duration_cast<std::chrono::duration<double>>(duration)
+            .count());
+  }
+
+  /// Copy of this config with `plan` injected at chunk-claim boundaries.
+  /// Validates the plan loudly up front.
+  ParallelConfig with_chaos(ChaosPlan plan) const {
+    plan.validate();
+    ParallelConfig config = *this;
+    config.chaos = plan;
     return config;
   }
 

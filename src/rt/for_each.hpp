@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "rt/cancel.hpp"
 #include "rt/loops.hpp"
 #include "rt/schedule.hpp"
 #include "rt/team.hpp"
@@ -72,6 +73,22 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
   if (tracer != nullptr) {
     tracer->register_loop(loop_id, schedule.to_string(), total);
   }
+  // Cancellation/chaos polling happens at chunk-claim boundaries only:
+  // a claimed chunk always runs to completion, which is what makes the
+  // per-thread completed-iteration counts in rt::Cancelled exact. When
+  // no governor is armed (the overwhelmingly common case) `poll` and
+  // `completed` compile down to a null check per chunk.
+  RegionGovernor* const governor = tc.governor();
+  const auto poll = [&] {
+    if (governor != nullptr) {
+      governor->at_claim(tc, tid);
+    }
+  };
+  const auto completed = [&](std::int64_t count) {
+    if (governor != nullptr) {
+      governor->add_completed(tid, count);
+    }
+  };
 
   if (schedule.kind == Schedule::Kind::Static) {
     if (schedule.chunk <= 0) {
@@ -83,8 +100,10 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
       const std::int64_t start =
           range.begin + tid * base + std::min<std::int64_t>(tid, extra);
       if (mine > 0) {
+        poll();
         detail::run_chunk_traced(tc, tracer, loop_id, start, start + mine,
                                  body, cost);
+        completed(mine);
       }
     } else {
       // Round-robin chunks of the given size. The chunk is clamped to the
@@ -100,9 +119,11 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
       while (chunk_start < total) {
         const std::int64_t chunk_end =
             chunk < total - chunk_start ? chunk_start + chunk : total;
+        poll();
         detail::run_chunk_traced(tc, tracer, loop_id,
                                  range.begin + chunk_start,
                                  range.begin + chunk_end, body, cost);
+        completed(chunk_end - chunk_start);
         if (stride > total - chunk_start) {
           break;  // next round-robin turn would overflow / pass the end
         }
@@ -116,6 +137,7 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
     // timelines can link the theft to the execution span.
     tc.steal_install(loop_id, total, schedule);
     for (;;) {
+      poll();
       const StealClaim claim = tc.steal_next(loop_id, total, schedule);
       if (claim.count == 0) {
         break;
@@ -135,6 +157,7 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
         tracer->record_chunk(tid, loop_id, begin, end, claim_order, start_s,
                              tc.trace_now());
       }
+      completed(claim.count);
     }
   } else {
     // Dynamic chunks have a fixed size, so when the backend exposes its
@@ -155,22 +178,28 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
         // uses as its t=1 baseline should measure the body, not
         // lock-prefixed adds nobody races. When chunk granularity is
         // unobservable (no tracer recording per-chunk events, no cost
-        // model charged per chunk) the loop collapses to one chunk;
-        // otherwise the identical chunk stream is walked serially.
-        if (tracer == nullptr && cost.empty()) {
+        // model charged per chunk, no governor polling per chunk) the
+        // loop collapses to one chunk; otherwise the identical chunk
+        // stream is walked serially.
+        if (tracer == nullptr && cost.empty() && governor == nullptr) {
           detail::run_chunk(tc, range.begin, range.begin + total, body,
                             cost);
         } else {
           for (std::int64_t start = 0; start < total; start += grab) {
             const std::int64_t end =
                 grab < total - start ? start + grab : total;
+            poll();
             detail::run_chunk_traced(tc, tracer, loop_id,
                                      range.begin + start, range.begin + end,
                                      body, cost);
+            completed(end - start);
           }
         }
       } else {
         for (;;) {
+          // Poll before the claim so a cancelled member never consumes a
+          // chunk index it will not run.
+          poll();
           const std::int64_t start =
               counter->fetch_add(grab, std::memory_order_relaxed);
           if (start >= total) {
@@ -180,16 +209,19 @@ void for_each(TeamContext& tc, Range range, Schedule schedule, Body&& body,
               grab < total - start ? start + grab : total;
           detail::run_chunk_traced(tc, tracer, loop_id, range.begin + start,
                                    range.begin + end, body, cost);
+          completed(end - start);
         }
       }
     } else {
       for (;;) {
+        poll();
         const auto [start, count] = tc.claim(loop_id, total, schedule);
         if (count == 0) {
           break;
         }
         detail::run_chunk_traced(tc, tracer, loop_id, range.begin + start,
                                  range.begin + start + count, body, cost);
+        completed(count);
       }
     }
   }

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "rt/cancel.hpp"
 #include "rt/trace.hpp"
 #include "util/error.hpp"
 
@@ -129,7 +130,8 @@ struct HostTeam {
   /// pool observes every member's exit (unfinished count reaching zero)
   /// before calling this.
   void reset(int nthreads, TraceRecorder* recorder,
-             std::chrono::steady_clock::time_point epoch) {
+             std::chrono::steady_clock::time_point epoch,
+             RegionGovernor* region_governor) {
     const int prev_width = num_threads;
     num_threads = nthreads;
     barrier.reset(nthreads);
@@ -138,6 +140,7 @@ struct HostTeam {
     aborted.store(false, std::memory_order_relaxed);
     tracer = recorder;
     trace_epoch = epoch;
+    governor = region_governor;
   }
 
   void grow_deques(int nthreads) {
@@ -198,6 +201,10 @@ struct HostTeam {
   /// Observability (null / unset when tracing is off).
   TraceRecorder* tracer = nullptr;
   std::chrono::steady_clock::time_point trace_epoch;
+
+  /// Cancellation/chaos governor of the current region (null when neither
+  /// is armed — then the loop drivers never poll).
+  RegionGovernor* governor = nullptr;
 };
 
 class HostTeamContext final : public TeamContext {
@@ -208,6 +215,19 @@ class HostTeamContext final : public TeamContext {
   int num_threads() const override { return team_->num_threads; }
 
   TraceRecorder* tracer() override { return team_->tracer; }
+
+  RegionGovernor* governor() override { return team_->governor; }
+
+  void inject_delay(double seconds) override {
+    // Yield-spin in real time, like the pool's park spins: on an
+    // oversubscribed host the stalled member cedes its core instead of
+    // burning it, which is the "slow thread" a chaos delay models.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < until) {
+      std::this_thread::yield();
+    }
+  }
 
   double trace_now() const override {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -362,8 +382,11 @@ class HostTeamContext final : public TeamContext {
 };
 
 /// One team member's run: execute the body, swallow TeamAborted (another
-/// member failed and this one just unwound past its barriers), convert
-/// anything else into a recorded error plus a team-wide barrier abort.
+/// member failed and this one just unwound past its barriers) and
+/// CancelSignal (this member observed cancellation at a chunk boundary —
+/// the governor's fire() already aborted the team barrier, and the region
+/// join converts the drain into rt::Cancelled), convert anything else
+/// into a recorded error plus a team-wide barrier abort.
 void run_member(HostTeam& team, int tid,
                 const std::function<void(TeamContext&)>& body,
                 std::vector<std::exception_ptr>& errors) {
@@ -372,6 +395,9 @@ void run_member(HostTeam& team, int tid,
     body(ctx);
   } catch (const TeamAborted&) {
     // Another member failed; we just unwound past its barriers.
+  } catch (const detail::CancelSignal&) {
+    // Cooperative cancellation: not an error, so nothing is recorded —
+    // finish_region reads the verdict off the governor instead.
   } catch (...) {
     errors[static_cast<std::size_t>(tid)] = std::current_exception();
     team.aborted.store(true);
@@ -387,14 +413,27 @@ void run_member(HostTeam& team, int tid,
 RunResult finish_region(std::vector<std::exception_ptr>& errors,
                         std::chrono::steady_clock::time_point start,
                         std::chrono::steady_clock::time_point end,
-                        TraceRecorder* recorder) {
+                        TraceRecorder* recorder, RegionGovernor* governor) {
+  // Real errors win over cancellation: a body that threw mid-drain (or a
+  // ChaosInjected) is what the caller must see first.
   for (const auto& error : errors) {
     if (error != nullptr) {
       std::rethrow_exception(error);
     }
   }
+  const double region_s =
+      std::chrono::duration<double>(end - start).count();
+  if (governor != nullptr && governor->fired()) {
+    std::shared_ptr<const RunProfile> profile;
+    if (recorder != nullptr) {
+      profile =
+          std::make_shared<const RunProfile>(recorder->finish(region_s));
+    }
+    throw Cancelled(governor->cause(), governor->completed_counts(),
+                    std::move(profile));
+  }
   RunResult result;
-  result.host_seconds = std::chrono::duration<double>(end - start).count();
+  result.host_seconds = region_s;
   if (recorder != nullptr) {
     result.profile = std::make_shared<const RunProfile>(
         recorder->finish(result.host_seconds));
@@ -415,6 +454,12 @@ RunResult host_parallel_spawn(const ParallelConfig& config,
         std::make_unique<TraceRecorder>(num_threads, TraceClock::HostSteady);
     team.tracer = recorder.get();
   }
+  std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
+      config.cancel_token, config.deadline_s, config.chaos, num_threads);
+  if (governor != nullptr) {
+    team.governor = governor.get();
+    governor->abort_team = [&team] { team.barrier.abort(); };
+  }
 
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_threads));
@@ -430,7 +475,7 @@ RunResult host_parallel_spawn(const ParallelConfig& config,
     }
   }  // jthreads join here
   const auto end = std::chrono::steady_clock::now();
-  return finish_region(errors, start, end, recorder.get());
+  return finish_region(errors, start, end, recorder.get(), governor.get());
 }
 
 /// How long threads yield-spin before touching the kernel. Workers spin
@@ -508,11 +553,16 @@ class TeamPool {
       recorder = std::make_unique<TraceRecorder>(num_threads,
                                                  TraceClock::HostSteady);
     }
+    std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
+        config.cancel_token, config.deadline_s, config.chaos, num_threads);
+    if (governor != nullptr) {
+      governor->abort_team = [this] { team_.barrier.abort(); };
+    }
     std::vector<std::exception_ptr> errors(
         static_cast<std::size_t>(num_threads));
 
     const auto start = std::chrono::steady_clock::now();
-    team_.reset(num_threads, recorder.get(), start);
+    team_.reset(num_threads, recorder.get(), start, governor.get());
     if (num_threads == 1) {
       // The caller is the whole team; no handoff at all.
       run_member(team_, 0, body, errors);
@@ -532,7 +582,11 @@ class TeamPool {
       wait_for_workers();
     }
     const auto end = std::chrono::steady_clock::now();
-    return finish_region(errors, start, end, recorder.get());
+    // A cancelled (or failed) region leaves the pool reusable by
+    // construction: every member has exited (unfinished_ drained above),
+    // and the next region's reset() re-arms the aborted barrier and the
+    // dirtied worksharing slots before anything runs.
+    return finish_region(errors, start, end, recorder.get(), governor.get());
   }
 
   ~TeamPool() {

@@ -2,8 +2,10 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "rt/parallel.hpp"
+#include "util/error.hpp"
 
 namespace pblpar::rt {
 
@@ -29,26 +31,49 @@ enum class ReduceStrategy {
 /// Worksharing reduction inside an existing team (OpenMP's
 /// `#pragma omp for reduction(...)`). Every member must call it.
 /// Ends with a team barrier; `result` is complete after that barrier.
+///
+/// `salvage` (PerThreadPartials only) rescues partial progress from a
+/// cancelled or failed region: when the loop unwinds before the merge,
+/// each member moves its private partial into `(*salvage)[tid]` and the
+/// exception continues — so a caller catching rt::Cancelled can still
+/// combine whatever completed. Slots of members whose partial already
+/// merged into `result` (or who ran no iterations) stay empty. The vector
+/// must hold at least num_threads slots and outlive the region.
 template <class T, class MapFn, class CombineFn>
 void reduce_loop(TeamContext& tc, Range range, Schedule schedule, T& result,
                  MapFn map, CombineFn combine, const CostModel& cost = {},
-                 ReduceStrategy strategy = ReduceStrategy::PerThreadPartials) {
+                 ReduceStrategy strategy = ReduceStrategy::PerThreadPartials,
+                 std::vector<std::optional<T>>* salvage = nullptr) {
   if (strategy == ReduceStrategy::PerThreadPartials) {
+    if (salvage != nullptr) {
+      util::require(static_cast<int>(salvage->size()) >= tc.num_threads(),
+                    "reduce_loop: salvage needs one slot per team member");
+    }
     // The partial lives in an optional so T never needs to be
     // default-constructible — OpenMP initializes reduction privates from
     // the operation's identity, but a generic combine has no identity to
     // offer, so "no iterations ran here" is simply an empty partial.
     std::optional<T> local;
-    for_loop(
-        tc, range, schedule,
-        [&](std::int64_t i) {
-          if (local.has_value()) {
-            local = combine(*std::move(local), map(i));
-          } else {
-            local = map(i);
-          }
-        },
-        cost, /*barrier_at_end=*/false);
+    try {
+      for_loop(
+          tc, range, schedule,
+          [&](std::int64_t i) {
+            if (local.has_value()) {
+              local = combine(*std::move(local), map(i));
+            } else {
+              local = map(i);
+            }
+          },
+          cost, /*barrier_at_end=*/false);
+    } catch (...) {
+      // Each member writes only its own slot, and the caller reads them
+      // after the region join — no two threads ever touch one slot.
+      if (salvage != nullptr && local.has_value()) {
+        (*salvage)[static_cast<std::size_t>(tc.thread_num())] =
+            std::move(local);
+      }
+      throw;  // always rethrow: on Sim this includes the abort signal
+    }
     if (local.has_value()) {
       tc.critical([&] { result = combine(result, *std::move(local)); });
     }
@@ -70,14 +95,15 @@ template <class T, class MapFn, class CombineFn>
 ReduceResult<T> parallel_reduce(
     const ParallelConfig& config, Range range, Schedule schedule, T identity,
     MapFn map, CombineFn combine, const CostModel& cost = {},
-    ReduceStrategy strategy = ReduceStrategy::PerThreadPartials) {
+    ReduceStrategy strategy = ReduceStrategy::PerThreadPartials,
+    std::vector<std::optional<T>>* salvage = nullptr) {
   // Aggregate-init from the identity: ReduceResult's `T value{}` member
   // initializer is never instantiated this way, so non-default-
   // constructible accumulators work here too.
   ReduceResult<T> reduced{std::move(identity), RunResult{}};
   reduced.run = parallel(config, [&](TeamContext& tc) {
     reduce_loop(tc, range, schedule, reduced.value, map, combine, cost,
-                strategy);
+                strategy, salvage);
   });
   return reduced;
 }

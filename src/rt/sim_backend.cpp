@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "rt/cancel.hpp"
 #include "rt/trace.hpp"
 #include "util/error.hpp"
 
@@ -35,6 +36,9 @@ struct SimTeam {
   /// Observability (null when tracing is off). Timestamps are virtual
   /// time; Machine::run starts each run at t = 0.
   TraceRecorder* tracer = nullptr;
+
+  /// Cancellation/chaos governor (null when neither is armed).
+  RegionGovernor* governor = nullptr;
 };
 
 class SimTeamContext final : public TeamContext {
@@ -46,6 +50,14 @@ class SimTeamContext final : public TeamContext {
   int num_threads() const override { return team_->num_threads; }
 
   TraceRecorder* tracer() override { return team_->tracer; }
+
+  RegionGovernor* governor() override { return team_->governor; }
+
+  void inject_delay(double seconds) override {
+    // A chaos delay on the Sim backend is just charged virtual time, so
+    // injected schedules replay bit-for-bit.
+    ctx_->compute_us(seconds * 1e6);
+  }
 
   double trace_now() const override { return ctx_->now(); }
 
@@ -207,25 +219,44 @@ RunResult sim_parallel(sim::Machine& machine, const ParallelConfig& config,
                                                TraceClock::SimVirtual);
     team.tracer = recorder.get();
   }
+  // No abort_team hook on Sim: a CancelSignal escaping a member body rides
+  // the machine's own abort teardown (every other virtual thread — even
+  // one parked at a sim barrier — wakes and unwinds via sim::Aborted), so
+  // the drain is deterministic in virtual time.
+  std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
+      config.cancel_token, config.deadline_s, config.chaos, num_threads);
+  team.governor = governor.get();
 
   const auto start = std::chrono::steady_clock::now();
-  sim::ExecutionReport report =
-      machine.run([&team, &body, num_threads](sim::Context& root) {
-        std::vector<sim::ThreadHandle> members;
-        members.reserve(static_cast<std::size_t>(num_threads) - 1);
-        for (int tid = 1; tid < num_threads; ++tid) {
-          members.push_back(
-              root.spawn([&team, &body, tid](sim::Context& ctx) {
-                SimTeamContext team_ctx(team, ctx, tid);
-                body(team_ctx);
-              }));
-        }
-        SimTeamContext master_ctx(team, root, 0);
-        body(master_ctx);
-        for (const sim::ThreadHandle member : members) {
-          root.join(member);
-        }
-      });
+  sim::ExecutionReport report;
+  try {
+    report = machine.run([&team, &body, num_threads](sim::Context& root) {
+      std::vector<sim::ThreadHandle> members;
+      members.reserve(static_cast<std::size_t>(num_threads) - 1);
+      for (int tid = 1; tid < num_threads; ++tid) {
+        members.push_back(root.spawn([&team, &body, tid](sim::Context& ctx) {
+          SimTeamContext team_ctx(team, ctx, tid);
+          body(team_ctx);
+        }));
+      }
+      SimTeamContext master_ctx(team, root, 0);
+      body(master_ctx);
+      for (const sim::ThreadHandle member : members) {
+        root.join(member);
+      }
+    });
+  } catch (const detail::CancelSignal&) {
+    // The member that observed cancellation recorded the fire on the
+    // governor before unwinding; every virtual thread has finished by the
+    // time Machine::run rethrows, so the counts below are final.
+    std::shared_ptr<const RunProfile> profile;
+    if (recorder != nullptr) {
+      profile = std::make_shared<const RunProfile>(
+          recorder->finish(governor->fired_at_s()));
+    }
+    throw Cancelled(governor->cause(), governor->completed_counts(),
+                    std::move(profile));
+  }
   const auto end = std::chrono::steady_clock::now();
 
   RunResult result;

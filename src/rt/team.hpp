@@ -11,6 +11,7 @@
 namespace pblpar::rt {
 
 class TraceRecorder;
+class RegionGovernor;
 
 /// Alignment used to keep per-thread mutable state (steal deques, trace
 /// buffers) on distinct cache lines. 64 bytes covers every target the
@@ -121,6 +122,18 @@ class TeamContext {
   /// uses the team-wide maximum to re-arm only the worksharing slots a
   /// region actually touched instead of the whole preallocated table.
   int loop_ids_issued() const { return next_loop_id_; }
+
+  /// Cancellation/chaos governor of this region, or nullptr when neither
+  /// a CancelToken, a deadline nor a ChaosPlan is armed (the common
+  /// case). Loop drivers poll it at every chunk-claim boundary when set
+  /// and skip all polling when null, so uncancellable regions pay one
+  /// null check per loop, not per chunk.
+  virtual RegionGovernor* governor() { return nullptr; }
+
+  /// Stall this member for `seconds` on the backend's clock — the chaos
+  /// plan's delay injection. Host yields in real time; Sim charges
+  /// virtual time. No-op on backends without a notion of stalling.
+  virtual void inject_delay(double seconds) { (void)seconds; }
 
   /// Trace collector of this region, or nullptr when tracing is off.
   /// Worksharing constructs record chunk/barrier/critical events into it.

@@ -71,6 +71,19 @@ void TraceRecorder::record_single_winner(int tid, int single_id) {
       SingleEvent{single_id, tid});
 }
 
+void TraceRecorder::record_cancel(int tid, double time_s,
+                                  const std::string& cause,
+                                  std::int64_t completed_iterations) {
+  threads_[static_cast<std::size_t>(tid)].cancels.push_back(
+      CancelEvent{tid, time_s, cause, completed_iterations});
+}
+
+void TraceRecorder::record_inject(int tid, double time_s,
+                                  const std::string& kind, double delay_s) {
+  threads_[static_cast<std::size_t>(tid)].injects.push_back(
+      InjectEvent{tid, time_s, kind, delay_s});
+}
+
 RunProfile TraceRecorder::finish(double region_s) {
   RunProfile profile;
   profile.clock = clock_;
@@ -96,6 +109,10 @@ RunProfile TraceRecorder::finish(double region_s) {
                              thread.criticals.end());
     profile.singles.insert(profile.singles.end(), thread.singles.begin(),
                            thread.singles.end());
+    profile.cancels.insert(profile.cancels.end(), thread.cancels.begin(),
+                           thread.cancels.end());
+    profile.injects.insert(profile.injects.end(), thread.injects.begin(),
+                           thread.injects.end());
   }
   std::sort(profile.chunks.begin(), profile.chunks.end(),
             [](const ChunkEvent& a, const ChunkEvent& b) {
@@ -108,6 +125,19 @@ RunProfile TraceRecorder::finish(double region_s) {
   std::sort(profile.singles.begin(), profile.singles.end(),
             [](const SingleEvent& a, const SingleEvent& b) {
               return a.single_id < b.single_id;
+            });
+  // Stable by (time, tid): events at the same trace timestamp (common in
+  // virtual time, where a whole drain can share one instant) keep a
+  // deterministic order, which is what makes Sim fingerprints byte-stable.
+  std::sort(profile.cancels.begin(), profile.cancels.end(),
+            [](const CancelEvent& a, const CancelEvent& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s
+                                          : a.tid < b.tid;
+            });
+  std::sort(profile.injects.begin(), profile.injects.end(),
+            [](const InjectEvent& a, const InjectEvent& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s
+                                          : a.tid < b.tid;
             });
   return profile;
 }
@@ -295,6 +325,22 @@ std::string RunProfile::timeline_chart(int loop_id, int width) const {
         << steal.claim_order << " @ "
         << util::Table::num(steal.time_s * 1e3, 3) << " ms\n";
   }
+  // Cancel/inject legends are region-level (no loop id), so they print
+  // whatever loop the lanes show — the drain cuts across every loop.
+  for (const InjectEvent& inject : injects) {
+    out << "  inject " << inject.kind << " t" << inject.tid << " @ "
+        << util::Table::num(inject.time_s * 1e3, 3) << " ms";
+    if (inject.kind == "delay") {
+      out << " (" << util::Table::num(inject.delay_s * 1e3, 3) << " ms)";
+    }
+    out << "\n";
+  }
+  for (const CancelEvent& cancel : cancels) {
+    out << "  cancel t" << cancel.tid << " @ "
+        << util::Table::num(cancel.time_s * 1e3, 3) << " ms ("
+        << cancel.cause << ", " << cancel.completed_iterations
+        << " iters done)\n";
+  }
   return out.str();
 }
 
@@ -375,6 +421,24 @@ std::string RunProfile::to_json() const {
   for (std::size_t i = 0; i < singles.size(); ++i) {
     out << (i ? "," : "") << "{\"id\":" << singles[i].single_id
         << ",\"winner\":" << singles[i].winner_tid << "}";
+  }
+  out << "],\"cancels\":[";
+  for (std::size_t i = 0; i < cancels.size(); ++i) {
+    const CancelEvent& cancel = cancels[i];
+    out << (i ? "," : "") << "{\"tid\":" << cancel.tid << ",\"time_s\":";
+    append_json_number(out, cancel.time_s);
+    out << ",\"cause\":\"" << cancel.cause
+        << "\",\"completed_iterations\":" << cancel.completed_iterations
+        << "}";
+  }
+  out << "],\"injects\":[";
+  for (std::size_t i = 0; i < injects.size(); ++i) {
+    const InjectEvent& inject = injects[i];
+    out << (i ? "," : "") << "{\"tid\":" << inject.tid << ",\"time_s\":";
+    append_json_number(out, inject.time_s);
+    out << ",\"kind\":\"" << inject.kind << "\",\"delay_s\":";
+    append_json_number(out, inject.delay_s);
+    out << "}";
   }
   out << "],\"per_thread\":[";
   const std::vector<ThreadProfile> threads = per_thread();

@@ -87,6 +87,26 @@ struct SingleEvent {
   int winner_tid = 0;
 };
 
+/// One team member observing the region's cancellation at a chunk-claim
+/// boundary. Only members that reach a poll point after the fire record
+/// one (a member parked at the aborted end-of-region barrier drains
+/// without an event); at most one per member per region.
+struct CancelEvent {
+  int tid = 0;
+  double time_s = 0.0;    // when the member observed it, on the trace clock
+  std::string cause;      // to_string(CancelCause): "token" / "deadline"
+  std::int64_t completed_iterations = 0;  // this member's progress so far
+};
+
+/// One ChaosPlan injection at a chunk-claim boundary: `kind` is "delay"
+/// (the member stalled `delay_s`) or "throw" (ChaosInjected was raised).
+struct InjectEvent {
+  int tid = 0;
+  double time_s = 0.0;
+  std::string kind;
+  double delay_s = 0.0;  // 0 for throws
+};
+
 /// Per-thread aggregate of a RunProfile.
 struct ThreadProfile {
   int tid = 0;
@@ -117,6 +137,8 @@ struct RunProfile {
   std::vector<BarrierEvent> barriers;
   std::vector<CriticalEvent> criticals;
   std::vector<SingleEvent> singles;
+  std::vector<CancelEvent> cancels;  // sorted by time_s
+  std::vector<InjectEvent> injects;  // sorted by time_s
 
   /// Aggregates indexed by tid.
   std::vector<ThreadProfile> per_thread() const;
@@ -147,7 +169,10 @@ struct RunProfile {
   /// Dots are time outside any chunk of the selected loop (waiting at
   /// the tail barrier, claiming, or running other code). Steal-schedule
   /// loops append one legend line per migration ("steal t2<-t0 ...") so
-  /// the chunk marked with that claim order can be traced to its victim.
+  /// the chunk marked with that claim order can be traced to its victim;
+  /// cancelled or chaos-injected regions append one legend line per
+  /// CancelEvent ("cancel t1 ...") and InjectEvent ("inject delay t0
+  /// ...") so the drain is visible next to the lanes it cut short.
   std::string timeline_chart(int loop_id = -1, int width = 64) const;
 
   /// Machine-readable exports (schema identical across backends).
@@ -187,6 +212,10 @@ class TraceRecorder {
   void record_critical(int tid, double request_s, double acquire_s,
                        double release_s);
   void record_single_winner(int tid, int single_id);
+  void record_cancel(int tid, double time_s, const std::string& cause,
+                     std::int64_t completed_iterations);
+  void record_inject(int tid, double time_s, const std::string& kind,
+                     double delay_s);
 
   /// Merge all buffers into a profile; `region_s` is the region duration
   /// on this recorder's clock.
@@ -202,6 +231,8 @@ class TraceRecorder {
     std::vector<BarrierEvent> barriers;
     std::vector<CriticalEvent> criticals;
     std::vector<SingleEvent> singles;
+    std::vector<CancelEvent> cancels;
+    std::vector<InjectEvent> injects;
   };
 
   TraceClock clock_;

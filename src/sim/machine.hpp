@@ -136,7 +136,18 @@ class ScopedLock {
   ScopedLock(Context& ctx, MutexHandle handle) : ctx_(&ctx), handle_(handle) {
     ctx_->lock(handle_);
   }
-  ~ScopedLock() { ctx_->unlock(handle_); }
+  /// Unlock must never throw out of a destructor: when the machine is
+  /// aborting, Context::unlock itself raises Aborted, and this destructor
+  /// often runs while another Aborted (thrown from a blocking call made
+  /// under the lock) is already unwinding — a second throw would be
+  /// std::terminate. The machine resets all mutex state between runs, so
+  /// swallowing the teardown signal here loses nothing.
+  ~ScopedLock() {
+    try {
+      ctx_->unlock(handle_);
+    } catch (const Aborted&) {
+    }
+  }
   ScopedLock(const ScopedLock&) = delete;
   ScopedLock& operator=(const ScopedLock&) = delete;
 

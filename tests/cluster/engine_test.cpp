@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -200,6 +202,110 @@ TEST(ClusterEngineTest, Validation) {
   bad.heartbeat_timeout_s = 0.5;
   EXPECT_THROW(run_sim_cluster(2, index_tasks(1), square_task(0.0), bad),
                util::PreconditionError);
+}
+
+TEST(ClusterEngineTest, JobDeadlineCancelsTheRemainderDeterministically) {
+  // Calibrate against an unconstrained run so the deadline lands mid-job
+  // regardless of the machine model's absolute speed.
+  const SimClusterRun clean =
+      run_sim_cluster(3, index_tasks(8), square_task(2e7));
+  ASSERT_FALSE(clean.job_cancelled);
+  EXPECT_TRUE(clean.incomplete_tasks.empty());
+
+  ClusterOptions options;
+  options.job_deadline_s = clean.profile.stats.completion_s / 2.0;
+  const auto run_once = [&options] {
+    return run_sim_cluster(3, index_tasks(8), square_task(2e7), options);
+  };
+  const SimClusterRun run = run_once();
+  EXPECT_TRUE(run.job_cancelled);
+  ASSERT_FALSE(run.incomplete_tasks.empty());
+  EXPECT_LT(run.incomplete_tasks.size(), 8u);
+  EXPECT_EQ(run.profile.stats.cancelled_tasks,
+            static_cast<int>(run.incomplete_tasks.size()));
+  // Tasks that finished before the deadline keep their results; the
+  // cancelled ones come back empty.
+  for (std::size_t t = 0; t < run.results.size(); ++t) {
+    const bool incomplete =
+        std::find(run.incomplete_tasks.begin(), run.incomplete_tasks.end(),
+                  static_cast<int>(t)) != run.incomplete_tasks.end();
+    if (incomplete) {
+      EXPECT_TRUE(run.results[t].empty()) << "task " << t;
+    } else {
+      Reader reader(run.results[t]);
+      EXPECT_EQ(reader.i32(), static_cast<std::int32_t>(t * t))
+          << "task " << t;
+    }
+  }
+  const std::string log = run.profile.event_log();
+  EXPECT_NE(log.find("job-deadline"), std::string::npos) << log;
+  EXPECT_NE(log.find("cancel"), std::string::npos) << log;
+  EXPECT_NE(run.profile.summary().find("cancelled at the job deadline"),
+            std::string::npos);
+  EXPECT_NE(run.profile.to_json().find("\"cancelled_tasks\""),
+            std::string::npos);
+
+  // Same deadline, same tasks: the drained schedule is bit-identical.
+  const SimClusterRun again = run_once();
+  EXPECT_EQ(run.profile.event_log(), again.profile.event_log());
+  EXPECT_EQ(run.profile.to_json(), again.profile.to_json());
+  EXPECT_EQ(run.results, again.results);
+  EXPECT_EQ(run.incomplete_tasks, again.incomplete_tasks);
+}
+
+TEST(ClusterEngineTest, SerialRunHonoursTheJobDeadlineBetweenTasks) {
+  const SimClusterRun clean =
+      run_sim_cluster(1, index_tasks(4), square_task(1e7));
+  ClusterOptions options;
+  options.job_deadline_s = clean.profile.stats.completion_s / 2.0;
+  const SimClusterRun run =
+      run_sim_cluster(1, index_tasks(4), square_task(1e7), options);
+  EXPECT_TRUE(run.job_cancelled);
+  ASSERT_FALSE(run.incomplete_tasks.empty());
+  // The task already in flight when the deadline passed still completed:
+  // the serial path only polls between tasks.
+  EXPECT_LT(run.incomplete_tasks.size(), 4u);
+  Reader reader(run.results[0]);
+  EXPECT_EQ(reader.i32(), 0);
+  EXPECT_NE(run.profile.event_log().find("job-deadline"), std::string::npos);
+}
+
+TEST(ClusterFaultPlanTest, ValidateRejectsMalformedPlans) {
+  FaultPlan ok;
+  ok.crashes.push_back(CrashFault{1, 0});
+  ok.stragglers.push_back(StragglerFault{2, 10.0});
+  ok.drops.push_back(DropResultFault{3, 1});
+  ok.delay_jitter_s = 1e-3;
+  EXPECT_NO_THROW(ok.validate());
+
+  FaultPlan negative_rank;
+  negative_rank.crashes.push_back(CrashFault{-1, 0});
+  EXPECT_THROW(negative_rank.validate(), util::PreconditionError);
+
+  FaultPlan duplicate;
+  duplicate.crashes.push_back(CrashFault{1, 0});
+  duplicate.crashes.push_back(CrashFault{1, 2});
+  EXPECT_THROW(duplicate.validate(), util::PreconditionError);
+
+  FaultPlan jitter;
+  jitter.delay_jitter_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(jitter.validate(), util::PreconditionError);
+
+  FaultPlan slowdown;
+  slowdown.stragglers.push_back(StragglerFault{1, 0.0});
+  EXPECT_THROW(slowdown.validate(), util::PreconditionError);
+
+  FaultPlan drop;
+  drop.drops.push_back(DropResultFault{1, -1});
+  EXPECT_THROW(drop.validate(), util::PreconditionError);
+}
+
+TEST(ClusterEngineTest, MalformedFaultPlanIsRejectedBeforeTheRunStarts) {
+  FaultPlan faults;
+  faults.crashes.push_back(CrashFault{-2, 0});
+  EXPECT_THROW(
+      run_sim_cluster(2, index_tasks(1), square_task(0.0), {}, &faults),
+      util::PreconditionError);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
+
+#include "rt/cancel.hpp"
 
 #include "util/error.hpp"
 #include "util/text.hpp"
@@ -247,6 +250,77 @@ TEST(MeanPerKeyTest, Averages) {
   std::map<std::string, double> lookup(means.begin(), means.end());
   EXPECT_DOUBLE_EQ(lookup["quiz"], 9.0);
   EXPECT_DOUBLE_EQ(lookup["exam"], 80.0);
+}
+
+/// Burn real host time so a wall-clock deadline can land mid-map.
+void spin(int iters) {
+  volatile int sink = 0;
+  for (int i = 0; i < iters; ++i) {
+    sink = sink + i;
+  }
+}
+
+Job<int, int, int, int> heavy_counting_job() {
+  Job<int, int, int, int> job;
+  job.threads(4)
+      .map([](const int&, const int&, Emitter<int, int>& out) {
+        spin(50000);
+        out.emit(0, 1);
+      })
+      .reduce([](const int&, const std::vector<int>& vs) {
+        int sum = 0;
+        for (const int v : vs) {
+          sum += v;
+        }
+        return sum;
+      });
+  return job;
+}
+
+TEST(JobTest, DeadlineValidationRejectsNonPositiveBudgets) {
+  Job<int, int, int, int> job;
+  EXPECT_THROW(job.deadline(0.0), util::PreconditionError);
+  EXPECT_THROW(job.deadline(-1.0), util::PreconditionError);
+}
+
+TEST(JobTest, RunReportIsBenignWithoutADeadline) {
+  auto job = heavy_counting_job();
+  RunReport report;
+  const std::vector<std::pair<int, int>> inputs(16, {0, 1});
+  const auto output = job.run(inputs, &report);
+  ASSERT_EQ(output.size(), 1u);
+  EXPECT_EQ(output[0].second, 16);
+  EXPECT_FALSE(report.deadline_hit);
+  EXPECT_EQ(report.mapped_records, 16);
+  EXPECT_EQ(report.total_records, 16);
+}
+
+TEST(JobTest, AbortDeadlinePolicyThrowsCancelled) {
+  auto job = heavy_counting_job();
+  job.deadline(0.002);  // DeadlinePolicy::Abort is the default
+  // ~4000 records x tens of microseconds each >> 2 ms, so the deadline
+  // reliably fires during the map phase.
+  const std::vector<std::pair<int, int>> inputs(4000, {0, 1});
+  EXPECT_THROW(job.run(inputs), rt::Cancelled);
+}
+
+TEST(JobTest, SalvageDeadlinePolicyKeepsEveryCompletedRecord) {
+  auto job = heavy_counting_job();
+  job.deadline(0.005, DeadlinePolicy::Salvage);
+  const std::vector<std::pair<int, int>> inputs(4000, {0, 1});
+  RunReport report;
+  const auto output = job.run(inputs, &report);
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_EQ(report.total_records, 4000);
+  EXPECT_LT(report.mapped_records, report.total_records);
+  // Records never tear: each mapped record contributed exactly one
+  // ("0", 1) pair, so the reduced count equals the salvaged record count.
+  std::int64_t total = 0;
+  for (const auto& [key, count] : output) {
+    EXPECT_EQ(key, 0);
+    total += count;
+  }
+  EXPECT_EQ(total, report.mapped_records);
 }
 
 }  // namespace

@@ -192,6 +192,25 @@ TEST(PointToPointTest, TimedRecvReturnsFalseInsteadOfThrowing) {
   });
 }
 
+TEST(PointToPointTest, ZeroTimeoutRecvIsANonBlockingPoll) {
+  World::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 9, 7);
+    } else {
+      RawMessage msg;
+      // Poll until the in-flight message lands; every call returns
+      // immediately, matched or not.
+      while (!comm.recv_raw_timed(0, 9, 0.0, &msg)) {
+      }
+      EXPECT_EQ(msg.tag, 9);
+      // Mailbox drained: a zero timeout reports false at once instead of
+      // blocking, and a past deadline (negative timeout) behaves the same.
+      EXPECT_FALSE(comm.recv_raw_timed(0, 9, 0.0, &msg));
+      EXPECT_FALSE(comm.recv_raw_timed(0, 9, -1.0, &msg));
+    }
+  });
+}
+
 TEST(PointToPointTest, SendRecvRingShiftDoesNotDeadlock) {
   World::run(4, [](Comm& comm) {
     const int next = (comm.rank() + 1) % comm.size();

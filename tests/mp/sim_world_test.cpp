@@ -138,6 +138,28 @@ TEST(SimWorldTest, TimedRecvTimesOutAdvancingVirtualTime) {
       fast_net());
 }
 
+TEST(SimWorldTest, ZeroAndNegativeTimeoutRecvIsAPoll) {
+  SimWorld::run(
+      2,
+      [](SimComm& comm) {
+        if (comm.rank() == 0) {
+          RawMessage msg;
+          // Rank 0 (the root thread) runs first, so nothing has been
+          // sent yet: a zero (or negative, clamped) timeout scans the
+          // inbox once, yields one deterministic scheduler step, and
+          // reports false instead of blocking or throwing.
+          EXPECT_FALSE(comm.recv_raw_timed(1, 5, 0.0, &msg));
+          EXPECT_FALSE(comm.recv_raw_timed(1, 5, -0.5, &msg));
+          EXPECT_EQ(comm.recv<int>(1, 5), 42);
+          // Drained inbox: the poll still reports false immediately.
+          EXPECT_FALSE(comm.recv_raw_timed(1, 5, 0.0, &msg));
+        } else {
+          comm.send(0, 5, 42);
+        }
+      },
+      fast_net());
+}
+
 TEST(SimWorldTest, TimedRecvDeliversAMessageBeforeTheDeadline) {
   SimWorld::run(
       2,
