@@ -16,6 +16,7 @@
 namespace pblpar::rt {
 
 struct RunProfile;
+class RegionObserver;
 
 /// Number of hardware threads on the host, never less than 1 (the
 /// standard allows hardware_concurrency() to return 0 when unknown).
@@ -82,6 +83,15 @@ struct ParallelConfig {
   /// (the default) = off with zero polling overhead.
   ChaosPlan chaos;
 
+  /// Live progress observer (see rt::RegionObserver in rt/trace.hpp): the
+  /// host backend attaches the region's TraceRecorder at launch so
+  /// observer->snapshot() samples per-thread counters mid-region through
+  /// wait-free seqlocks — workers never block for an observer. Requires
+  /// record_trace (observed() sets it). Host backend only; the Sim
+  /// backend ignores it (a virtual-time region has no meaningful "while
+  /// it runs" for a real-time observer to sample).
+  std::shared_ptr<RegionObserver> observer;
+
   /// Copy of this config with tracing switched on.
   ParallelConfig traced() const {
     ParallelConfig config = *this;
@@ -123,6 +133,19 @@ struct ParallelConfig {
     plan.validate();
     ParallelConfig config = *this;
     config.chaos = plan;
+    return config;
+  }
+
+  /// Copy of this config that publishes live per-thread progress to
+  /// `observer` while the region runs (host backend). Implies tracing —
+  /// the observer samples the trace recorder's wait-free counters.
+  ParallelConfig observed(std::shared_ptr<RegionObserver> region_observer)
+      const {
+    util::require(region_observer != nullptr,
+                  "ParallelConfig::observed: observer must not be null");
+    ParallelConfig config = *this;
+    config.observer = std::move(region_observer);
+    config.record_trace = true;
     return config;
   }
 

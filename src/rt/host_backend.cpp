@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "rt/cancel.hpp"
+#include "rt/steal_deque.hpp"
 #include "rt/trace.hpp"
 #include "util/error.hpp"
+
+#include <cassert>
 
 namespace pblpar::rt {
 
@@ -103,19 +106,22 @@ namespace {
 /// the course workloads.
 constexpr int kMaxWorksharing = 256;
 
-/// One thread's steal deque: its remaining chunk-index span per loop,
-/// guarded by a per-deque mutex. Spans default to empty, so a thief that
-/// scans a deque before its owner reached steal_install simply moves on —
-/// the owner still drains everything it later installs. Cache-line
-/// aligned: the owner hammers its own deque on every local pop, and with
-/// the deques now living for the whole process (the team is reused across
-/// regions) two owners sharing a line would pay false sharing on every
-/// chunk, not just within one region.
+/// One thread's steal deque: its remaining chunk-index span per loop as a
+/// lock-free Chase–Lev deque (see rt/steal_deque.hpp). Deques default to
+/// empty, so a thief that scans one before its owner reached
+/// steal_install simply moves on — the owner still drains everything it
+/// later installs. `chunks` caches the loop's chunk size, hoisted once in
+/// steal_install so the claim fast path never repeats the division; it is
+/// owner-written before the owner's first claim and owner-read only.
+/// Cache-line aligned: the owner hammers its own deque on every local
+/// pop, and with the deques living for the whole process (the team is
+/// reused across regions) two owners sharing a line would pay false
+/// sharing on every chunk, not just within one region.
 struct alignas(kCacheLineBytes) StealDeque {
-  std::mutex mu;
-  std::array<StealSpan, kMaxWorksharing> spans;
-  /// Spans [0, dirty) may be stale from an earlier region; freshly built
-  /// deques start clean. Guarded by the team reset protocol, not mu.
+  std::array<ChaseLevSpan, kMaxWorksharing> spans;
+  std::array<std::int64_t, kMaxWorksharing> chunks{};
+  /// Deques [0, dirty) may be stale from an earlier region; freshly built
+  /// deques start clean. Guarded by the team reset protocol.
   int dirty = 0;
 };
 
@@ -176,9 +182,13 @@ struct HostTeam {
       if (deque.dirty == 0) {
         continue;
       }
-      std::lock_guard guard(deque.mu);
-      std::fill(deque.spans.begin(), deque.spans.begin() + deque.dirty,
-                StealSpan{});
+      // Plain relaxed clears: the deque is quiescent (every member of the
+      // previous region has exited, observed by the pool before reset),
+      // and the pool's generation handoff publishes these stores to the
+      // next region's members before any of them runs.
+      for (int id = 0; id < deque.dirty; ++id) {
+        deque.spans[static_cast<std::size_t>(id)].clear();
+      }
       deque.dirty = 0;
     }
   }
@@ -333,37 +343,52 @@ class HostTeamContext final : public TeamContext {
     const std::int64_t chunk =
         steal_chunk_size(schedule, total, team_->num_threads);
     StealDeque& mine = *team_->steal_deques[static_cast<std::size_t>(tid_)];
-    std::lock_guard guard(mine.mu);
-    mine.spans[static_cast<std::size_t>(loop_id)] =
-        steal_initial_span(total, chunk, team_->num_threads, tid_);
+    // Hoist the chunk size per (loop_id, region): every later claim —
+    // including every failed victim probe — reads this cache instead of
+    // redoing the division. Owner-written, owner-read; the chunk size is
+    // a pure function of (schedule, total, num_threads), identical on
+    // every member, so each owner's cache agrees with every thief's.
+    mine.chunks[static_cast<std::size_t>(loop_id)] = chunk;
+    mine.spans[static_cast<std::size_t>(loop_id)].install(
+        steal_initial_span(total, chunk, team_->num_threads, tid_));
   }
 
   StealClaim steal_next(int loop_id, std::int64_t total,
                         const Schedule& schedule) override {
     util::require(loop_id >= 0 && loop_id < kMaxWorksharing,
                   "TeamContext::steal_next: too many worksharing loops");
+    StealDeque& mine = *team_->steal_deques[static_cast<std::size_t>(tid_)];
     const std::int64_t chunk =
-        steal_chunk_size(schedule, total, team_->num_threads);
+        mine.chunks[static_cast<std::size_t>(loop_id)];
+    // Regression guard (debug builds): the hoisted value must match what
+    // the per-claim recomputation would have produced.
+    assert(chunk == steal_chunk_size(schedule, total, team_->num_threads));
+    (void)schedule;
     // Own deque first: pop the lowest chunk index, an ascending walk of
-    // our block (the LIFO end relative to how the block was dealt).
-    {
-      StealDeque& mine = *team_->steal_deques[static_cast<std::size_t>(tid_)];
-      std::lock_guard guard(mine.mu);
-      StealSpan& span = mine.spans[static_cast<std::size_t>(loop_id)];
-      if (!span.empty()) {
-        return steal_claim_for(span.lo++, chunk, total, tid_);
-      }
+    // our block (the LIFO end relative to how the block was dealt). The
+    // owner-side take is wait-free except when racing a thief for the
+    // very last element.
+    std::int64_t chunk_index = 0;
+    if (mine.spans[static_cast<std::size_t>(loop_id)].take(&chunk_index)) {
+      return steal_claim_for(chunk_index, chunk, total, tid_);
     }
     // Then scan peers round-robin starting at our right-hand neighbour,
-    // taking from the FIFO end — the chunk the victim would reach last.
+    // stealing from the FIFO end — the chunk the victim would reach last.
+    // A lost CAS means some other claimant took a chunk from this victim;
+    // retry the same deque, since it may still hold more.
     for (int k = 1; k < team_->num_threads; ++k) {
       const int victim = (tid_ + k) % team_->num_threads;
-      StealDeque& theirs =
-          *team_->steal_deques[static_cast<std::size_t>(victim)];
-      std::lock_guard guard(theirs.mu);
-      StealSpan& span = theirs.spans[static_cast<std::size_t>(loop_id)];
-      if (!span.empty()) {
-        return steal_claim_for(--span.hi, chunk, total, victim);
+      ChaseLevSpan& theirs =
+          team_->steal_deques[static_cast<std::size_t>(victim)]
+              ->spans[static_cast<std::size_t>(loop_id)];
+      for (;;) {
+        const StealOutcome outcome = theirs.steal(&chunk_index);
+        if (outcome == StealOutcome::kGot) {
+          return steal_claim_for(chunk_index, chunk, total, victim);
+        }
+        if (outcome == StealOutcome::kEmpty) {
+          break;
+        }
       }
     }
     return StealClaim{total, 0, tid_};
@@ -410,6 +435,28 @@ void run_member(HostTeam& team, int tid,
   }
 }
 
+/// RAII attach of a config's RegionObserver to the region's recorder.
+/// Declared after the recorder in both launch paths, so destruction
+/// detaches (blocking out in-flight snapshot readers) strictly before
+/// the recorder dies.
+struct ObserverAttach {
+  RegionObserver* observer = nullptr;
+
+  ObserverAttach(const ParallelConfig& config, TraceRecorder* recorder) {
+    if (config.observer != nullptr && recorder != nullptr) {
+      observer = config.observer.get();
+      observer->attach(recorder);
+    }
+  }
+  ~ObserverAttach() {
+    if (observer != nullptr) {
+      observer->detach();
+    }
+  }
+  ObserverAttach(const ObserverAttach&) = delete;
+  ObserverAttach& operator=(const ObserverAttach&) = delete;
+};
+
 RunResult finish_region(std::vector<std::exception_ptr>& errors,
                         std::chrono::steady_clock::time_point start,
                         std::chrono::steady_clock::time_point end,
@@ -454,6 +501,7 @@ RunResult host_parallel_spawn(const ParallelConfig& config,
         std::make_unique<TraceRecorder>(num_threads, TraceClock::HostSteady);
     team.tracer = recorder.get();
   }
+  ObserverAttach observer_attach(config, recorder.get());
   std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
       config.cancel_token, config.deadline_s, config.chaos, num_threads);
   if (governor != nullptr) {
@@ -553,6 +601,7 @@ class TeamPool {
       recorder = std::make_unique<TraceRecorder>(num_threads,
                                                  TraceClock::HostSteady);
     }
+    ObserverAttach observer_attach(config, recorder.get());
     std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
         config.cancel_token, config.deadline_s, config.chaos, num_threads);
     if (governor != nullptr) {

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace pblpar::rt {
+
+/// Hand-made writer-preferring reader-writer lock built on a single
+/// 32-bit atomic word: the low 30 bits count active readers, bit 30 is
+/// "a writer is waiting", bit 31 is "a writer holds the lock".
+///
+/// Readers spin (with yield) while a writer holds or is waiting for the
+/// lock — the waiting bit is what makes writers preferred, so a stream
+/// of observers sampling trace stats can never starve the region's own
+/// bookkeeping writes. Writers set the waiting bit, then spin until the
+/// reader count drains to zero and CAS the word to "held".
+///
+/// Not reentrant: a thread that holds the lock in either mode must not
+/// acquire it again. Spinning (rather than parking on a futex/condvar)
+/// is the right trade here: critical sections are a few loads/stores
+/// long, and observers tolerate microsecond waits.
+class RwLock {
+ public:
+  void lock_shared() {
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & (kWriter | kWriterWaiting)) == 0) {
+        if (state_.compare_exchange_weak(s, s + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;  // CAS raced; re-read without yielding
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void lock() {
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & ~kWriterWaiting) == 0) {
+        // No writer held and no readers: try to take it. This also
+        // clears our waiting bit (other queued writers will re-set it).
+        if (state_.compare_exchange_weak(s, kWriter,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      if ((s & kWriterWaiting) == 0) {
+        state_.fetch_or(kWriterWaiting, std::memory_order_relaxed);
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void unlock() { state_.fetch_and(~kWriter, std::memory_order_release); }
+
+ private:
+  static constexpr std::uint32_t kWriter = 1u << 31;
+  static constexpr std::uint32_t kWriterWaiting = 1u << 30;
+
+  std::atomic<std::uint32_t> state_{0};
+};
+
+/// RAII shared (reader) guard for RwLock.
+class ReadLock {
+ public:
+  explicit ReadLock(RwLock& lock) : lock_(lock) { lock_.lock_shared(); }
+  ~ReadLock() { lock_.unlock_shared(); }
+  ReadLock(const ReadLock&) = delete;
+  ReadLock& operator=(const ReadLock&) = delete;
+
+ private:
+  RwLock& lock_;
+};
+
+/// RAII exclusive (writer) guard for RwLock.
+class WriteLock {
+ public:
+  explicit WriteLock(RwLock& lock) : lock_(lock) { lock_.lock(); }
+  ~WriteLock() { lock_.unlock(); }
+  WriteLock(const WriteLock&) = delete;
+  WriteLock& operator=(const WriteLock&) = delete;
+
+ private:
+  RwLock& lock_;
+};
+
+}  // namespace pblpar::rt

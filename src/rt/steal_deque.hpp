@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "rt/loops.hpp"
+
+namespace pblpar::rt {
+
+namespace detail {
+
+/// The algorithm's full barrier. GCC's ThreadSanitizer neither models
+/// std::atomic_thread_fence nor compiles it under -Werror=tsan; in
+/// instrumented builds a seq_cst RMW on a process-wide sync word is a
+/// drop-in replacement the tool understands exactly — the RMWs form a
+/// release sequence, so everything sequenced before one is visible to
+/// every later one — and is at least as strong on hardware.
+inline void full_fence() {
+#if defined(__SANITIZE_THREAD__)
+  static std::atomic<unsigned> sync{0};
+  sync.fetch_add(1, std::memory_order_seq_cst);
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace detail
+
+/// Outcome of a thief's attempt on one ChaseLevSpan.
+enum class StealOutcome {
+  kGot,    // the thief owns the returned chunk index
+  kEmpty,  // nothing left in this deque; move on to the next victim
+  kLost,   // lost a CAS race — someone else claimed a chunk; retry
+};
+
+/// Chase–Lev work-stealing deque specialised to a contiguous span of
+/// chunk indices [lo, hi).
+///
+/// The general Chase–Lev deque keeps a circular buffer between a bottom
+/// index the owner pushes/pops and a top index thieves CAS. A steal-
+/// schedule loop never pushes after install — each member's block of
+/// chunk indices is dealt once and only drained — so the buffer
+/// degenerates to the pair of bounds itself: the owner claims ascending
+/// indices by advancing `lo` (its LIFO end, a cache-friendly walk of its
+/// block), thieves claim descending indices by CASing `hi` down (the
+/// FIFO end, the chunk the owner would reach last). The memory-ordering
+/// skeleton is exactly Chase–Lev as made precise by Lê/Pop/Cohen/
+/// Zappa Nardelli (CPPmem-verified, PPoPP'13), with the roles of the two
+/// ends mirrored:
+///
+///   - the owner's claim is a relaxed reservation (`lo = l + 1`)
+///     followed by one seq_cst fence and a relaxed read of `hi`;
+///   - a thief reads `hi` then, after a seq_cst fence, `lo`, and commits
+///     with a single seq_cst CAS on `hi`;
+///   - only the last element is ever raced, and that race is resolved by
+///     the owner CASing `hi` itself — whoever moves `hi` owns the chunk.
+///
+/// Owner claims are therefore wait-free (no loops, no CAS except for the
+/// final element), and thieves are lock-free (a failed CAS means another
+/// claimant made progress). There is no element payload to protect: the
+/// "element" is the chunk index, and visibility of the loop's data is
+/// the job of the region's barriers, exactly as for the shared-counter
+/// schedules.
+class ChaseLevSpan {
+ public:
+  /// Publish a fresh span. Owner-side only; thieves that scan before the
+  /// install lands see the previous (cleared, empty) state. `lo` is
+  /// written first and `hi` released after it, so a thief that observes
+  /// the new `hi` also observes the matching `lo` and never steals from
+  /// a half-installed span.
+  void install(StealSpan span) {
+    lo_.store(span.lo, std::memory_order_relaxed);
+    hi_.store(span.hi, std::memory_order_release);
+  }
+
+  /// Reset to empty. Only valid while the deque is quiescent (the team
+  /// reset protocol: no member of the previous region still running).
+  void clear() {
+    lo_.store(0, std::memory_order_relaxed);
+    hi_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner-side claim of the lowest remaining chunk index. Returns false
+  /// when the deque is empty (or the final element was lost to a thief).
+  bool take(std::int64_t* chunk_index) {
+    const std::int64_t l = lo_.load(std::memory_order_relaxed);
+    lo_.store(l + 1, std::memory_order_relaxed);
+    // The single fence of the algorithm: the optimistic reservation of
+    // `lo` must be globally visible before `hi` is read, or a thief and
+    // the owner could both conclude the other end still holds the last
+    // element and claim it twice.
+    detail::full_fence();
+    std::int64_t h = hi_.load(std::memory_order_relaxed);
+    if (l + 1 < h) {
+      // At least two elements remained; the reservation can't have raced
+      // anything — thieves only ever contend for the very last one.
+      *chunk_index = l;
+      return true;
+    }
+    if (l < h) {
+      // Exactly one element remained and a thief may be CASing `hi` for
+      // it right now. Settle the race on `hi` itself: whoever moves it
+      // from h to h - 1 owns the element. Either way `lo` is restored so
+      // the deque ends in the canonical empty state lo == hi.
+      const bool won =
+          hi_.compare_exchange_strong(h, h - 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed);
+      lo_.store(l, std::memory_order_relaxed);
+      if (won) {
+        *chunk_index = l;
+        return true;
+      }
+      return false;
+    }
+    // Already empty; undo the reservation.
+    lo_.store(l, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Thief-side claim of the highest remaining chunk index.
+  StealOutcome steal(std::int64_t* chunk_index) {
+    std::int64_t h = hi_.load(std::memory_order_acquire);
+    // Mirror of the owner's fence: `hi` must be read before `lo`, or a
+    // stale `lo` paired with a fresh `hi` could make a drained deque
+    // look one element long.
+    detail::full_fence();
+    const std::int64_t l = lo_.load(std::memory_order_acquire);
+    if (l >= h) {
+      return StealOutcome::kEmpty;
+    }
+    if (hi_.compare_exchange_strong(h, h - 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+      *chunk_index = h - 1;
+      return StealOutcome::kGot;
+    }
+    // Another thief (or the owner resolving the last-element race) moved
+    // `hi` first; the system made progress, so just retry.
+    return StealOutcome::kLost;
+  }
+
+ private:
+  std::atomic<std::int64_t> lo_{0};  // owner end: next index the owner claims
+  std::atomic<std::int64_t> hi_{0};  // thief end: one past the last index
+};
+
+}  // namespace pblpar::rt

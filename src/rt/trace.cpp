@@ -1,8 +1,10 @@
 #include "rt/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "util/error.hpp"
 
@@ -24,14 +26,18 @@ std::string to_string(TraceClock clock) {
 // --- TraceRecorder ---------------------------------------------------------
 
 TraceRecorder::TraceRecorder(int num_threads, TraceClock clock)
-    : clock_(clock), num_threads_(num_threads) {
+    : clock_(clock),
+      num_threads_(num_threads),
+      // Sized at construction: PerThread holds atomics (the seqlock'd live
+      // counters) so it is neither movable nor copyable, and vector(n)
+      // builds the blocks in place.
+      threads_(static_cast<std::size_t>(std::max(num_threads, 1))) {
   util::require(num_threads >= 1, "TraceRecorder: need at least one thread");
-  threads_.resize(static_cast<std::size_t>(num_threads));
 }
 
 void TraceRecorder::register_loop(int loop_id, const std::string& schedule,
                                   std::int64_t total) {
-  std::lock_guard guard(loops_mu_);
+  WriteLock guard(loops_lock_);
   for (const LoopInfo& info : loops_) {
     if (info.loop_id == loop_id) {
       return;
@@ -40,35 +46,62 @@ void TraceRecorder::register_loop(int loop_id, const std::string& schedule,
   loops_.push_back(LoopInfo{loop_id, schedule, total});
 }
 
+namespace {
+
+/// Relaxed add into a seqlock'd live counter: atomicity is only needed so
+/// a concurrent snapshot reader gets a defined (possibly stale) value —
+/// the surrounding publish() brackets give the consistency.
+template <class T>
+void live_add(std::atomic<T>& counter, T delta) {
+  counter.store(counter.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+}
+
+}  // namespace
+
 void TraceRecorder::record_chunk(int tid, int loop_id, std::int64_t begin,
                                  std::int64_t end, std::uint64_t claim_order,
                                  double start_s, double end_s) {
-  threads_[static_cast<std::size_t>(tid)].chunks.push_back(
+  PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+  thread.chunks.push_back(
       ChunkEvent{loop_id, tid, begin, end, claim_order, start_s, end_s});
+  thread.publish([&] {
+    live_add(thread.live_iterations, end - begin);
+    live_add(thread.live_chunks, std::uint64_t{1});
+  });
 }
 
 void TraceRecorder::record_steal(int thief_tid, int loop_id, int victim_tid,
                                  std::int64_t begin, std::int64_t end,
                                  std::uint64_t claim_order, double time_s) {
-  threads_[static_cast<std::size_t>(thief_tid)].steals.push_back(StealEvent{
+  PerThread& thread = threads_[static_cast<std::size_t>(thief_tid)];
+  thread.steals.push_back(StealEvent{
       loop_id, thief_tid, victim_tid, begin, end, claim_order, time_s});
+  thread.publish([&] {
+    live_add(thread.live_stolen_iterations, end - begin);
+    live_add(thread.live_steals, std::uint64_t{1});
+  });
 }
 
 void TraceRecorder::record_barrier(int tid, double arrive_s,
                                    double release_s) {
-  threads_[static_cast<std::size_t>(tid)].barriers.push_back(
-      BarrierEvent{tid, arrive_s, release_s});
+  PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+  thread.barriers.push_back(BarrierEvent{tid, arrive_s, release_s});
+  thread.publish([&] { live_add(thread.live_barriers, std::uint64_t{1}); });
 }
 
 void TraceRecorder::record_critical(int tid, double request_s,
                                     double acquire_s, double release_s) {
-  threads_[static_cast<std::size_t>(tid)].criticals.push_back(
+  PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+  thread.criticals.push_back(
       CriticalEvent{tid, request_s, acquire_s, release_s});
+  thread.publish([&] { live_add(thread.live_criticals, std::uint64_t{1}); });
 }
 
 void TraceRecorder::record_single_winner(int tid, int single_id) {
-  threads_[static_cast<std::size_t>(tid)].singles.push_back(
-      SingleEvent{single_id, tid});
+  PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+  thread.singles.push_back(SingleEvent{single_id, tid});
+  thread.publish([&] { live_add(thread.live_singles, std::uint64_t{1}); });
 }
 
 void TraceRecorder::record_cancel(int tid, double time_s,
@@ -90,7 +123,7 @@ RunProfile TraceRecorder::finish(double region_s) {
   profile.num_threads = num_threads_;
   profile.region_s = region_s;
   {
-    std::lock_guard guard(loops_mu_);
+    ReadLock guard(loops_lock_);
     profile.loops = loops_;
   }
   std::sort(profile.loops.begin(), profile.loops.end(),
@@ -140,6 +173,111 @@ RunProfile TraceRecorder::finish(double region_s) {
                                           : a.tid < b.tid;
             });
   return profile;
+}
+
+LiveSnapshot TraceRecorder::live_snapshot() const {
+  LiveSnapshot snapshot;
+  snapshot.active = true;
+  snapshot.num_threads = num_threads_;
+  snapshot.threads.resize(static_cast<std::size_t>(num_threads_));
+  for (int tid = 0; tid < num_threads_; ++tid) {
+    const PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+    LiveThreadCounters& out = snapshot.threads[static_cast<std::size_t>(tid)];
+    out.tid = tid;
+    // Seqlock read: bracket the relaxed counter loads between two reads
+    // of the sequence. An odd v1 means the owner is mid-publish — yield
+    // and retry; a changed v2 means a publish landed during the reads —
+    // the possibly-mixed values are discarded and the read retried. The
+    // owning worker never waits for us.
+    for (;;) {
+      const std::uint64_t v1 =
+          thread.live_seq.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      out.iterations =
+          thread.live_iterations.load(std::memory_order_relaxed);
+      out.stolen_iterations =
+          thread.live_stolen_iterations.load(std::memory_order_relaxed);
+      out.chunks = thread.live_chunks.load(std::memory_order_relaxed);
+      out.steals = thread.live_steals.load(std::memory_order_relaxed);
+      out.barriers = thread.live_barriers.load(std::memory_order_relaxed);
+      out.criticals = thread.live_criticals.load(std::memory_order_relaxed);
+      out.singles_won = thread.live_singles.load(std::memory_order_relaxed);
+      // Order the data loads before the recheck; paired with the
+      // publisher's acq_rel open-bracket, an unchanged v2 proves no write
+      // section overlapped the loads.
+#if defined(__SANITIZE_THREAD__)
+      // GCC's TSan neither models a bare fence nor compiles one under
+      // -Werror=tsan; an acq_rel RMW recheck keeps the data loads
+      // ordered before it and is modelled exactly. Reader-side and
+      // sanitizer-builds only — the writer's wait-free publish path is
+      // untouched in production.
+      // The const_cast is sound: an atomic RMW of zero is a pure
+      // synchronization operation, not a logical mutation.
+      if (const_cast<std::atomic<std::uint64_t>&>(thread.live_seq)
+              .fetch_add(0, std::memory_order_acq_rel) == v1) {
+        break;
+      }
+#else
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (thread.live_seq.load(std::memory_order_relaxed) == v1) {
+        break;
+      }
+#endif
+    }
+  }
+  return snapshot;
+}
+
+// --- LiveSnapshot ----------------------------------------------------------
+
+std::int64_t LiveSnapshot::total_iterations() const {
+  std::int64_t total = 0;
+  for (const LiveThreadCounters& thread : threads) {
+    total += thread.iterations;
+  }
+  return total;
+}
+
+std::uint64_t LiveSnapshot::total_chunks() const {
+  std::uint64_t total = 0;
+  for (const LiveThreadCounters& thread : threads) {
+    total += thread.chunks;
+  }
+  return total;
+}
+
+std::uint64_t LiveSnapshot::total_steals() const {
+  std::uint64_t total = 0;
+  for (const LiveThreadCounters& thread : threads) {
+    total += thread.steals;
+  }
+  return total;
+}
+
+// --- RegionObserver --------------------------------------------------------
+
+LiveSnapshot RegionObserver::snapshot() const {
+  // Reader side of the handover lock: holding it pins the recorder —
+  // detach() (a writer) cannot complete until every in-flight snapshot
+  // drains, so the pointer stays valid for the whole sample.
+  ReadLock guard(lock_);
+  if (recorder_ == nullptr) {
+    return LiveSnapshot{};
+  }
+  return recorder_->live_snapshot();
+}
+
+void RegionObserver::attach(const TraceRecorder* recorder) {
+  WriteLock guard(lock_);
+  recorder_ = recorder;
+}
+
+void RegionObserver::detach() {
+  WriteLock guard(lock_);
+  recorder_ = nullptr;
 }
 
 // --- RunProfile aggregates -------------------------------------------------

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "rt/rwlock.hpp"
 #include "rt/team.hpp"
 #include "util/table.hpp"
 
@@ -183,12 +183,44 @@ struct RunProfile {
   std::string summary() const;
 };
 
+/// One thread's live counters as sampled mid-region by an observer; a
+/// consistent cut of that thread's bookkeeping (iterations never ahead of
+/// the chunks that produced them).
+struct LiveThreadCounters {
+  int tid = 0;
+  std::int64_t iterations = 0;
+  std::int64_t stolen_iterations = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t criticals = 0;
+  std::uint64_t singles_won = 0;
+};
+
+/// Mid-region progress sample. `active` is false when no traced region
+/// was running at sample time (then `threads` is empty).
+struct LiveSnapshot {
+  bool active = false;
+  int num_threads = 0;
+  std::vector<LiveThreadCounters> threads;
+
+  std::int64_t total_iterations() const;
+  std::uint64_t total_chunks() const;
+  std::uint64_t total_steals() const;
+};
+
 /// Collector the backends write events into while a region runs.
 ///
 /// Hot-path discipline: per-thread event buffers (no shared mutable state
 /// on record_chunk/record_barrier/record_critical), one relaxed atomic
 /// fetch_add for the claim order. The cold register_loop path takes a
-/// mutex. finish() must only be called after every member joined.
+/// writer lock. finish() must only be called after every member joined.
+///
+/// Each record_* additionally publishes into a per-thread seqlock'd
+/// counter block so live_snapshot() can read mid-region progress without
+/// ever blocking a worker: the writer side is two wait-free fetch_adds
+/// around a handful of relaxed stores, and only the (observer) reader
+/// loops.
 class TraceRecorder {
  public:
   TraceRecorder(int num_threads, TraceClock clock);
@@ -221,10 +253,22 @@ class TraceRecorder {
   /// on this recorder's clock.
   RunProfile finish(double region_s);
 
+  /// Consistent mid-region sample of every thread's counters. Safe to
+  /// call from any thread while members are recording; workers never
+  /// block or retry for it — the reader does all the waiting.
+  LiveSnapshot live_snapshot() const;
+
  private:
   /// Cache-line aligned: every record_* call appends to its own thread's
   /// buffers, and adjacent threads' vector headers sharing a line would
   /// make a traced run measure false sharing instead of the program.
+  ///
+  /// The live_* block is a seqlock: live_seq is odd while the owning
+  /// thread updates, and readers retry until they bracket a stable even
+  /// value. The counter fields are themselves atomics (relaxed) so a
+  /// reader racing a writer reads torn-but-defined values that the
+  /// sequence recheck then discards — no data race, under TSan or the
+  /// standard. Only the owning tid ever writes its block.
   struct alignas(kCacheLineBytes) PerThread {
     std::vector<ChunkEvent> chunks;
     std::vector<StealEvent> steals;
@@ -233,14 +277,58 @@ class TraceRecorder {
     std::vector<SingleEvent> singles;
     std::vector<CancelEvent> cancels;
     std::vector<InjectEvent> injects;
+
+    std::atomic<std::uint64_t> live_seq{0};
+    std::atomic<std::int64_t> live_iterations{0};
+    std::atomic<std::int64_t> live_stolen_iterations{0};
+    std::atomic<std::uint64_t> live_chunks{0};
+    std::atomic<std::uint64_t> live_steals{0};
+    std::atomic<std::uint64_t> live_barriers{0};
+    std::atomic<std::uint64_t> live_criticals{0};
+    std::atomic<std::uint64_t> live_singles{0};
+
+    /// Run `update` (relaxed stores into the live_* fields) inside one
+    /// seqlock write section. Wait-free: two fetch_adds, no loops.
+    template <class Update>
+    void publish(Update&& update) {
+      live_seq.fetch_add(1, std::memory_order_acq_rel);  // odd: in progress
+      update();
+      live_seq.fetch_add(1, std::memory_order_release);  // even: stable
+    }
   };
 
   TraceClock clock_;
   int num_threads_;
   std::vector<PerThread> threads_;
   std::atomic<std::uint64_t> claim_seq_{0};
-  std::mutex loops_mu_;
+  /// Hand-made rwlock (see rt/rwlock.hpp): register_loop writes are rare
+  /// and dedup-bounded; observer-side metadata reads share the lock.
+  mutable RwLock loops_lock_;
   std::vector<LoopInfo> loops_;
+};
+
+/// Live view onto whatever traced region is currently running — the
+/// monitoring half of the lock-free core. A long-lived observer object is
+/// handed to ParallelConfig::observed(); the host backend attaches the
+/// region's TraceRecorder at launch and detaches it before the recorder
+/// dies, and any thread may call snapshot() meanwhile. Workers never wait
+/// for an observer: snapshot readers do all the retrying (per-thread
+/// seqlocks), and the attach/detach handover uses the hand-made
+/// writer-preferring RwLock so a detach can't yank the recorder out from
+/// under a reader mid-sample.
+class RegionObserver {
+ public:
+  /// Sample the attached region's per-thread counters; inactive snapshot
+  /// when no traced region is attached right now.
+  LiveSnapshot snapshot() const;
+
+  /// Backend-internal: called by the host backend at region start/end.
+  void attach(const TraceRecorder* recorder);
+  void detach();
+
+ private:
+  mutable RwLock lock_;
+  const TraceRecorder* recorder_ = nullptr;
 };
 
 }  // namespace pblpar::rt

@@ -1,0 +1,325 @@
+// The lock-free core: the Chase–Lev span deque (owner/thief last-element
+// race, exactly-once drains under contention), the hand-made RwLock
+// (mutual exclusion, shared readers), and the wait-free live-snapshot
+// path (RegionObserver sampling a running host region).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rt/for_each.hpp"
+#include "rt/loops.hpp"
+#include "rt/parallel.hpp"
+#include "rt/rwlock.hpp"
+#include "rt/steal_deque.hpp"
+#include "rt/trace.hpp"
+
+namespace pblpar::rt {
+namespace {
+
+// --- ChaseLevSpan, single-threaded ------------------------------------
+
+TEST(ChaseLevSpanTest, OwnerDrainsItsSpanInAscendingOrder) {
+  ChaseLevSpan deque;
+  deque.install(StealSpan{3, 7});
+  std::int64_t chunk_index = 0;
+  for (std::int64_t expected = 3; expected < 7; ++expected) {
+    ASSERT_TRUE(deque.take(&chunk_index));
+    EXPECT_EQ(chunk_index, expected);
+  }
+  EXPECT_FALSE(deque.take(&chunk_index));
+  EXPECT_FALSE(deque.take(&chunk_index));  // stays empty, lo restored
+}
+
+TEST(ChaseLevSpanTest, ThievesTakeFromTheTopAndReportEmpty) {
+  ChaseLevSpan deque;
+  deque.install(StealSpan{0, 3});
+  std::int64_t chunk_index = 0;
+  EXPECT_EQ(deque.steal(&chunk_index), StealOutcome::kGot);
+  EXPECT_EQ(chunk_index, 2);
+  EXPECT_EQ(deque.steal(&chunk_index), StealOutcome::kGot);
+  EXPECT_EQ(chunk_index, 1);
+  EXPECT_EQ(deque.steal(&chunk_index), StealOutcome::kGot);
+  EXPECT_EQ(chunk_index, 0);
+  EXPECT_EQ(deque.steal(&chunk_index), StealOutcome::kEmpty);
+}
+
+TEST(ChaseLevSpanTest, ClearEmptiesAndReinstallRearms) {
+  ChaseLevSpan deque;
+  deque.install(StealSpan{0, 5});
+  deque.clear();
+  std::int64_t chunk_index = 0;
+  EXPECT_FALSE(deque.take(&chunk_index));
+  EXPECT_EQ(deque.steal(&chunk_index), StealOutcome::kEmpty);
+  deque.install(StealSpan{10, 12});
+  ASSERT_TRUE(deque.take(&chunk_index));
+  EXPECT_EQ(chunk_index, 10);
+}
+
+// --- ChaseLevSpan, the last-element race ------------------------------
+
+/// One owner and two thieves fight over a deque holding exactly one
+/// element, round after round: every round exactly one of them may win
+/// it, never zero, never two. This is the race the algorithm's single
+/// seq_cst fence exists for.
+TEST(ChaseLevSpanRaceTest, LastElementIsClaimedExactlyOnce) {
+  constexpr int kRounds = 2000;
+  constexpr int kThieves = 2;
+  ChaseLevSpan deque;
+  std::atomic<int> claims{0};
+  // All parties re-arm at the top of each round; the owner refills the
+  // deque between the two barrier phases, while everyone is quiescent.
+  std::barrier sync(1 + kThieves);
+
+  std::thread owner([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      deque.install(StealSpan{round, round + 1});
+      sync.arrive_and_wait();  // release the round
+      std::int64_t chunk_index = 0;
+      if (deque.take(&chunk_index)) {
+        EXPECT_EQ(chunk_index, round);
+        claims.fetch_add(1, std::memory_order_relaxed);
+      }
+      sync.arrive_and_wait();  // everyone done claiming
+      // EXPECT (not ASSERT): an early return here would strand the
+      // thieves at the barrier and turn a failure into a hang.
+      EXPECT_EQ(claims.load(std::memory_order_relaxed), 1)
+          << "round " << round;
+      claims.store(0, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        sync.arrive_and_wait();
+        std::int64_t chunk_index = 0;
+        for (;;) {
+          const StealOutcome outcome = deque.steal(&chunk_index);
+          if (outcome == StealOutcome::kGot) {
+            EXPECT_EQ(chunk_index, round);
+            claims.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          if (outcome == StealOutcome::kEmpty) {
+            break;
+          }
+        }
+        sync.arrive_and_wait();
+      }
+    });
+  }
+  owner.join();
+  for (std::thread& thief : thieves) {
+    thief.join();
+  }
+}
+
+/// A full span drained by the owner and three thieves concurrently:
+/// every chunk index claimed exactly once, none lost.
+TEST(ChaseLevSpanRaceTest, ConcurrentDrainClaimsEveryChunkExactlyOnce) {
+  constexpr std::int64_t kTotal = 5000;
+  constexpr int kThieves = 3;
+  ChaseLevSpan deque;
+  deque.install(StealSpan{0, kTotal});
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(kTotal));
+  for (auto& hit : hits) {
+    hit.store(0, std::memory_order_relaxed);
+  }
+  std::barrier start(1 + kThieves);
+
+  std::thread owner([&] {
+    start.arrive_and_wait();
+    std::int64_t chunk_index = 0;
+    while (deque.take(&chunk_index)) {
+      hits[static_cast<std::size_t>(chunk_index)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      start.arrive_and_wait();
+      std::int64_t chunk_index = 0;
+      for (;;) {
+        const StealOutcome outcome = deque.steal(&chunk_index);
+        if (outcome == StealOutcome::kEmpty) {
+          break;
+        }
+        if (outcome == StealOutcome::kGot) {
+          hits[static_cast<std::size_t>(chunk_index)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  owner.join();
+  for (std::thread& thief : thieves) {
+    thief.join();
+  }
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "chunk " << i;
+  }
+}
+
+// --- RwLock -----------------------------------------------------------
+
+TEST(RwLockTest, WritersAreMutuallyExclusive) {
+  constexpr int kWriters = 4;
+  constexpr int kIncrements = 5000;
+  RwLock lock;
+  // Two plain (non-atomic) counters: only writer mutual exclusion keeps
+  // them equal and un-torn. TSan would flag any overlap.
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        WriteLock guard(lock);
+        ++a;
+        ++b;
+      }
+    });
+  }
+  for (std::thread& writer : writers) {
+    writer.join();
+  }
+  EXPECT_EQ(a, kWriters * kIncrements);
+  EXPECT_EQ(b, kWriters * kIncrements);
+}
+
+TEST(RwLockTest, ReadersShareTheLock) {
+  RwLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<bool> both_inside{false};
+  constexpr int kReaders = 2;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      ReadLock guard(lock);
+      inside.fetch_add(1);
+      // Wait (bounded) for the other reader to also be inside the lock:
+      // proof the read side admits concurrent holders.
+      for (int spin = 0; spin < 200000; ++spin) {
+        if (inside.load() == kReaders) {
+          both_inside.store(true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  EXPECT_TRUE(both_inside.load());
+}
+
+TEST(RwLockTest, ReadersAndWritersInterleaveConsistently) {
+  RwLock lock;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ReadLock guard(lock);
+      // Under the read lock no writer can be mid-update.
+      EXPECT_EQ(a, b);
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    WriteLock guard(lock);
+    ++a;
+    ++b;
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(a, 5000);
+}
+
+// --- RegionObserver / live snapshots ----------------------------------
+
+TEST(RegionObserverTest, DetachedObserverReportsInactive) {
+  RegionObserver observer;
+  const LiveSnapshot snapshot = observer.snapshot();
+  EXPECT_FALSE(snapshot.active);
+  EXPECT_EQ(snapshot.num_threads, 0);
+  EXPECT_TRUE(snapshot.threads.empty());
+}
+
+TEST(RegionObserverTest, SamplesARunningRegionWithoutCorruption) {
+  const auto observer = std::make_shared<RegionObserver>();
+  constexpr std::int64_t kTotal = 8000;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_active{false};
+  std::atomic<bool> sampler_ok{true};
+
+  std::thread sampler([&] {
+    std::int64_t last_iterations = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const LiveSnapshot snapshot = observer->snapshot();
+      if (!snapshot.active) {
+        continue;
+      }
+      saw_active.store(true, std::memory_order_relaxed);
+      const std::int64_t iterations = snapshot.total_iterations();
+      // Counters are cumulative within the region: monotone, and never
+      // beyond the loop's total. A torn read would break both.
+      if (iterations < last_iterations || iterations > kTotal ||
+          snapshot.total_chunks() >
+              static_cast<std::uint64_t>(kTotal)) {
+        sampler_ok.store(false, std::memory_order_relaxed);
+      }
+      last_iterations = iterations;
+      std::this_thread::yield();
+    }
+  });
+
+  // Re-run the (short) region until the sampler caught it live — on a
+  // loaded host one region may finish before the sampler gets a slice.
+  const ParallelConfig config = ParallelConfig::host(2).observed(observer);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::atomic<std::int64_t> sum{0};
+    parallel(config, [&](TeamContext& tc) {
+      for_each(tc, Range{0, kTotal}, Schedule::dynamic(1),
+               [&](std::int64_t i) {
+                 sum.fetch_add(i % 3, std::memory_order_relaxed);
+               });
+    });
+    if (saw_active.load(std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  sampler.join();
+
+  EXPECT_TRUE(saw_active.load());
+  EXPECT_TRUE(sampler_ok.load());
+  // The region is over and the backend detached its recorder.
+  EXPECT_FALSE(observer->snapshot().active);
+}
+
+TEST(RegionObserverTest, ObservedImpliesTracing) {
+  const auto observer = std::make_shared<RegionObserver>();
+  const ParallelConfig config = ParallelConfig::host(2).observed(observer);
+  EXPECT_TRUE(config.record_trace);
+  const RunResult result = parallel(config, [](TeamContext& tc) {
+    for_each(tc, Range{0, 100}, Schedule::steal(), [](std::int64_t) {});
+  });
+  ASSERT_NE(result.profile, nullptr);
+  std::int64_t iterations = 0;
+  for (const ChunkEvent& chunk : result.profile->chunks) {
+    iterations += chunk.iterations();
+  }
+  EXPECT_EQ(iterations, 100);
+}
+
+}  // namespace
+}  // namespace pblpar::rt
