@@ -76,6 +76,32 @@ struct ClusterOptions {
   double effective_tick_s() const {
     return tick_s > 0.0 ? tick_s : heartbeat_timeout_s / 4.0;
   }
+
+  /// Loud boundary validation, the ClusterOptions mirror of
+  /// FaultPlan::validate(): every timing knob must be finite (NaN
+  /// compares false against everything, so an unchecked NaN deadline
+  /// would silently never fire), intervals ordered, attempt budgets
+  /// positive. Checked on every rank by run_cluster_tasks.
+  void validate() const {
+    util::require(std::isfinite(heartbeat_interval_s) &&
+                      std::isfinite(heartbeat_timeout_s) &&
+                      heartbeat_interval_s > 0.0 &&
+                      heartbeat_timeout_s > heartbeat_interval_s,
+                  "ClusterOptions: need 0 < heartbeat_interval_s < "
+                  "heartbeat_timeout_s, both finite");
+    util::require(std::isfinite(task_timeout_s) && task_timeout_s >= 0.0,
+                  "ClusterOptions: task_timeout_s must be finite and >= 0");
+    util::require(
+        std::isfinite(speculation_age_s) && speculation_age_s >= 0.0,
+        "ClusterOptions: speculation_age_s must be finite and >= 0");
+    util::require(std::isfinite(tick_s) && tick_s >= 0.0,
+                  "ClusterOptions: tick_s must be finite and >= 0");
+    util::require(std::isfinite(job_deadline_s) && job_deadline_s >= 0.0,
+                  "ClusterOptions: job_deadline_s must be finite and >= 0 "
+                  "(0 = no deadline)");
+    util::require(max_live_attempts >= 1 && max_attempts_per_task >= 1,
+                  "ClusterOptions: attempt limits must be >= 1");
+  }
 };
 
 /// One master-side scheduling event, timestamped relative to engine
@@ -327,17 +353,7 @@ class Master {
   Master(CommT& comm, const std::vector<std::vector<std::byte>>& tasks,
          const ClusterOptions& options, ClusterProfile* profile)
       : comm_(comm), tasks_(tasks), options_(options), profile_(profile) {
-    util::require(options.heartbeat_interval_s > 0.0 &&
-                      options.heartbeat_timeout_s >
-                          options.heartbeat_interval_s,
-                  "ClusterOptions: need 0 < heartbeat_interval_s < "
-                  "heartbeat_timeout_s");
-    util::require(options.max_live_attempts >= 1 &&
-                      options.max_attempts_per_task >= 1,
-                  "ClusterOptions: attempt limits must be >= 1");
-    util::require(std::isfinite(options.job_deadline_s) &&
-                      options.job_deadline_s >= 0.0,
-                  "ClusterOptions: job_deadline_s must be finite and >= 0");
+    options.validate();
   }
 
   ClusterRunResult run(const TaskFn& task_fn) {
@@ -996,6 +1012,7 @@ ClusterRunResult run_cluster_tasks(
     const FaultPlan* faults = nullptr, ClusterProfile* profile = nullptr) {
   util::require(task_fn != nullptr,
                 "run_cluster_tasks: task body must be callable");
+  options.validate();
   if (faults != nullptr) {
     faults->validate();
   }

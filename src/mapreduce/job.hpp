@@ -30,7 +30,7 @@ enum class DeadlinePolicy {
 
 /// Outcome metadata of one Job::run, for callers that opt into deadlines.
 struct RunReport {
-  bool deadline_hit = false;        // the map phase was cut short
+  bool deadline_hit = false;  // map cut short (deadline or cancel token)
   std::int64_t mapped_records = 0;  // records fully mapped into the output
   std::int64_t total_records = 0;
 };
@@ -119,6 +119,29 @@ class Job {
     return *this;
   }
 
+  /// Policy applied when the deadline *or* the cancel token cuts the map
+  /// phase, without arming a deadline — lets a purely token-cancellable
+  /// job opt into Salvage. deadline() sets the same policy; whichever is
+  /// called last wins.
+  Job& cut_policy(DeadlinePolicy policy) {
+    deadline_policy_ = policy;
+    return *this;
+  }
+
+  /// External cooperative cancellation, polled at the map phase's
+  /// chunk-claim boundaries like a deadline. The deadline policy decides
+  /// what a fired token means: Abort rethrows rt::Cancelled (and also
+  /// arms the token on the reduce phase); Salvage keeps the fully-mapped
+  /// records and always finishes shuffle + reduce over them —
+  /// RunReport::deadline_hit covers both a deadline and a token firing.
+  Job& cancellable(rt::CancelToken token) {
+    util::require(token.valid(),
+                  "Job::cancellable: token is not connected to a "
+                  "CancelSource (default-constructed tokens never fire)");
+    cancel_token_ = std::move(token);
+    return *this;
+  }
+
   /// Execute the job over `inputs` and return (key, reduced value) pairs
   /// sorted by key.
   std::vector<std::pair<K2, VOut>> run(
@@ -156,6 +179,9 @@ class Job {
     rt::ParallelConfig map_config = rt::ParallelConfig::host(threads);
     if (deadline_s_ > 0.0) {
       map_config = map_config.deadline(deadline_s_);
+    }
+    if (cancel_token_.valid()) {
+      map_config = map_config.cancellable(cancel_token_);
     }
     rt::warm_up(map_config);
     bool deadline_hit = false;
@@ -219,6 +245,12 @@ class Job {
         static_cast<std::size_t>(reducers));
     rt::ParallelConfig reduce_config =
         rt::ParallelConfig::host(std::min(threads, reducers));
+    if (cancel_token_.valid() &&
+        deadline_policy_ == DeadlinePolicy::Abort) {
+      // Salvage promises a usable result, so only Abort lets the token
+      // cut the reduce phase too.
+      reduce_config = reduce_config.cancellable(cancel_token_);
+    }
     if (deadline_s_ > 0.0 && deadline_policy_ == DeadlinePolicy::Abort) {
       // Pass what is left of the budget to the reduce phase; an already
       // overspent budget cancels at the first chunk boundary.
@@ -334,6 +366,7 @@ class Job {
   int num_reducers_ = 0;  // 0 = one partition per worker thread at run()
   double deadline_s_ = 0.0;  // 0 = no deadline
   DeadlinePolicy deadline_policy_ = DeadlinePolicy::Abort;
+  rt::CancelToken cancel_token_;  // invalid = not externally cancellable
 };
 
 }  // namespace pblpar::mapreduce

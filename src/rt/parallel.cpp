@@ -1,5 +1,7 @@
 #include "rt/parallel.hpp"
 
+#include <cmath>
+
 #include "rt/host_backend.hpp"
 #include "rt/sim_backend.hpp"
 #include "util/error.hpp"
@@ -10,6 +12,12 @@ RunResult parallel(const ParallelConfig& config,
                    const std::function<void(TeamContext&)>& body) {
   util::require(config.num_threads >= 1,
                 "parallel: config.num_threads must be >= 1");
+  // ParallelConfig::deadline() validates, but deadline_s is a plain
+  // field — a NaN or negative written directly would silently disarm or
+  // misfire the governor's clock checks. Reject it loudly here instead.
+  util::require(std::isfinite(config.deadline_s) && config.deadline_s >= 0.0,
+                "parallel: config.deadline_s must be finite and >= 0 "
+                "(0 = no deadline)");
   switch (config.backend) {
     case BackendKind::Host:
       return host_parallel(config, body);

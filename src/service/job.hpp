@@ -1,0 +1,146 @@
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "rt/cancel.hpp"
+#include "rt/config.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::service {
+
+/// Loud boundary validation shared by every deadline field the service
+/// layer touches (mirrors cluster::FaultPlan::validate): NaN, infinity
+/// and negative seconds are precondition errors; 0 means "no deadline".
+inline void validate_deadline_field(double seconds, std::string_view what) {
+  util::require(std::isfinite(seconds) && seconds >= 0.0,
+                std::string(what) +
+                    ": deadline seconds must be finite and >= 0 "
+                    "(0 = no deadline)");
+}
+
+/// Per-submission knobs of one service job.
+struct JobOptions {
+  /// Service-time budget in host seconds, counted from dispatch (queue
+  /// time is the server's problem, run time is the job's). Enforced
+  /// cooperatively through the runtime's cancellation drain. 0 = none.
+  double deadline_s = 0.0;
+
+  /// Higher runs sooner *within its tenant's queue*; cross-tenant order
+  /// is the fair-share scheduler's decision, not priority's.
+  int priority = 0;
+
+  /// Fair-share charge of this job: a tenant's pass advances by
+  /// cost_units / weight per dispatch, so expensive jobs consume more of
+  /// the tenant's share. Must be finite and > 0.
+  double cost_units = 1.0;
+
+  /// Capture the job's rt::RunProfile (chunk claims, steals, cancels)
+  /// into JobResult::outcome.profile.
+  bool record_trace = false;
+
+  /// Team width the job's parallel regions should use. Service jobs
+  /// default narrow: the server multiplexes many jobs onto the shared
+  /// pool, so width comes from concurrent lanes, not from each job.
+  int threads = 1;
+
+  void validate() const {
+    validate_deadline_field(deadline_s, "JobOptions::deadline_s");
+    util::require(std::isfinite(cost_units) && cost_units > 0.0,
+                  "JobOptions::cost_units must be finite and > 0");
+    util::require(threads >= 1, "JobOptions::threads must be >= 1");
+  }
+};
+
+/// The view a running job has of the server: its cancellation token,
+/// remaining deadline budget and tracing flag, pre-wired into a
+/// ready-made rt::ParallelConfig so adapters plumb everything through
+/// the runtime's existing cancellation drain with one call.
+class JobContext {
+ public:
+  JobContext(rt::CancelToken token, const JobOptions& options,
+             std::chrono::steady_clock::time_point dispatched_at)
+      : token_(std::move(token)),
+        options_(options),
+        dispatched_at_(dispatched_at) {}
+
+  /// The job's cancel token. Always valid — the server owns the matching
+  /// CancelSource and fires it on JobTicket::cancel() and shutdown.
+  const rt::CancelToken& cancel_token() const { return token_; }
+
+  bool traced() const { return options_.record_trace; }
+  int threads() const { return options_.threads; }
+
+  /// Total service budget in seconds; 0 = none.
+  double deadline_s() const { return options_.deadline_s; }
+
+  /// Budget left right now (deadline minus time since dispatch), floored
+  /// at a tiny epsilon so an overspent budget still arms a deadline that
+  /// fires at the first chunk boundary instead of silently disabling
+  /// itself. 0 when no deadline is set.
+  double remaining_s() const {
+    if (options_.deadline_s <= 0.0) {
+      return 0.0;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      dispatched_at_)
+            .count();
+    return std::max(options_.deadline_s - elapsed, 1e-9);
+  }
+
+  /// Host-backend ParallelConfig with the job's token, *remaining*
+  /// deadline and tracing applied. Multi-region jobs call this per
+  /// region, so every region shares the one job budget instead of each
+  /// restarting it.
+  rt::ParallelConfig parallel_config() const {
+    rt::ParallelConfig config = rt::ParallelConfig::host(options_.threads);
+    config = config.cancellable(token_);
+    if (options_.deadline_s > 0.0) {
+      config = config.deadline(remaining_s());
+    }
+    if (options_.record_trace) {
+      config = config.traced();
+    }
+    return config;
+  }
+
+ private:
+  rt::CancelToken token_;
+  JobOptions options_;
+  std::chrono::steady_clock::time_point dispatched_at_;
+};
+
+/// What a job run hands back through its ticket.
+struct JobOutcome {
+  /// Adapter-defined work unit: loop iterations, mapped records, cluster
+  /// tasks. The fairness bench sums these per tenant.
+  std::int64_t work_items = 0;
+
+  /// One human-readable line, e.g. "best score 11 (3 ligands)".
+  std::string summary;
+
+  /// The job's trace, when JobOptions::record_trace was set and the
+  /// adapter's backend produces one (rt regions do; a cancelled region's
+  /// profile is salvaged from rt::Cancelled by the server).
+  std::shared_ptr<const rt::RunProfile> profile;
+};
+
+/// The backend-agnostic unit of work of the campus server: one name and
+/// one function from JobContext to JobOutcome. Adapters in
+/// service/jobs.hpp wrap the rt, mapreduce and cluster entrypoints;
+/// anything callable works (tests submit lambdas). A job signals
+/// cancellation by letting rt::Cancelled propagate — the server converts
+/// it into a Cancelled result with the salvaged iteration counts.
+struct Job {
+  std::string kind = "job";
+  std::function<JobOutcome(JobContext&)> run;
+};
+
+}  // namespace pblpar::service

@@ -1,0 +1,149 @@
+#include "service/jobs.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/jobs.hpp"
+#include "mapreduce/defs.hpp"
+#include "mapreduce/job.hpp"
+#include "mp/sim_world.hpp"
+#include "rt/for_each.hpp"
+#include "rt/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::service::jobs {
+
+namespace {
+
+/// Busy work proportional to `units`; volatile so the optimizer keeps it.
+void spin(std::int64_t units) {
+  volatile double sink = 0.0;
+  for (std::int64_t k = 0; k < units; ++k) {
+    sink = sink + static_cast<double>(k);
+  }
+}
+
+}  // namespace
+
+Job patternlet(std::int64_t iterations, rt::Schedule schedule,
+               std::int64_t spin_units) {
+  util::require(iterations >= 0, "patternlet: iterations must be >= 0");
+  util::require(spin_units >= 0, "patternlet: spin_units must be >= 0");
+  Job job;
+  job.kind = "patternlet";
+  job.run = [iterations, schedule, spin_units](JobContext& context) {
+    const rt::RunResult run =
+        rt::parallel(context.parallel_config(), [&](rt::TeamContext& tc) {
+          rt::for_each(tc, rt::Range::upto(iterations), schedule,
+                       [&](std::int64_t) { spin(spin_units); });
+        });
+    JobOutcome outcome;
+    outcome.work_items = iterations;
+    outcome.summary =
+        "patternlet loop of " + std::to_string(iterations) + " iterations";
+    outcome.profile = run.profile;
+    return outcome;
+  };
+  return job;
+}
+
+Job drugdesign_sweep(drugdesign::Config config) {
+  Job job;
+  job.kind = "drugdesign";
+  job.run = [config = std::move(config)](JobContext& context) {
+    util::Rng rng(config.seed);
+    const std::vector<std::string> ligands = drugdesign::generate_ligands(
+        config.num_ligands, config.max_ligand_len, rng);
+    const std::string protein =
+        drugdesign::generate_protein(config.protein_len, rng);
+    std::vector<int> scores(ligands.size(), 0);
+    const rt::RunResult run =
+        rt::parallel(context.parallel_config(), [&](rt::TeamContext& tc) {
+          rt::for_each(tc,
+                       rt::Range::upto(static_cast<std::int64_t>(
+                           ligands.size())),
+                       config.schedule, [&](std::int64_t i) {
+                         const auto index = static_cast<std::size_t>(i);
+                         scores[index] =
+                             drugdesign::match_score(ligands[index], protein);
+                       });
+        });
+    int best = 0;
+    std::int64_t winners = 0;
+    for (const int score : scores) {
+      if (score > best) {
+        best = score;
+        winners = 1;
+      } else if (score == best) {
+        ++winners;
+      }
+    }
+    JobOutcome outcome;
+    outcome.work_items = static_cast<std::int64_t>(ligands.size());
+    outcome.summary = "best score " + std::to_string(best) + " (" +
+                      std::to_string(winners) + " ligands)";
+    outcome.profile = run.profile;
+    return outcome;
+  };
+  return job;
+}
+
+Job mapreduce_word_count(std::vector<std::string> documents) {
+  Job job;
+  job.kind = "mapreduce";
+  job.run = [documents = std::move(documents)](JobContext& context) {
+    mapreduce::Job<int, std::string, std::string, long> word_count;
+    mapreduce::defs::WordCountDef{}.configure(word_count);
+    word_count.threads(context.threads());
+    // Salvage: a deadline or cancellation mid-map keeps the completed
+    // records and still reduces them — the service answer to "the lab
+    // machine is due back, hand in what you have".
+    word_count.cut_policy(mapreduce::DeadlinePolicy::Salvage);
+    if (context.deadline_s() > 0.0) {
+      word_count.deadline(context.remaining_s(),
+                          mapreduce::DeadlinePolicy::Salvage);
+    }
+    word_count.cancellable(context.cancel_token());
+    mapreduce::RunReport report;
+    const auto counts =
+        word_count.run(mapreduce::defs::indexed(documents), &report);
+    JobOutcome outcome;
+    outcome.work_items = report.mapped_records;
+    outcome.summary = std::to_string(counts.size()) + " distinct words over " +
+                      std::to_string(report.mapped_records) + "/" +
+                      std::to_string(report.total_records) + " documents" +
+                      (report.deadline_hit ? " (cut short)" : "");
+    return outcome;
+  };
+  return job;
+}
+
+Job cluster_word_count(std::vector<std::string> documents, int nodes) {
+  util::require(nodes >= 2,
+                "cluster_word_count: need >= 2 ranks (master + worker)");
+  Job job;
+  job.kind = "cluster";
+  job.run = [documents = std::move(documents), nodes](JobContext& context) {
+    cluster::ClusterOptions options;
+    if (context.deadline_s() > 0.0) {
+      options.job_deadline_s = context.remaining_s();
+    }
+    options.validate();
+    std::vector<std::pair<std::string, long>> counts;
+    mp::SimWorld::run(nodes, [&](mp::SimComm& comm) {
+      auto result = cluster::jobs::word_count(comm, documents, {}, options);
+      if (comm.rank() == 0) {
+        counts = std::move(result);
+      }
+    });
+    JobOutcome outcome;
+    outcome.work_items = static_cast<std::int64_t>(documents.size());
+    outcome.summary = std::to_string(counts.size()) +
+                      " distinct words across " + std::to_string(nodes) +
+                      " simulated ranks";
+    return outcome;
+  };
+  return job;
+}
+
+}  // namespace pblpar::service::jobs

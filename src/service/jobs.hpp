@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drugdesign/drugdesign.hpp"
+#include "rt/schedule.hpp"
+#include "service/job.hpp"
+
+namespace pblpar::service::jobs {
+
+/// Adapters wrapping the three execution tiers — the rt loop runtime,
+/// the thread-local MapReduce driver, and the simulated cluster engine —
+/// as service::Job values, so one Server multiplexes all of them. Each
+/// adapter plumbs the job's CancelToken, remaining deadline and trace
+/// flag through its tier's native mechanism (ParallelConfig for rt,
+/// Job::deadline/cancellable for mapreduce, ClusterOptions::job_deadline_s
+/// for the cluster engine).
+
+/// Patternlet-style rt job: one worksharing loop of `iterations` small
+/// spin iterations under `schedule`, reduced to a checksum. The smallest
+/// real job the course's Assignment 3 submits to a lab machine.
+Job patternlet(std::int64_t iterations,
+               rt::Schedule schedule = rt::Schedule::steal(),
+               std::int64_t spin_units = 8);
+
+/// Drug-design sweep (Assignment 5's irregular workload): score
+/// `config.num_ligands` ligands against the protein and report the best
+/// binder. Runs on the host via the job's ParallelConfig; ligand costs
+/// vary, so this is the tail-heavy tenant workload.
+Job drugdesign_sweep(drugdesign::Config config);
+
+/// Thread-local MapReduce word count over `documents`. The job deadline
+/// and cancel token ride the mapreduce driver's Salvage policy: a job
+/// cut short still reports the records it fully mapped.
+Job mapreduce_word_count(std::vector<std::string> documents);
+
+/// Distributed word count on a simulated `nodes`-rank cluster (rank 0
+/// masters). Deterministic virtual time; the job deadline is plumbed
+/// into ClusterOptions::job_deadline_s.
+Job cluster_word_count(std::vector<std::string> documents, int nodes);
+
+}  // namespace pblpar::service::jobs

@@ -1,0 +1,394 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "rt/trace.hpp"
+
+namespace pblpar::service {
+
+namespace detail {
+
+/// Everything the server and the ticket share about one submission.
+/// Lock order: Server::mu_ before TicketState::mu, never the reverse.
+struct TicketState {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string kind;
+  Job job;
+  JobOptions options;
+  rt::CancelSource cancel;
+  std::chrono::steady_clock::time_point submitted_at;
+  std::chrono::steady_clock::time_point dispatched_at;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobStatus status = JobStatus::Queued;
+  JobResult result;
+
+  void settle(JobResult terminal) {
+    {
+      std::lock_guard<std::mutex> guard(mu);
+      result = std::move(terminal);
+      status = result.status;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+std::string to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::Reject:
+      return "reject";
+    case AdmissionPolicy::Block:
+      return "block";
+  }
+  throw util::InvariantError("to_string(AdmissionPolicy): unknown policy");
+}
+
+std::string to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::Queued:
+      return "queued";
+    case JobStatus::Running:
+      return "running";
+    case JobStatus::Done:
+      return "done";
+    case JobStatus::Cancelled:
+      return "cancelled";
+    case JobStatus::Failed:
+      return "failed";
+    case JobStatus::Rejected:
+      return "rejected";
+  }
+  throw util::InvariantError("to_string(JobStatus): unknown status");
+}
+
+// --- JobTicket --------------------------------------------------------------
+
+std::uint64_t JobTicket::id() const {
+  util::require(valid(), "JobTicket::id: empty ticket");
+  return state_->id;
+}
+
+const std::string& JobTicket::tenant() const {
+  util::require(valid(), "JobTicket::tenant: empty ticket");
+  return state_->tenant;
+}
+
+const std::string& JobTicket::kind() const {
+  util::require(valid(), "JobTicket::kind: empty ticket");
+  return state_->kind;
+}
+
+JobStatus JobTicket::status() const {
+  util::require(valid(), "JobTicket::status: empty ticket");
+  std::lock_guard<std::mutex> guard(state_->mu);
+  return state_->status;
+}
+
+bool JobTicket::finished() const {
+  const JobStatus now = status();
+  return now != JobStatus::Queued && now != JobStatus::Running;
+}
+
+JobResult JobTicket::wait() const {
+  util::require(valid(), "JobTicket::wait: empty ticket");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] {
+    return state_->status != JobStatus::Queued &&
+           state_->status != JobStatus::Running;
+  });
+  return state_->result;
+}
+
+bool JobTicket::wait_for(double timeout_s) const {
+  util::require(valid(), "JobTicket::wait_for: empty ticket");
+  util::require(std::isfinite(timeout_s) && timeout_s >= 0.0,
+                "JobTicket::wait_for: timeout must be finite and >= 0");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double>(timeout_s), [&] {
+        return state_->status != JobStatus::Queued &&
+               state_->status != JobStatus::Running;
+      });
+}
+
+void JobTicket::cancel() const {
+  util::require(valid(), "JobTicket::cancel: empty ticket");
+  state_->cancel.cancel();
+}
+
+// --- Server -----------------------------------------------------------------
+
+Server::Server(std::vector<TenantConfig> tenants, ServerOptions options)
+    : options_(options) {
+  options_.validate();
+  util::require(!tenants.empty(), "Server: need at least one tenant");
+  tenants_.reserve(tenants.size());
+  for (TenantConfig& config : tenants) {
+    util::require(!config.name.empty(), "Server: tenant names must be "
+                                        "non-empty");
+    util::require(std::isfinite(config.weight) && config.weight > 0.0,
+                  "Server: tenant '" + config.name +
+                      "' weight must be finite and > 0");
+    util::require(tenant_index_.find(config.name) == tenant_index_.end(),
+                  "Server: duplicate tenant '" + config.name + "'");
+    tenant_index_.emplace(config.name, tenants_.size());
+    Tenant tenant;
+    tenant.stride = 1.0 / config.weight;
+    tenant.stats.name = config.name;
+    tenant.stats.weight = config.weight;
+    tenant.config = std::move(config);
+    tenants_.push_back(std::move(tenant));
+  }
+  lanes_.reserve(static_cast<std::size_t>(options_.lanes));
+  for (int lane = 0; lane < options_.lanes; ++lane) {
+    lanes_.emplace_back([this] { lane_main(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+double Server::retry_after_estimate_locked() const {
+  const double backlog_s = static_cast<double>(queued_total_) *
+                           service_ewma_s_ /
+                           static_cast<double>(options_.lanes);
+  return std::max(backlog_s, options_.retry_after_floor_s);
+}
+
+void Server::reject_locked(const std::shared_ptr<detail::TicketState>& state,
+                           Tenant& tenant, std::string reason,
+                           double retry_after_s) {
+  ++tenant.stats.rejected;
+  JobResult result;
+  result.status = JobStatus::Rejected;
+  result.error = std::move(reason);
+  result.retry_after_s = retry_after_s;
+  // Settling under mu_ is fine: settle only takes the ticket's own lock
+  // (mu_ -> ticket->mu is the documented order).
+  state->settle(std::move(result));
+}
+
+JobTicket Server::submit(const std::string& tenant_name, Job job,
+                         JobOptions options) {
+  options.validate();
+  util::require(job.run != nullptr, "Server::submit: job.run must be set");
+
+  auto state = std::make_shared<detail::TicketState>();
+  state->tenant = tenant_name;
+  state->kind = job.kind;
+  state->job = std::move(job);
+  state->options = options;
+  state->submitted_at = std::chrono::steady_clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = tenant_index_.find(tenant_name);
+  util::require(it != tenant_index_.end(),
+                "Server::submit: unknown tenant '" + tenant_name + "'");
+  Tenant& tenant = tenants_[it->second];
+  state->id = ++submit_seq_;
+  ++tenant.stats.submitted;
+
+  if (stopping_) {
+    reject_locked(state, tenant, "server is shutting down",
+                  options_.retry_after_floor_s);
+    return JobTicket(state);
+  }
+  if (queued_total_ >= options_.max_queue_depth) {
+    if (options_.admission == AdmissionPolicy::Reject) {
+      reject_locked(state, tenant, "admission queue full",
+                    retry_after_estimate_locked());
+      return JobTicket(state);
+    }
+    admit_cv_.wait(lock, [&] {
+      return stopping_ || queued_total_ < options_.max_queue_depth;
+    });
+    if (stopping_) {
+      reject_locked(state, tenant, "server is shutting down",
+                    options_.retry_after_floor_s);
+      return JobTicket(state);
+    }
+  }
+
+  // Admit. A tenant waking from idle starts at the scheduler's current
+  // virtual time — banked idle time must not let it monopolize the lanes.
+  if (tenant.queue.empty()) {
+    tenant.pass = std::max(tenant.pass, virtual_time_);
+  }
+  tenant.queue.push(QueueEntry{state->options.priority, state->id, state});
+  ++queued_total_;
+  ++in_flight_;
+  queue_depth_high_water_ = std::max(queue_depth_high_water_, queued_total_);
+  in_flight_high_water_ = std::max(in_flight_high_water_, in_flight_);
+  work_cv_.notify_one();
+  return JobTicket(state);
+}
+
+void Server::lane_main() {
+  for (;;) {
+    std::shared_ptr<detail::TicketState> state;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stopping_ || queued_total_ > 0; });
+      if (queued_total_ == 0) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      // Stride scheduling: dispatch the backlogged tenant with the least
+      // pass; ties break on registration order. Every dispatch advances
+      // the winner's pass by stride * cost, so any backlogged tenant's
+      // pass is eventually the minimum — no tenant starves.
+      std::size_t best = tenants_.size();
+      for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        if (tenants_[i].queue.empty()) {
+          continue;
+        }
+        if (best == tenants_.size() ||
+            tenants_[i].pass < tenants_[best].pass) {
+          best = i;
+        }
+      }
+      Tenant& tenant = tenants_[best];
+      state = tenant.queue.top().state;
+      tenant.queue.pop();
+      --queued_total_;
+      ++running_;
+      virtual_time_ = tenant.pass;
+      tenant.pass += tenant.stride * state->options.cost_units;
+      running_jobs_.push_back(state);
+      admit_cv_.notify_one();
+    }
+    run_job(state);
+  }
+}
+
+void Server::run_job(const std::shared_ptr<detail::TicketState>& state) {
+  state->dispatched_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> guard(state->mu);
+    state->status = JobStatus::Running;
+  }
+  JobContext context(state->cancel.token(), state->options,
+                     state->dispatched_at);
+  JobResult result;
+  try {
+    result.outcome = state->job.run(context);
+    result.status = JobStatus::Done;
+  } catch (const rt::Cancelled& cancelled) {
+    result.status = JobStatus::Cancelled;
+    result.cancel_cause = cancelled.cause();
+    result.salvaged_iterations = cancelled.total_completed();
+    result.outcome.profile = cancelled.profile();
+    result.error = cancelled.what();
+  } catch (const std::exception& error) {
+    result.status = JobStatus::Failed;
+    result.error = error.what();
+  }
+  finalize(state, std::move(result));
+}
+
+void Server::finalize(const std::shared_ptr<detail::TicketState>& state,
+                      JobResult result) {
+  const auto now = std::chrono::steady_clock::now();
+  result.queued_s = std::chrono::duration<double>(state->dispatched_at -
+                                                  state->submitted_at)
+                        .count();
+  result.service_s =
+      std::chrono::duration<double>(now - state->dispatched_at).count();
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    --running_;
+    --in_flight_;
+    result.completion_seq = ++completion_seq_;
+    service_ewma_s_ = 0.8 * service_ewma_s_ + 0.2 * result.service_s;
+    Tenant& tenant = tenants_[tenant_index_.at(state->tenant)];
+    switch (result.status) {
+      case JobStatus::Done:
+        ++tenant.stats.completed;
+        tenant.stats.completed_cost += state->options.cost_units;
+        break;
+      case JobStatus::Cancelled:
+        ++tenant.stats.cancelled;
+        break;
+      default:
+        ++tenant.stats.failed;
+        break;
+    }
+    running_jobs_.erase(
+        std::remove(running_jobs_.begin(), running_jobs_.end(), state),
+        running_jobs_.end());
+  }
+  state->job.run = nullptr;  // release captured resources promptly
+  state->settle(std::move(result));
+  idle_cv_.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queued_total_ == 0 && running_ == 0; });
+}
+
+void Server::shutdown() {
+  std::vector<std::shared_ptr<detail::TicketState>> orphans;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      for (Tenant& tenant : tenants_) {
+        while (!tenant.queue.empty()) {
+          orphans.push_back(tenant.queue.top().state);
+          tenant.queue.pop();
+          ++tenant.stats.cancelled;
+          --queued_total_;
+          --in_flight_;
+        }
+      }
+      // Running jobs stop at their next chunk boundary.
+      for (const auto& running : running_jobs_) {
+        running->cancel.cancel();
+      }
+    }
+    work_cv_.notify_all();
+    admit_cv_.notify_all();
+  }
+  for (const auto& orphan : orphans) {
+    orphan->job.run = nullptr;
+    JobResult result;
+    result.status = JobStatus::Cancelled;
+    result.error = "server shut down before dispatch";
+    orphan->settle(std::move(result));
+  }
+  for (std::thread& lane : lanes_) {
+    if (lane.joinable()) {
+      lane.join();
+    }
+  }
+  idle_cv_.notify_all();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  ServerStats stats;
+  stats.queue_depth = queued_total_;
+  stats.queue_depth_high_water = queue_depth_high_water_;
+  stats.in_flight = in_flight_;
+  stats.in_flight_high_water = in_flight_high_water_;
+  stats.tenants.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) {
+    stats.submitted += tenant.stats.submitted;
+    stats.rejected += tenant.stats.rejected;
+    stats.completed += tenant.stats.completed;
+    stats.cancelled += tenant.stats.cancelled;
+    stats.failed += tenant.stats.failed;
+    stats.tenants.push_back(tenant.stats);
+  }
+  return stats;
+}
+
+}  // namespace pblpar::service

@@ -204,6 +204,43 @@ TEST(ClusterEngineTest, Validation) {
                util::PreconditionError);
 }
 
+TEST(ClusterEngineTest, OptionsValidateIsLoudOnEveryField) {
+  const auto expect_invalid = [](const ClusterOptions& options) {
+    EXPECT_THROW(options.validate(), util::PreconditionError);
+  };
+  ClusterOptions ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  ClusterOptions nan_deadline;
+  nan_deadline.job_deadline_s = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(nan_deadline);
+  ClusterOptions negative_deadline;
+  negative_deadline.job_deadline_s = -1.0;
+  expect_invalid(negative_deadline);
+  ClusterOptions infinite_deadline;
+  infinite_deadline.job_deadline_s = std::numeric_limits<double>::infinity();
+  expect_invalid(infinite_deadline);
+
+  ClusterOptions nan_heartbeat;
+  nan_heartbeat.heartbeat_interval_s = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(nan_heartbeat);
+  ClusterOptions negative_timeout;
+  negative_timeout.task_timeout_s = -0.5;
+  expect_invalid(negative_timeout);
+  ClusterOptions nan_tick;
+  nan_tick.tick_s = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(nan_tick);
+  ClusterOptions negative_speculation;
+  negative_speculation.speculation_age_s = -2.0;
+  expect_invalid(negative_speculation);
+  ClusterOptions zero_attempts;
+  zero_attempts.max_attempts_per_task = 0;
+  expect_invalid(zero_attempts);
+  ClusterOptions zero_live;
+  zero_live.max_live_attempts = 0;
+  expect_invalid(zero_live);
+}
+
 TEST(ClusterEngineTest, JobDeadlineCancelsTheRemainderDeterministically) {
   // Calibrate against an unconstrained run so the deadline lands mid-job
   // regardless of the machine model's absolute speed.

@@ -323,5 +323,41 @@ TEST(JobTest, SalvageDeadlinePolicyKeepsEveryCompletedRecord) {
   EXPECT_EQ(total, report.mapped_records);
 }
 
+TEST(JobTest, CancellableRejectsDisconnectedTokens) {
+  Job<int, int, int, int> job;
+  EXPECT_THROW(job.cancellable(rt::CancelToken{}), util::PreconditionError);
+}
+
+TEST(JobTest, FiredTokenUnderAbortThrowsCancelledWithTokenCause) {
+  auto job = heavy_counting_job();
+  rt::CancelSource source;
+  source.cancel();
+  job.cancellable(source.token());  // Abort is still the default policy
+  const std::vector<std::pair<int, int>> inputs(64, {0, 1});
+  try {
+    job.run(inputs);
+    FAIL() << "expected rt::Cancelled";
+  } catch (const rt::Cancelled& cancelled) {
+    EXPECT_EQ(cancelled.cause(), rt::CancelCause::Token);
+  }
+}
+
+TEST(JobTest, FiredTokenUnderSalvageYieldsEmptyUsableOutput) {
+  auto job = heavy_counting_job();
+  rt::CancelSource source;
+  source.cancel();
+  // cut_policy arms Salvage without requiring a deadline: the fired
+  // token cuts the map at its first chunk boundary, and shuffle + reduce
+  // still run (over zero records) so the caller gets a usable result.
+  job.cut_policy(DeadlinePolicy::Salvage).cancellable(source.token());
+  const std::vector<std::pair<int, int>> inputs(64, {0, 1});
+  RunReport report;
+  const auto output = job.run(inputs, &report);
+  EXPECT_TRUE(output.empty());
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_EQ(report.mapped_records, 0);
+  EXPECT_EQ(report.total_records, 64);
+}
+
 }  // namespace
 }  // namespace pblpar::mapreduce

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rt/for_each.hpp"
+#include "rt/parallel.hpp"
+
+namespace pblpar::rt {
+namespace {
+
+// The persistent host pool serves ONE region at a time (a single busy_
+// exchange guards it); every concurrent region falls back to spawning a
+// fresh team. A multi-tenant server hammers exactly that edge: many
+// submitter threads opening regions at once. These tests drive it hard
+// and check the fallback never duplicates, drops, or tears work.
+
+TEST(ConcurrentSubmitTest, ManySubmittersEachIterationRunsExactlyOnce) {
+  constexpr int kSubmitters = 8;
+  constexpr int kRegionsPerSubmitter = 12;
+  constexpr std::int64_t kIterations = 512;
+
+  // One slot per (submitter, region, iteration); each must end at 1.
+  std::vector<std::atomic<int>> hits(
+      static_cast<std::size_t>(kSubmitters * kRegionsPerSubmitter) *
+      static_cast<std::size_t>(kIterations));
+  for (auto& h : hits) {
+    h.store(0, std::memory_order_relaxed);
+  }
+
+  warm_up(ParallelConfig::host(2));  // make the pool exist, then fight for it
+  const Schedule schedules[] = {Schedule::static_block(), Schedule::dynamic(8),
+                                Schedule::steal()};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int r = 0; r < kRegionsPerSubmitter; ++r) {
+        const std::int64_t base =
+            (static_cast<std::int64_t>(s) * kRegionsPerSubmitter + r) *
+            kIterations;
+        const Schedule schedule = schedules[(s + r) % 3];
+        parallel(ParallelConfig::host(2), [&](TeamContext& tc) {
+          for_each(tc, Range::upto(kIterations), schedule, [&](std::int64_t i) {
+            hits[static_cast<std::size_t>(base + i)].fetch_add(
+                1, std::memory_order_relaxed);
+          });
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  std::int64_t total = 0;
+  for (auto& h : hits) {
+    const int count = h.load(std::memory_order_relaxed);
+    ASSERT_EQ(count, 1);  // never dropped, never duplicated
+    total += count;
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(kSubmitters) *
+                       kRegionsPerSubmitter * kIterations);
+}
+
+TEST(ConcurrentSubmitTest, PoolStillWorksAfterTheContentionStorm) {
+  // After submitters stop fighting over busy_, the pool must be reusable
+  // by ordinary sequential regions (the storm must not leave it wedged).
+  std::atomic<bool> stop{false};
+  std::thread rival([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      parallel(ParallelConfig::host(2), [](TeamContext&) {});
+    }
+  });
+  for (int burst = 0; burst < 50; ++burst) {
+    std::atomic<std::int64_t> sum{0};
+    parallel(ParallelConfig::host(2), [&](TeamContext& tc) {
+      for_each(tc, Range::upto(256), Schedule::steal(),
+               [&](std::int64_t i) { sum.fetch_add(i); });
+    });
+    ASSERT_EQ(sum.load(), 256 * 255 / 2);
+  }
+  stop.store(true, std::memory_order_release);
+  rival.join();
+  // Storm over: three quiet regions in a row, all on the (reused) pool.
+  for (int quiet = 0; quiet < 3; ++quiet) {
+    std::atomic<std::int64_t> sum{0};
+    parallel(ParallelConfig::host(2), [&](TeamContext& tc) {
+      for_each(tc, Range::upto(1000), Schedule::dynamic(16),
+               [&](std::int64_t i) { sum.fetch_add(i); });
+    });
+    EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+  }
+}
+
+TEST(ConcurrentSubmitTest, ConcurrentTracedRegionsKeepProfilesSeparate) {
+  constexpr int kSubmitters = 4;
+  std::vector<std::shared_ptr<const RunProfile>> profiles(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      const RunResult result = parallel(
+          ParallelConfig::host(2).traced(), [&](TeamContext& tc) {
+            for_each(tc, Range::upto(128), Schedule::dynamic(4),
+                     [](std::int64_t) {});
+          });
+      profiles[static_cast<std::size_t>(s)] = result.profile;
+    });
+  }
+  for (auto& t : submitters) {
+    t.join();
+  }
+  for (int s = 0; s < kSubmitters; ++s) {
+    ASSERT_NE(profiles[static_cast<std::size_t>(s)], nullptr);
+    for (int other = s + 1; other < kSubmitters; ++other) {
+      EXPECT_NE(profiles[static_cast<std::size_t>(s)],
+                profiles[static_cast<std::size_t>(other)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pblpar::rt
