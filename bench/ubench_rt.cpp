@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "rt/host_backend.hpp"
 #include "rt/parallel.hpp"
 #include "rt/reduce.hpp"
 #include "rt/trace.hpp"
@@ -115,6 +116,19 @@ void BM_HostParallelForTracing(benchmark::State& state) {
 }
 BENCHMARK(BM_HostParallelForTracing)->Arg(0)->Arg(1);
 
+void BM_PoolSnapshot(benchmark::State& state) {
+  // Whole-pool stats sample from outside any region: a handful of relaxed
+  // loads plus the seqlocked live-counter cut. This is the "free to call
+  // from a dashboard thread" claim, measured.
+  rt::warm_up(rt::ParallelConfig::host(4));
+  for (auto _ : state) {
+    const rt::PoolSnapshot snap = rt::pool_snapshot();
+    benchmark::DoNotOptimize(snap.pooled_regions);
+    benchmark::DoNotOptimize(snap.live.coherent);
+  }
+}
+BENCHMARK(BM_PoolSnapshot);
+
 void BM_SimMachineEventThroughput(benchmark::State& state) {
   // How fast the simulator retires compute events (the practical limit on
   // experiment sizes).
@@ -155,6 +169,13 @@ int main(int argc, char** argv) {
   }
   print_trace_showcase();
   benchmark::RunSpecifiedBenchmarks();
+  const rt::PoolSnapshot pool = rt::pool_snapshot();
+  std::printf(
+      "\npool snapshot: %d persistent workers, %llu pooled regions, "
+      "%llu spawned fallbacks%s\n",
+      pool.workers, static_cast<unsigned long long>(pool.pooled_regions),
+      static_cast<unsigned long long>(pool.spawned_regions),
+      pool.busy ? " (busy)" : "");
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,214 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pblpar::oocore {
+
+/// A spill file could not be opened, read or written (disk full, unlinked
+/// scratch dir, torn record). Unlike rt::Cancelled this is a hard error:
+/// the job cannot produce its output.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Seeded I/O fault injection for the out-of-core tier, the disk-side
+/// sibling of rt::ChaosPlan: short writes exercise the writer's retry
+/// loop, slow reads stall a reader the way a cold disk or a contended
+/// spindle would (and so exercise the double-buffered read-ahead
+/// overlap). Draws come from one deterministic xoshiro stream per file
+/// (derived from `seed` and a per-file salt), so a plan replays
+/// identically. Empty plan (the default) = no injection.
+struct IoChaos {
+  /// Probability, per physical write, of the write stopping short
+  /// mid-buffer (the retry loop then continues from the offset).
+  double short_write_probability = 0.0;
+
+  /// Probability, per physical read, of stalling `slow_read_delay_s`
+  /// before the read is served.
+  double slow_read_probability = 0.0;
+  double slow_read_delay_s = 0.0;
+
+  std::uint64_t seed = 1;
+
+  bool empty() const {
+    return short_write_probability <= 0.0 && slow_read_probability <= 0.0;
+  }
+
+  /// Fail loudly on a malformed plan: probabilities in [0, 1], delay
+  /// finite and non-negative.
+  void validate() const;
+};
+
+/// Thin chaos-aware wrapper over one stdio stream. write() always
+/// completes or throws: a short write — injected or real — is retried
+/// from the offset it stopped at. read() returns the byte count actually
+/// delivered (< requested only at end of file).
+class RawFile {
+ public:
+  enum class Mode { Read, Write };
+
+  RawFile(const std::filesystem::path& path, Mode mode, const IoChaos& chaos,
+          std::uint64_t salt);
+  ~RawFile();
+
+  RawFile(const RawFile&) = delete;
+  RawFile& operator=(const RawFile&) = delete;
+
+  void seek(std::uint64_t offset);
+  std::size_t read(void* out, std::size_t count);
+  void write(const void* data, std::size_t count);
+
+  /// Flush buffered bytes to the OS and close; throws IoError if the
+  /// stream reports an error. The destructor closes silently instead
+  /// (abandoned spill files are unlinked by ScratchDir anyway).
+  void close();
+
+  std::int64_t bytes_read() const { return bytes_read_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  IoChaos chaos_;
+  bool chaos_reads_ = false;
+  bool chaos_writes_ = false;
+  util::Rng rng_;
+  std::int64_t bytes_read_ = 0;
+  std::int64_t bytes_written_ = 0;
+};
+
+/// Buffered spill-file writer: small records accumulate in one
+/// `buffer_bytes` block, writes at least a block long bypass the copy.
+class SpillWriter {
+ public:
+  SpillWriter(const std::filesystem::path& path, std::size_t buffer_bytes,
+              const IoChaos& chaos = {}, std::uint64_t salt = 0);
+
+  void write(const void* data, std::size_t count);
+
+  /// Flush and close; must be called on success paths (the destructor
+  /// closes without flushing guarantees, for abandoned files).
+  void close();
+
+  std::int64_t bytes_written() const { return total_bytes_; }
+
+ private:
+  void flush();
+
+  RawFile file_;
+  std::vector<std::byte> buffer_;
+  std::size_t fill_ = 0;
+  std::int64_t total_bytes_ = 0;
+  bool closed_ = false;
+};
+
+/// Buffered synchronous reader over a byte window [offset, offset+limit)
+/// of a file. `limit` == npos reads to end of file.
+class SpillReader {
+ public:
+  static constexpr std::uint64_t npos = ~std::uint64_t{0};
+
+  SpillReader(const std::filesystem::path& path, std::size_t buffer_bytes,
+              const IoChaos& chaos = {}, std::uint64_t salt = 0,
+              std::uint64_t offset = 0, std::uint64_t limit = npos);
+
+  /// Returns bytes delivered; < count only at the end of the window.
+  std::size_t read(void* out, std::size_t count);
+
+  std::int64_t bytes_read() const { return total_bytes_; }
+
+ private:
+  RawFile file_;
+  std::vector<std::byte> buffer_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t remaining_;
+  std::int64_t total_bytes_ = 0;
+};
+
+class DoubleBufferedReader;
+
+/// One background thread that keeps the back buffers of a set of
+/// DoubleBufferedReaders full, so a k-way merge overlaps disk reads with
+/// compare work. One Prefetcher serves a whole merge pass: every group's
+/// readers attach to it, and the thread round-robins whichever back
+/// buffers are empty. Readers detach (or die) before the Prefetcher does.
+class Prefetcher {
+ public:
+  Prefetcher() = default;
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  void attach(DoubleBufferedReader* reader);
+  void detach(DoubleBufferedReader* reader);
+
+  /// Wake the thread: some back buffer became refillable.
+  void poke();
+
+ private:
+  void loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<DoubleBufferedReader*> readers_;
+  std::uint64_t version_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Double-buffered sequential file reader: the consumer drains the front
+/// buffer while the shared Prefetcher thread refills the back buffer, so
+/// the next block is (usually) already in memory when the front runs dry.
+/// The consumer blocks only when it outruns the disk.
+class DoubleBufferedReader {
+ public:
+  DoubleBufferedReader(const std::filesystem::path& path,
+                       std::size_t buffer_bytes, Prefetcher& prefetcher,
+                       const IoChaos& chaos = {}, std::uint64_t salt = 0);
+  ~DoubleBufferedReader();
+
+  DoubleBufferedReader(const DoubleBufferedReader&) = delete;
+  DoubleBufferedReader& operator=(const DoubleBufferedReader&) = delete;
+
+  /// Returns bytes delivered; < count only at end of file.
+  std::size_t read(void* out, std::size_t count);
+
+ private:
+  friend class Prefetcher;
+
+  /// Prefetcher-side: fill the back buffer if it is refillable. Returns
+  /// true when a fill happened.
+  bool try_fill();
+
+  RawFile file_;
+  Prefetcher* prefetcher_;
+
+  // Consumer-owned.
+  std::vector<std::byte> front_;
+  std::size_t front_pos_ = 0;
+  std::size_t front_len_ = 0;
+  bool exhausted_ = false;
+
+  // Handoff state, guarded by mu_. The prefetcher owns back_ while
+  // back_ready_ is false; the consumer owns it (for the swap) once true.
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::vector<std::byte> back_;
+  std::size_t back_len_ = 0;
+  bool back_ready_ = false;
+  bool file_done_ = false;
+};
+
+}  // namespace pblpar::oocore

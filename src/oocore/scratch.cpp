@@ -1,0 +1,83 @@
+#include "oocore/scratch.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace pblpar::oocore {
+
+namespace {
+
+std::uint64_t process_id() {
+#if defined(_WIN32)
+  return static_cast<std::uint64_t>(_getpid());
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+// Process-wide counter so two ScratchDirs created back-to-back (or
+// concurrently from different threads) never collide on a name.
+std::atomic<std::uint64_t>& dir_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace
+
+ScratchDir::ScratchDir(std::string_view prefix) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path();
+  const std::uint64_t pid = process_id();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t id = dir_counter().fetch_add(1);
+    char name[128];
+    std::snprintf(name, sizeof(name), "%.*s-%" PRIu64 "-%" PRIu64,
+                  static_cast<int>(prefix.size()), prefix.data(), pid, id);
+    fs::path candidate = base / name;
+    std::error_code ec;
+    if (fs::create_directory(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw std::runtime_error("oocore: could not create a scratch directory");
+}
+
+ScratchDir::~ScratchDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+  // Swallow ec: the destructor runs during cancel drains and stack
+  // unwinding, where throwing would terminate the process.
+}
+
+std::filesystem::path ScratchDir::next_path(std::string_view stem) {
+  char name[128];
+  std::snprintf(name, sizeof(name), "%.*s-%06" PRIu64,
+                static_cast<int>(stem.size()), stem.data(),
+                counter_.fetch_add(1));
+  return path_ / name;
+}
+
+std::size_t ScratchDir::live_entries() const {
+  std::error_code ec;
+  std::size_t count = 0;
+  std::filesystem::directory_iterator it(path_, ec);
+  if (ec) {
+    return 0;
+  }
+  for (const auto& entry : it) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace pblpar::oocore

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace pblpar::oocore {
+
+/// RAII scratch directory for spill files. Creating one makes a uniquely
+/// named directory under the system temp dir; the destructor removes the
+/// directory and everything inside it, best-effort, no matter how the
+/// scope exits — normal return, thrown exception, or a cancel/deadline
+/// drain that abandoned half-written runs. External sort and the
+/// spillable shuffle both anchor their temp files here so an aborted job
+/// can never leak disk.
+class ScratchDir {
+ public:
+  /// Creates `<tmp>/<prefix>-<pid>-<counter>`. Throws std::runtime_error
+  /// if the directory cannot be created.
+  explicit ScratchDir(std::string_view prefix = "pblpar-oocore");
+
+  /// Removes the directory recursively; errors are swallowed (there is
+  /// nothing useful to do with them during unwinding).
+  ~ScratchDir();
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  /// Returns a fresh unique path inside the directory, e.g.
+  /// `<dir>/run-000017`. Does not create the file.
+  std::filesystem::path next_path(std::string_view stem);
+
+  /// Number of entries currently inside the directory (files the scope
+  /// would leak if the guard were not here). Used by the tmpdir-hygiene
+  /// test assertions.
+  std::size_t live_entries() const;
+
+ private:
+  std::filesystem::path path_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace pblpar::oocore

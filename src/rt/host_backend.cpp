@@ -435,6 +435,40 @@ void run_member(HostTeam& team, int tid,
   }
 }
 
+/// Regions that could not take the pool (nested/concurrent, or opted out)
+/// and spawned a fresh team instead.
+std::atomic<std::uint64_t> g_spawned_regions{0};
+
+/// The process-wide observer behind rt::pool_snapshot(): every traced
+/// region offers its recorder with try_attach, so the first one up is the
+/// one a snapshot sees, and detach_if guarantees an overlapping region
+/// never yanks a recorder it did not attach.
+RegionObserver& pool_observer() {
+  static RegionObserver observer;
+  return observer;
+}
+
+/// RAII attach of a traced region's recorder to the process-wide pool
+/// observer. Like ObserverAttach below, declared after the recorder so it
+/// detaches (draining in-flight pool_snapshot readers) strictly before
+/// the recorder dies.
+struct PoolObserverAttach {
+  const TraceRecorder* attached = nullptr;
+
+  explicit PoolObserverAttach(const TraceRecorder* recorder) {
+    if (recorder != nullptr && pool_observer().try_attach(recorder)) {
+      attached = recorder;
+    }
+  }
+  ~PoolObserverAttach() {
+    if (attached != nullptr) {
+      pool_observer().detach_if(attached);
+    }
+  }
+  PoolObserverAttach(const PoolObserverAttach&) = delete;
+  PoolObserverAttach& operator=(const PoolObserverAttach&) = delete;
+};
+
 /// RAII attach of a config's RegionObserver to the region's recorder.
 /// Declared after the recorder in both launch paths, so destruction
 /// detaches (blocking out in-flight snapshot readers) strictly before
@@ -502,6 +536,8 @@ RunResult host_parallel_spawn(const ParallelConfig& config,
     team.tracer = recorder.get();
   }
   ObserverAttach observer_attach(config, recorder.get());
+  PoolObserverAttach pool_attach(recorder.get());
+  g_spawned_regions.fetch_add(1, std::memory_order_relaxed);
   std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
       config.cancel_token, config.deadline_s, config.chaos, num_threads);
   if (governor != nullptr) {
@@ -602,6 +638,8 @@ class TeamPool {
                                                  TraceClock::HostSteady);
     }
     ObserverAttach observer_attach(config, recorder.get());
+    PoolObserverAttach pool_attach(recorder.get());
+    pooled_regions_.fetch_add(1, std::memory_order_relaxed);
     std::unique_ptr<RegionGovernor> governor = RegionGovernor::for_region(
         config.cancel_token, config.deadline_s, config.chaos, num_threads);
     if (governor != nullptr) {
@@ -638,6 +676,16 @@ class TeamPool {
     return finish_region(errors, start, end, recorder.get(), governor.get());
   }
 
+  /// Pool-side fields of a PoolSnapshot (the live counters and the spawn
+  /// fallback count come from elsewhere). Plain relaxed loads: each field
+  /// is an independent monotonic counter or flag, and the snapshot is a
+  /// dashboard read, not a synchronization point.
+  void fill(PoolSnapshot& snap) const {
+    snap.workers = worker_count_.load(std::memory_order_relaxed);
+    snap.busy = busy_.load(std::memory_order_relaxed);
+    snap.pooled_regions = pooled_regions_.load(std::memory_order_relaxed);
+  }
+
   ~TeamPool() {
     {
       std::lock_guard lk(mu_);
@@ -671,6 +719,8 @@ class TeamPool {
     while (static_cast<int>(workers_.size()) < count) {
       const int slot = static_cast<int>(workers_.size());
       workers_.emplace_back([this, slot] { worker_main(slot); });
+      worker_count_.store(static_cast<int>(workers_.size()),
+                          std::memory_order_relaxed);
     }
   }
 
@@ -730,6 +780,10 @@ class TeamPool {
 
   std::atomic<bool> busy_{false};
   HostTeam team_{1};
+  std::atomic<std::uint64_t> pooled_regions_{0};
+  /// Mirrors workers_.size(); workers_ itself grows outside mu_ (only the
+  /// region holding the pool touches it), so snapshots read this instead.
+  std::atomic<int> worker_count_{0};
 
   std::mutex mu_;
   // One park condvar per worker slot (stable addresses via unique_ptr);
@@ -750,6 +804,14 @@ class TeamPool {
 void warm_host_pool(int num_threads) {
   util::require(num_threads >= 1, "warm_host_pool: need at least one thread");
   TeamPool::instance().warm(num_threads);
+}
+
+PoolSnapshot pool_snapshot() {
+  PoolSnapshot snap;
+  TeamPool::instance().fill(snap);
+  snap.spawned_regions = g_spawned_regions.load(std::memory_order_relaxed);
+  snap.live = pool_observer().totals();
+  return snap;
 }
 
 RunResult host_parallel(const ParallelConfig& config,

@@ -9,6 +9,7 @@
 
 #include "rt/config.hpp"
 #include "rt/team.hpp"
+#include "rt/trace.hpp"
 
 namespace pblpar::rt {
 
@@ -78,5 +79,26 @@ RunResult host_parallel(const ParallelConfig& config,
 /// latency-sensitive section so the first region does not pay thread
 /// creation. No-op if the pool is already at least that wide.
 void warm_host_pool(int num_threads);
+
+/// One wait-free-read view of the process-wide worker pool, for dashboards
+/// and benches sampling from outside any region.
+struct PoolSnapshot {
+  int workers = 0;   // persistent workers currently spawned (excl. callers)
+  bool busy = false;  // a region holds the pool right now
+  std::uint64_t pooled_regions = 0;   // regions that ran on the pool
+  std::uint64_t spawned_regions = 0;  // regions that fell back to spawning
+
+  /// Coherent whole-region totals of the traced region currently running
+  /// on the backend, aggregated from the per-thread seqlocked live
+  /// counters (LiveTotals::active false when no traced region is up; see
+  /// TraceRecorder::live_totals for the coherent-cut semantics).
+  LiveTotals live;
+};
+
+/// Sample the pool. Safe from any thread at any time; never blocks a
+/// running region — readers take a shared handover lock the regions only
+/// write-touch at start/end, and the counter sample itself is the
+/// seqlock-retry read documented on TraceRecorder::live_totals.
+PoolSnapshot pool_snapshot();
 
 }  // namespace pblpar::rt

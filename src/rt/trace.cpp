@@ -117,6 +117,27 @@ void TraceRecorder::record_inject(int tid, double time_s,
       InjectEvent{tid, time_s, kind, delay_s});
 }
 
+void TraceRecorder::record_spill(int tid, const std::string& phase,
+                                 std::int64_t records, std::int64_t bytes,
+                                 double start_s, double end_s) {
+  PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+  thread.spills.push_back(
+      SpillEvent{tid, phase, records, bytes, start_s, end_s});
+  thread.publish([&] {
+    live_add(thread.live_spills, std::uint64_t{1});
+    live_add(thread.live_spill_bytes, bytes);
+  });
+}
+
+void TraceRecorder::record_merge(int tid, int fan_in, std::int64_t records,
+                                 std::int64_t bytes, double start_s,
+                                 double end_s) {
+  PerThread& thread = threads_[static_cast<std::size_t>(tid)];
+  thread.merges.push_back(
+      MergeEvent{tid, fan_in, records, bytes, start_s, end_s});
+  thread.publish([&] { live_add(thread.live_merges, std::uint64_t{1}); });
+}
+
 RunProfile TraceRecorder::finish(double region_s) {
   RunProfile profile;
   profile.clock = clock_;
@@ -146,6 +167,10 @@ RunProfile TraceRecorder::finish(double region_s) {
                            thread.cancels.end());
     profile.injects.insert(profile.injects.end(), thread.injects.begin(),
                            thread.injects.end());
+    profile.spills.insert(profile.spills.end(), thread.spills.begin(),
+                          thread.spills.end());
+    profile.merges.insert(profile.merges.end(), thread.merges.begin(),
+                          thread.merges.end());
   }
   std::sort(profile.chunks.begin(), profile.chunks.end(),
             [](const ChunkEvent& a, const ChunkEvent& b) {
@@ -171,6 +196,16 @@ RunProfile TraceRecorder::finish(double region_s) {
             [](const InjectEvent& a, const InjectEvent& b) {
               return a.time_s != b.time_s ? a.time_s < b.time_s
                                           : a.tid < b.tid;
+            });
+  std::sort(profile.spills.begin(), profile.spills.end(),
+            [](const SpillEvent& a, const SpillEvent& b) {
+              return a.start_s != b.start_s ? a.start_s < b.start_s
+                                            : a.tid < b.tid;
+            });
+  std::sort(profile.merges.begin(), profile.merges.end(),
+            [](const MergeEvent& a, const MergeEvent& b) {
+              return a.start_s != b.start_s ? a.start_s < b.start_s
+                                            : a.tid < b.tid;
             });
   return profile;
 }
@@ -205,6 +240,10 @@ LiveSnapshot TraceRecorder::live_snapshot() const {
       out.barriers = thread.live_barriers.load(std::memory_order_relaxed);
       out.criticals = thread.live_criticals.load(std::memory_order_relaxed);
       out.singles_won = thread.live_singles.load(std::memory_order_relaxed);
+      out.spills = thread.live_spills.load(std::memory_order_relaxed);
+      out.spill_bytes =
+          thread.live_spill_bytes.load(std::memory_order_relaxed);
+      out.merges = thread.live_merges.load(std::memory_order_relaxed);
       // Order the data loads before the recheck; paired with the
       // publisher's acq_rel open-bracket, an unchanged v2 proves no write
       // section overlapped the loads.
@@ -229,6 +268,99 @@ LiveSnapshot TraceRecorder::live_snapshot() const {
     }
   }
   return snapshot;
+}
+
+LiveTotals TraceRecorder::live_totals(int max_attempts) const {
+  LiveTotals totals;
+  totals.active = true;
+  totals.num_threads = num_threads_;
+  const auto n = static_cast<std::size_t>(num_threads_);
+  std::vector<std::uint64_t> seqs(n, 0);
+  std::vector<LiveThreadCounters> rows(n);
+
+  // The recheck idiom from live_snapshot(): order prior data loads before
+  // re-reading a seq, in the TSan-modelled flavour under TSan.
+  const auto seq_after_loads = [&](std::size_t i) {
+#if defined(__SANITIZE_THREAD__)
+    return const_cast<std::atomic<std::uint64_t>&>(threads_[i].live_seq)
+        .fetch_add(0, std::memory_order_acq_rel);
+#else
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return threads_[i].live_seq.load(std::memory_order_relaxed);
+#endif
+  };
+
+  max_attempts = std::max(max_attempts, 1);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Pass 1: collect each thread's row under its own seqlock, keeping
+    // the verified sequence value. Row i is exact at its bracket time
+    // t_i, when the thread's seq was seqs[i].
+    for (std::size_t i = 0; i < n; ++i) {
+      const PerThread& thread = threads_[i];
+      LiveThreadCounters& row = rows[i];
+      row.tid = static_cast<int>(i);
+      for (;;) {
+        const std::uint64_t v1 =
+            thread.live_seq.load(std::memory_order_acquire);
+        if ((v1 & 1) != 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        row.iterations =
+            thread.live_iterations.load(std::memory_order_relaxed);
+        row.stolen_iterations =
+            thread.live_stolen_iterations.load(std::memory_order_relaxed);
+        row.chunks = thread.live_chunks.load(std::memory_order_relaxed);
+        row.steals = thread.live_steals.load(std::memory_order_relaxed);
+        row.barriers = thread.live_barriers.load(std::memory_order_relaxed);
+        row.criticals =
+            thread.live_criticals.load(std::memory_order_relaxed);
+        row.singles_won =
+            thread.live_singles.load(std::memory_order_relaxed);
+        row.spills = thread.live_spills.load(std::memory_order_relaxed);
+        row.spill_bytes =
+            thread.live_spill_bytes.load(std::memory_order_relaxed);
+        row.merges = thread.live_merges.load(std::memory_order_relaxed);
+        if (seq_after_loads(i) == v1) {
+          seqs[i] = v1;
+          break;
+        }
+      }
+    }
+    // Pass 2: coherence recheck at one point V after every row. If
+    // thread i's seq still equals seqs[i], no publish landed in
+    // [t_i, V], so row i is still exact at V — all rows passing makes
+    // the collection one consistent cross-thread cut (at V). Workers
+    // never wait for this; the reader owns all the retries.
+    bool stable = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seq_after_loads(i) != seqs[i]) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) {
+      totals.coherent = true;
+      break;
+    }
+    // Fall through with the (incoherent) rows: each is exact at its own
+    // t_i, and every counter is monotonic, so the summed totals lie
+    // between the true totals at the call's start and end.
+  }
+
+  for (const LiveThreadCounters& row : rows) {
+    totals.iterations += row.iterations;
+    totals.stolen_iterations += row.stolen_iterations;
+    totals.chunks += row.chunks;
+    totals.steals += row.steals;
+    totals.barriers += row.barriers;
+    totals.criticals += row.criticals;
+    totals.singles_won += row.singles_won;
+    totals.spills += row.spills;
+    totals.spill_bytes += row.spill_bytes;
+    totals.merges += row.merges;
+  }
+  return totals;
 }
 
 // --- LiveSnapshot ----------------------------------------------------------
@@ -270,6 +402,14 @@ LiveSnapshot RegionObserver::snapshot() const {
   return recorder_->live_snapshot();
 }
 
+LiveTotals RegionObserver::totals() const {
+  ReadLock guard(lock_);
+  if (recorder_ == nullptr) {
+    return LiveTotals{};
+  }
+  return recorder_->live_totals();
+}
+
 void RegionObserver::attach(const TraceRecorder* recorder) {
   WriteLock guard(lock_);
   recorder_ = recorder;
@@ -278,6 +418,22 @@ void RegionObserver::attach(const TraceRecorder* recorder) {
 void RegionObserver::detach() {
   WriteLock guard(lock_);
   recorder_ = nullptr;
+}
+
+bool RegionObserver::try_attach(const TraceRecorder* recorder) {
+  WriteLock guard(lock_);
+  if (recorder_ != nullptr) {
+    return false;
+  }
+  recorder_ = recorder;
+  return true;
+}
+
+void RegionObserver::detach_if(const TraceRecorder* recorder) {
+  WriteLock guard(lock_);
+  if (recorder_ == recorder) {
+    recorder_ = nullptr;
+  }
 }
 
 // --- RunProfile aggregates -------------------------------------------------
@@ -313,6 +469,14 @@ std::vector<ThreadProfile> RunProfile::per_thread() const {
   }
   for (const SingleEvent& single : singles) {
     ++threads[static_cast<std::size_t>(single.winner_tid)].singles_won;
+  }
+  for (const SpillEvent& spill : spills) {
+    ThreadProfile& thread = threads[static_cast<std::size_t>(spill.tid)];
+    ++thread.spills;
+    thread.spill_bytes += spill.bytes;
+  }
+  for (const MergeEvent& merge : merges) {
+    ++threads[static_cast<std::size_t>(merge.tid)].merges;
   }
   return threads;
 }
@@ -479,6 +643,20 @@ std::string RunProfile::timeline_chart(int loop_id, int width) const {
         << cancel.cause << ", " << cancel.completed_iterations
         << " iters done)\n";
   }
+  // Spill/merge legends are region-level like cancels: the out-of-core
+  // tier's disk traffic is visible next to the lanes it ran beside.
+  for (const SpillEvent& spill : spills) {
+    out << "  spill t" << spill.tid << " [" << spill.phase << "] "
+        << spill.records << " records, " << spill.bytes << " B @ "
+        << util::Table::num(spill.start_s * 1e3, 3) << ".."
+        << util::Table::num(spill.end_s * 1e3, 3) << " ms\n";
+  }
+  for (const MergeEvent& merge : merges) {
+    out << "  merge t" << merge.tid << " fan-in " << merge.fan_in << ", "
+        << merge.records << " records, " << merge.bytes << " B @ "
+        << util::Table::num(merge.start_s * 1e3, 3) << ".."
+        << util::Table::num(merge.end_s * 1e3, 3) << " ms\n";
+  }
   return out.str();
 }
 
@@ -578,6 +756,29 @@ std::string RunProfile::to_json() const {
     append_json_number(out, inject.delay_s);
     out << "}";
   }
+  out << "],\"spills\":[";
+  for (std::size_t i = 0; i < spills.size(); ++i) {
+    const SpillEvent& spill = spills[i];
+    out << (i ? "," : "") << "{\"tid\":" << spill.tid << ",\"phase\":\""
+        << spill.phase << "\",\"records\":" << spill.records
+        << ",\"bytes\":" << spill.bytes << ",\"start_s\":";
+    append_json_number(out, spill.start_s);
+    out << ",\"end_s\":";
+    append_json_number(out, spill.end_s);
+    out << "}";
+  }
+  out << "],\"merges\":[";
+  for (std::size_t i = 0; i < merges.size(); ++i) {
+    const MergeEvent& merge = merges[i];
+    out << (i ? "," : "") << "{\"tid\":" << merge.tid
+        << ",\"fan_in\":" << merge.fan_in
+        << ",\"records\":" << merge.records << ",\"bytes\":" << merge.bytes
+        << ",\"start_s\":";
+    append_json_number(out, merge.start_s);
+    out << ",\"end_s\":";
+    append_json_number(out, merge.end_s);
+    out << "}";
+  }
   out << "],\"per_thread\":[";
   const std::vector<ThreadProfile> threads = per_thread();
   for (std::size_t i = 0; i < threads.size(); ++i) {
@@ -596,7 +797,10 @@ std::string RunProfile::to_json() const {
         << ",\"stolen_iterations\":" << thread.stolen_iterations
         << ",\"barriers\":" << thread.barriers
         << ",\"criticals\":" << thread.criticals
-        << ",\"singles_won\":" << thread.singles_won << "}";
+        << ",\"singles_won\":" << thread.singles_won
+        << ",\"spills\":" << thread.spills
+        << ",\"spill_bytes\":" << thread.spill_bytes
+        << ",\"merges\":" << thread.merges << "}";
   }
   out << "],\"load_imbalance\":";
   append_json_number(out, load_imbalance());

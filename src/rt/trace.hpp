@@ -107,6 +107,34 @@ struct InjectEvent {
   double delay_s = 0.0;  // 0 for throws
 };
 
+/// One spill of sorted records to a scratch run file by the out-of-core
+/// tier. `phase` names the producer: "extsort-run" (external sort run
+/// formation) or "shuffle" (a map worker crossing its memory budget).
+struct SpillEvent {
+  int tid = 0;
+  std::string phase;
+  std::int64_t records = 0;
+  std::int64_t bytes = 0;      // bytes written to the run file
+  double start_s = 0.0;        // seconds since region start, trace clock
+  double end_s = 0.0;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+/// One k-way merge of sorted runs (from disk and/or memory) by the
+/// out-of-core tier: `fan_in` sources were drained into `records` output
+/// records; `bytes` counts the bytes read back from spill files.
+struct MergeEvent {
+  int tid = 0;
+  int fan_in = 0;
+  std::int64_t records = 0;
+  std::int64_t bytes = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  double duration_s() const { return end_s - start_s; }
+};
+
 /// Per-thread aggregate of a RunProfile.
 struct ThreadProfile {
   int tid = 0;
@@ -121,6 +149,9 @@ struct ThreadProfile {
   std::uint64_t singles_won = 0;
   std::uint64_t steals = 0;             // chunks this thread stole
   std::int64_t stolen_iterations = 0;   // iterations it gained that way
+  std::uint64_t spills = 0;             // out-of-core runs it wrote
+  std::int64_t spill_bytes = 0;         // bytes it spilled to disk
+  std::uint64_t merges = 0;             // k-way merges it performed
 };
 
 /// Full observability record of one parallel region, attached to
@@ -139,6 +170,8 @@ struct RunProfile {
   std::vector<SingleEvent> singles;
   std::vector<CancelEvent> cancels;  // sorted by time_s
   std::vector<InjectEvent> injects;  // sorted by time_s
+  std::vector<SpillEvent> spills;    // sorted by (start_s, tid)
+  std::vector<MergeEvent> merges;    // sorted by (start_s, tid)
 
   /// Aggregates indexed by tid.
   std::vector<ThreadProfile> per_thread() const;
@@ -195,6 +228,9 @@ struct LiveThreadCounters {
   std::uint64_t barriers = 0;
   std::uint64_t criticals = 0;
   std::uint64_t singles_won = 0;
+  std::uint64_t spills = 0;
+  std::int64_t spill_bytes = 0;
+  std::uint64_t merges = 0;
 };
 
 /// Mid-region progress sample. `active` is false when no traced region
@@ -207,6 +243,31 @@ struct LiveSnapshot {
   std::int64_t total_iterations() const;
   std::uint64_t total_chunks() const;
   std::uint64_t total_steals() const;
+};
+
+/// Whole-recorder aggregate of the per-thread live counters, taken as one
+/// coherent cut when possible: the reader double-collects every thread's
+/// seqlock sequence around the counter loads and only accepts the totals
+/// if no thread published in between. Writers stay wait-free — the reader
+/// does all the retrying, and after `max_attempts` collisions it returns
+/// the last collect with `coherent == false` (each per-thread value is
+/// still exact at *some* instant during the call, and all counters are
+/// monotonic, so an incoherent total is bracketed by the true totals at
+/// the call's start and end).
+struct LiveTotals {
+  bool active = false;    // a recorder was attached / sampled
+  bool coherent = false;  // totals form one consistent cross-thread cut
+  int num_threads = 0;
+  std::int64_t iterations = 0;
+  std::int64_t stolen_iterations = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t criticals = 0;
+  std::uint64_t singles_won = 0;
+  std::uint64_t spills = 0;
+  std::int64_t spill_bytes = 0;
+  std::uint64_t merges = 0;
 };
 
 /// Collector the backends write events into while a region runs.
@@ -248,6 +309,10 @@ class TraceRecorder {
                      std::int64_t completed_iterations);
   void record_inject(int tid, double time_s, const std::string& kind,
                      double delay_s);
+  void record_spill(int tid, const std::string& phase, std::int64_t records,
+                    std::int64_t bytes, double start_s, double end_s);
+  void record_merge(int tid, int fan_in, std::int64_t records,
+                    std::int64_t bytes, double start_s, double end_s);
 
   /// Merge all buffers into a profile; `region_s` is the region duration
   /// on this recorder's clock.
@@ -257,6 +322,12 @@ class TraceRecorder {
   /// call from any thread while members are recording; workers never
   /// block or retry for it — the reader does all the waiting.
   LiveSnapshot live_snapshot() const;
+
+  /// One coherent whole-pool total of every thread's live counters (see
+  /// LiveTotals). Wait-free for the workers; the reader retries up to
+  /// `max_attempts` double-collects before settling for an incoherent
+  /// (but per-thread-exact, monotonicity-bracketed) total.
+  LiveTotals live_totals(int max_attempts = 64) const;
 
  private:
   /// Cache-line aligned: every record_* call appends to its own thread's
@@ -277,6 +348,8 @@ class TraceRecorder {
     std::vector<SingleEvent> singles;
     std::vector<CancelEvent> cancels;
     std::vector<InjectEvent> injects;
+    std::vector<SpillEvent> spills;
+    std::vector<MergeEvent> merges;
 
     std::atomic<std::uint64_t> live_seq{0};
     std::atomic<std::int64_t> live_iterations{0};
@@ -286,6 +359,9 @@ class TraceRecorder {
     std::atomic<std::uint64_t> live_barriers{0};
     std::atomic<std::uint64_t> live_criticals{0};
     std::atomic<std::uint64_t> live_singles{0};
+    std::atomic<std::uint64_t> live_spills{0};
+    std::atomic<std::int64_t> live_spill_bytes{0};
+    std::atomic<std::uint64_t> live_merges{0};
 
     /// Run `update` (relaxed stores into the live_* fields) inside one
     /// seqlock write section. Wait-free: two fetch_adds, no loops.
@@ -322,9 +398,20 @@ class RegionObserver {
   /// when no traced region is attached right now.
   LiveSnapshot snapshot() const;
 
+  /// Coherent whole-region totals of the attached recorder (see
+  /// TraceRecorder::live_totals); inactive totals when none is attached.
+  LiveTotals totals() const;
+
   /// Backend-internal: called by the host backend at region start/end.
   void attach(const TraceRecorder* recorder);
   void detach();
+
+  /// Backend-internal variants for shared observers (the process-wide
+  /// pool observer behind rt::pool_snapshot): attach only when empty, and
+  /// detach only the recorder this region attached — two overlapping
+  /// regions then never yank each other's recorder.
+  bool try_attach(const TraceRecorder* recorder);
+  void detach_if(const TraceRecorder* recorder);
 
  private:
   mutable RwLock lock_;
