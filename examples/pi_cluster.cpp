@@ -81,7 +81,7 @@ int main() {
   }
 
   const cluster::TaskFn slice_task =
-      [](cluster::TaskContext& ctx, int, const std::vector<std::byte>& in) {
+      [](cluster::TaskContext& ctx, int, mp::ByteView in) {
         cluster::Reader reader(in);
         const std::int64_t begin = reader.i64();
         const std::int64_t end = reader.i64();
@@ -106,7 +106,7 @@ int main() {
       cluster::run_sim_cluster(4, tasks, slice_task, {}, &faults);
 
   double pi = 0.0;
-  for (const std::vector<std::byte>& result : run.results) {
+  for (const mp::Buffer& result : run.results) {
     pi += cluster::Reader(result).f64();
   }
   std::printf("  pi = %.8f (identical with and without the fault)\n\n",

@@ -10,6 +10,7 @@
 #include "cluster/engine.hpp"
 #include "cluster/wire.hpp"
 #include "mapreduce/job.hpp"  // Emitter
+#include "mp/buffer.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::cluster {
@@ -106,7 +107,7 @@ class DistJob {
 
     const TaskFn task_fn = [this, &inputs, reducers](
                                TaskContext& ctx, int,
-                               const std::vector<std::byte>& payload) {
+                               mp::ByteView payload) {
       return map_task(ctx, payload, inputs, reducers);
     };
     ClusterRunResult engine_result =
@@ -130,13 +131,14 @@ class DistJob {
     util::ensure(!live.empty(), "DistJob::run: no live ranks in the plan");
 
     // --- Shuffle: master splits every task's buckets by owner,
-    // concatenating in task order so value order == input order.
-    std::vector<std::vector<std::byte>> rank_blobs(
-        static_cast<std::size_t>(size));
+    // concatenating in task order so value order == input order. The
+    // per-rank blobs travel as owned Buffers (scatter_raw moves them
+    // onto the wire; no re-encode copy).
+    std::vector<mp::Buffer> rank_blobs(static_cast<std::size_t>(size));
     if (engine_result.is_master) {
       std::vector<std::vector<Bucket>> task_buckets;
       task_buckets.reserve(engine_result.results.size());
-      for (const std::vector<std::byte>& result : engine_result.results) {
+      for (const mp::Buffer& result : engine_result.results) {
         task_buckets.push_back(decode_map_result(result, reducers));
       }
       std::vector<Writer> writers(static_cast<std::size_t>(size));
@@ -156,7 +158,7 @@ class DistJob {
             writers[static_cast<std::size_t>(r)].take();
       }
     }
-    const std::vector<std::byte> my_blob = comm.scatter(rank_blobs, 0);
+    const mp::Buffer my_blob = comm.scatter_raw(std::move(rank_blobs), 0);
 
     // --- Reduce the partitions this rank owns.
     const int my_rank = comm.rank();
@@ -183,25 +185,24 @@ class DistJob {
     Writer output_writer;
     WireCodec<std::vector<std::pair<K2, VOut>>>::write(output_writer,
                                                        my_output);
-    const std::vector<std::vector<std::byte>> gathered =
-        comm.gather(output_writer.take(), 0);
-    std::vector<std::byte> combined;
+    const std::vector<mp::Buffer> gathered =
+        comm.gather_raw(mp::Buffer(output_writer.take()), 0);
+    mp::Buffer combined;
     if (my_rank == 0) {
       Writer writer;
       writer.u32(static_cast<std::uint32_t>(gathered.size()));
-      for (const std::vector<std::byte>& blob : gathered) {
+      for (const mp::Buffer& blob : gathered) {
         writer.blob(blob);
       }
-      combined = writer.take();
+      combined = mp::Buffer(writer.take());
     }
-    comm.bcast(combined, 0);
+    comm.bcast_raw(combined, 0);
 
     std::vector<std::pair<K2, VOut>> output;
     Reader combined_reader(combined);
     const std::uint32_t rank_count = combined_reader.u32();
     for (std::uint32_t r = 0; r < rank_count; ++r) {
-      const std::vector<std::byte> blob = combined_reader.blob();
-      Reader blob_reader(blob);
+      Reader blob_reader(combined_reader.blob_view());
       std::vector<std::pair<K2, VOut>> part =
           WireCodec<std::vector<std::pair<K2, VOut>>>::read(blob_reader);
       output.insert(output.end(), std::make_move_iterator(part.begin()),
@@ -231,7 +232,7 @@ class DistJob {
   /// pairs, optionally combine, and encode the `reducers` buckets in
   /// partition order.
   std::vector<std::byte> map_task(
-      TaskContext& ctx, const std::vector<std::byte>& payload,
+      TaskContext& ctx, mp::ByteView payload,
       const std::vector<std::pair<K1, V1>>& inputs, int reducers) const {
     Reader reader(payload);
     const std::int64_t begin = reader.i64();
@@ -277,7 +278,7 @@ class DistJob {
     return combined;
   }
 
-  std::vector<Bucket> decode_map_result(const std::vector<std::byte>& bytes,
+  std::vector<Bucket> decode_map_result(const mp::Buffer& bytes,
                                         int reducers) const {
     Reader reader(bytes);
     std::vector<Bucket> buckets;

@@ -88,7 +88,16 @@ std::string ClusterProfile::to_json() const {
      << ",\"heartbeats\":" << stats.heartbeats
      << ",\"cancelled_tasks\":" << stats.cancelled_tasks
      << ",\"completion_s\":" << stats.completion_s
-     << ",\"makespan_s\":" << stats.makespan_s << "},\"dead_workers\":[";
+     << ",\"makespan_s\":" << stats.makespan_s << "},\"wire\":{"
+     << "\"messages\":[";
+  for (std::size_t i = 0; i < wire_messages.size(); ++i) {
+    os << (i > 0 ? "," : "") << wire_messages[i];
+  }
+  os << "],\"bytes\":[";
+  for (std::size_t i = 0; i < wire_bytes.size(); ++i) {
+    os << (i > 0 ? "," : "") << wire_bytes[i];
+  }
+  os << "]},\"dead_workers\":[";
   for (std::size_t i = 0; i < dead_workers.size(); ++i) {
     os << (i > 0 ? "," : "") << dead_workers[i];
   }

@@ -145,6 +145,13 @@ struct ClusterProfile {
   std::vector<ClusterEvent> events;
   std::vector<int> dead_workers;
 
+  /// Outbound wire traffic per rank (messages sent / payload bytes
+  /// shipped), snapshotted from the transport's counters when the
+  /// master wound down. Cumulative over the world, so it includes any
+  /// traffic before the engine ran.
+  std::vector<std::uint64_t> wire_messages;
+  std::vector<std::uint64_t> wire_bytes;
+
   /// Per-worker attempt timeline: tid = rank, chunk [task, task+1),
   /// claim_order = the attempt's claim id. Render with
   /// schedule->timeline_chart(0). Null when the engine ran without a
@@ -202,15 +209,18 @@ class TaskContext {
   std::function<void()> progress_fn_;
 };
 
-/// A task body: consume the task's payload, return its result bytes.
-/// Runs on worker ranks (and inline on the master when size == 1).
+/// A task body: consume the task's payload (a zero-copy view into the
+/// assignment message, valid for the duration of the call), return its
+/// result bytes. Runs on worker ranks (and inline on the master when
+/// size == 1).
 using TaskFn = std::function<std::vector<std::byte>(
-    TaskContext&, int task_id, const std::vector<std::byte>& payload)>;
+    TaskContext&, int task_id, mp::ByteView payload)>;
 
 /// What run_cluster_tasks returns on each rank.
 struct ClusterRunResult {
-  /// Per-task result bytes, indexed by task id. Master only.
-  std::vector<std::vector<std::byte>> results;
+  /// Per-task result bytes, indexed by task id; each entry shares the
+  /// Done message's storage (no result copy on the master). Master only.
+  std::vector<mp::Buffer> results;
   /// Ranks the master declared dead and never heard from again.
   /// Master only.
   std::vector<int> dead_workers;
@@ -469,7 +479,7 @@ class Master {
           0, t, [this](double ops) { Traits::charge_ops(comm_, ops); },
           [] {});
       results_[static_cast<std::size_t>(t)] =
-          task_fn(ctx, t, tasks_[static_cast<std::size_t>(t)]);
+          task_fn(ctx, t, mp::ByteView(tasks_[static_cast<std::size_t>(t)]));
       task_states_[static_cast<std::size_t>(t)].done = true;
       --remaining_;
       const double end_s = now_rel();
@@ -580,7 +590,9 @@ class Master {
       case kTagDone: {
         Reader reader(msg.payload);
         const TaskHeader header = parse_header(reader);
-        std::vector<std::byte> result = reader.blob();
+        // Keep the result as a zero-copy slice of the Done message.
+        const std::uint32_t result_len = reader.u32();
+        mp::Buffer result = msg.payload.slice(reader.pos(), result_len);
         if (ws.phase == WPhase::Dead) {
           resurrect(w, now);
         }
@@ -867,7 +879,7 @@ class Master {
   ClusterOptions options_;
   ClusterProfile* profile_;
 
-  std::vector<std::vector<std::byte>> results_;
+  std::vector<mp::Buffer> results_;
   std::vector<TaskState> task_states_;
   std::vector<WorkerState> workers_;
   std::deque<int> queue_;
@@ -929,7 +941,9 @@ bool run_worker(CommT& comm, const TaskFn& task_fn,
                    "cluster worker: unexpected tag from master");
       Reader reader(msg.payload);
       const detail::TaskHeader header = detail::parse_header(reader);
-      const std::vector<std::byte> payload = reader.blob();
+      // Zero-copy: the task body reads the payload straight out of the
+      // assignment message (msg stays alive across the call).
+      const mp::ByteView payload = reader.blob_view();
 
       const bool crash_this =
           crash != nullptr && started_tasks == crash->nth_task;
@@ -1018,7 +1032,19 @@ ClusterRunResult run_cluster_tasks(
   }
   if (comm.rank() == 0) {
     detail::Master<CommT> master(comm, tasks, options, profile);
-    return master.run(task_fn);
+    ClusterRunResult result = master.run(task_fn);
+    if (profile != nullptr) {
+      // Snapshot every rank's outbound wire counters into the profile
+      // schema (zombie stragglers may still add a little after this).
+      profile->wire_messages.clear();
+      profile->wire_bytes.clear();
+      for (int r = 0; r < comm.size(); ++r) {
+        const mp::WireStats wire = comm.wire_stats(r);
+        profile->wire_messages.push_back(wire.messages);
+        profile->wire_bytes.push_back(wire.bytes);
+      }
+    }
+    return result;
   }
   ClusterRunResult result;
   result.crashed = detail::run_worker(comm, task_fn, options, faults,
@@ -1028,7 +1054,7 @@ ClusterRunResult run_cluster_tasks(
 
 /// Everything a deterministic simulated engine run produces.
 struct SimClusterRun {
-  std::vector<std::vector<std::byte>> results;
+  std::vector<mp::Buffer> results;
   std::vector<int> dead_workers;
   /// Master-side job-deadline outcome (see ClusterRunResult).
   bool job_cancelled = false;

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -51,7 +52,7 @@ class Writer {
   }
 
   /// Length-prefixed nested buffer.
-  void blob(const std::vector<std::byte>& bytes) {
+  void blob(std::span<const std::byte> bytes) {
     u32(static_cast<std::uint32_t>(bytes.size()));
     raw(bytes.data(), bytes.size());
   }
@@ -65,16 +66,19 @@ class Writer {
 };
 
 /// Positional decoder over a byte buffer produced by Writer. Does not own
-/// the buffer; it must outlive the Reader.
+/// the bytes; the backing storage (vector, mp::Buffer, message payload)
+/// must outlive the Reader and any views handed out.
 class Reader {
  public:
-  explicit Reader(const std::vector<std::byte>& bytes) : bytes_(&bytes) {}
+  explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+  explicit Reader(const std::vector<std::byte>& bytes)
+      : bytes_(bytes.data(), bytes.size()) {}
 
   void raw(void* out, std::size_t size) {
-    if (pos_ + size > bytes_->size()) {
+    if (pos_ + size > bytes_.size()) {
       throw WireError("cluster wire: decode ran past the end of the buffer");
     }
-    std::memcpy(out, bytes_->data() + pos_, size);
+    std::memcpy(out, bytes_.data() + pos_, size);
     pos_ += size;
   }
 
@@ -94,32 +98,40 @@ class Reader {
 
   std::string str() {
     const std::uint32_t size = u32();
-    if (pos_ + size > bytes_->size()) {
+    if (pos_ + size > bytes_.size()) {
       throw WireError("cluster wire: string length exceeds the buffer");
     }
-    std::string text(reinterpret_cast<const char*>(bytes_->data() + pos_),
-                     size);
+    std::string text;
+    if (size > 0) {
+      text.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    }
     pos_ += size;
     return text;
   }
 
   std::vector<std::byte> blob() {
-    const std::uint32_t size = u32();
-    if (pos_ + size > bytes_->size()) {
-      throw WireError("cluster wire: blob length exceeds the buffer");
-    }
-    std::vector<std::byte> bytes(bytes_->begin() + static_cast<long>(pos_),
-                                 bytes_->begin() +
-                                     static_cast<long>(pos_ + size));
-    pos_ += size;
-    return bytes;
+    std::span<const std::byte> view = blob_view();
+    return std::vector<std::byte>(view.begin(), view.end());
   }
 
-  bool done() const { return pos_ == bytes_->size(); }
-  std::size_t remaining() const { return bytes_->size() - pos_; }
+  /// Length-prefixed nested buffer as a zero-copy view into the backing
+  /// bytes (valid while they live).
+  std::span<const std::byte> blob_view() {
+    const std::uint32_t size = u32();
+    if (pos_ + size > bytes_.size()) {
+      throw WireError("cluster wire: blob length exceeds the buffer");
+    }
+    std::span<const std::byte> view = bytes_.subspan(pos_, size);
+    pos_ += size;
+    return view;
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
 
  private:
-  const std::vector<std::byte>* bytes_;
+  std::span<const std::byte> bytes_;
   std::size_t pos_ = 0;
 };
 

@@ -265,8 +265,7 @@ Result solve_cluster(const Config& config, int nodes,
   }
 
   const cluster::TaskFn task_fn =
-      [&workload](cluster::TaskContext& ctx, int,
-                  const std::vector<std::byte>& payload) {
+      [&workload](cluster::TaskContext& ctx, int, mp::ByteView payload) {
         cluster::Reader reader(payload);
         const auto index = static_cast<std::size_t>(reader.i32());
         const std::string& ligand = workload.ligands[index];

@@ -1,0 +1,207 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pblpar::mp {
+
+/// A read-only view over payload bytes; the buffer that backs it must
+/// stay alive for as long as the view is read.
+using ByteView = std::span<const std::byte>;
+
+/// Counters of the global recycling pool behind large message payloads.
+struct PoolStats {
+  std::uint64_t hits = 0;       // acquire served from the cache
+  std::uint64_t misses = 0;     // acquire had to allocate
+  std::uint64_t recycled = 0;   // release kept the block for reuse
+  std::uint64_t discarded = 0;  // release freed the block (cache full)
+};
+
+PoolStats buffer_pool_stats();
+void buffer_pool_reset_stats();
+
+/// Drop every cached block (stats untouched). Mainly for tests that
+/// want a cold pool.
+void buffer_pool_trim();
+
+/// Instrumented payload-copy accounting: every full-payload memcpy the
+/// codec and collective layers perform goes through
+/// detail::copy_payload, so "copies per hop" is measurable rather than
+/// asserted. Inline small-message moves are not counted.
+struct CopyStats {
+  std::uint64_t copies = 0;
+  std::uint64_t bytes = 0;
+};
+
+CopyStats payload_copy_stats();
+void payload_copy_reset_stats();
+
+namespace detail {
+
+void note_payload_copy(std::size_t bytes);
+
+/// Counted payload memcpy — the only way codec/collective code is
+/// allowed to duplicate payload bytes.
+inline void copy_payload(void* dst, const void* src, std::size_t bytes) {
+  if (bytes > 0) {
+    std::memcpy(dst, src, bytes);
+    note_payload_copy(bytes);
+  }
+}
+
+struct PooledBlock {
+  std::byte* data = nullptr;
+  std::size_t capacity = 0;
+};
+
+PooledBlock pool_acquire(std::size_t size);
+void pool_release(std::byte* data, std::size_t capacity) noexcept;
+
+}  // namespace detail
+
+/// The payload of a RawMessage: immutable-after-publish bytes with three
+/// storage modes, so a payload travels send_raw -> Mailbox -> recv_raw
+/// -> decode without being duplicated:
+///
+///  - inline: payloads up to kInlineCapacity live inside the Buffer
+///    itself (no allocation at all; moves copy at most 64 bytes);
+///  - pooled: larger payloads built via uninitialized()/copy_of() use
+///    blocks from a recycling size-class pool, returned on last release;
+///  - adopted: an existing vector/string is moved in whole, so
+///    `send_raw(dest, tag, hash, writer.take())` ships without a copy.
+///
+/// Copies of a Buffer share storage (refcount); slice() shares too,
+/// which is what lets the segmented collectives forward received pieces
+/// to tree children for free.
+class Buffer {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  Buffer() = default;
+
+  /// Adopt a byte vector (zero copy above the inline threshold).
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Buffer(std::vector<std::byte>&& bytes) {
+    adopt_container(std::move(bytes));
+  }
+
+  /// Adopt any contiguous container of trivially copyable elements.
+  template <class U>
+  static Buffer adopt(std::vector<U>&& values) {
+    static_assert(std::is_trivially_copyable_v<U>);
+    Buffer buffer;
+    buffer.adopt_container(std::move(values));
+    return buffer;
+  }
+
+  static Buffer adopt(std::string&& text) {
+    Buffer buffer;
+    buffer.adopt_container(std::move(text));
+    return buffer;
+  }
+
+  /// A writable buffer of `size` uninitialized bytes (inline or pooled).
+  /// Fill it through mutable_data() before sharing it.
+  static Buffer uninitialized(std::size_t size);
+
+  /// A buffer holding a counted copy of `[data, data + size)`.
+  static Buffer copy_of(const void* data, std::size_t size);
+
+  Buffer(const Buffer& other) { assign_from(other); }
+  Buffer(Buffer&& other) noexcept {
+    assign_from(other);
+    other.clear();
+  }
+  Buffer& operator=(const Buffer& other) {
+    if (this != &other) {
+      assign_from(other);
+    }
+    return *this;
+  }
+  Buffer& operator=(Buffer&& other) noexcept {
+    if (this != &other) {
+      assign_from(other);
+      other.clear();
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::byte* data() const { return data_; }
+
+  /// Writable pointer to the bytes. Only valid while this Buffer is the
+  /// sole owner of its storage (the build phase right after
+  /// uninitialized()); once shared, the bytes are immutable.
+  std::byte* mutable_data() { return const_cast<std::byte*>(data_); }
+
+  ByteView view() const { return ByteView(data_, size_); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator ByteView() const { return view(); }
+
+  /// Sub-range sharing the same storage (no copy above the inline
+  /// threshold). Throws on an out-of-range request.
+  Buffer slice(std::size_t offset, std::size_t count) const;
+
+  bool is_inline() const { return size_ > 0 && keepalive_ == nullptr; }
+
+  void clear() {
+    keepalive_.reset();
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  void assign_from(const Buffer& other) {
+    size_ = other.size_;
+    if (other.keepalive_ != nullptr) {
+      keepalive_ = other.keepalive_;
+      data_ = other.data_;
+      return;
+    }
+    keepalive_.reset();
+    if (size_ > 0) {
+      std::memcpy(sbo_.data(), other.data_, size_);
+      data_ = sbo_.data();
+    } else {
+      data_ = nullptr;
+    }
+  }
+
+  template <class C>
+  void adopt_container(C&& container) {
+    using Value = typename std::remove_reference_t<C>::value_type;
+    const std::size_t bytes = container.size() * sizeof(Value);
+    if (bytes <= kInlineCapacity) {
+      if (bytes > 0) {
+        std::memcpy(sbo_.data(), container.data(), bytes);
+        data_ = sbo_.data();
+      } else {
+        data_ = nullptr;
+      }
+      size_ = bytes;
+      keepalive_.reset();
+      return;
+    }
+    auto owner = std::make_shared<std::remove_reference_t<C>>(
+        std::forward<C>(container));
+    data_ = reinterpret_cast<const std::byte*>(owner->data());
+    size_ = bytes;
+    keepalive_ = std::move(owner);
+  }
+
+  std::shared_ptr<const void> keepalive_;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  // max_align_t alignment so typed views over inline payloads are valid.
+  alignas(std::max_align_t) std::array<std::byte, kInlineCapacity> sbo_;
+};
+
+}  // namespace pblpar::mp

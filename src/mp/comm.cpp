@@ -3,9 +3,12 @@
 namespace pblpar::mp {
 
 void Comm::send_raw(int dest, int tag, std::size_t type_hash,
-                    std::vector<std::byte> payload) {
+                    Buffer payload) {
   util::require(dest >= 0 && dest < size(),
                 "Comm::send: destination rank out of range");
+  detail::WireCounters& wire = world_->wire[static_cast<std::size_t>(rank_)];
+  wire.messages.fetch_add(1, std::memory_order_relaxed);
+  wire.bytes.fetch_add(payload.size(), std::memory_order_relaxed);
   RawMessage message;
   message.source = rank_;
   message.tag = tag;
@@ -27,6 +30,18 @@ bool Comm::recv_raw_timed(int source, int tag, double timeout_s,
                 "Comm::recv: source rank out of range");
   return world_->mailboxes[static_cast<std::size_t>(rank_)]
       ->pop_matching_timed(source, tag, timeout_s, out);
+}
+
+WireStats Comm::wire_stats(int rank) const {
+  const int target = rank < 0 ? rank_ : rank;
+  util::require(target >= 0 && target < size(),
+                "Comm::wire_stats: rank out of range");
+  const detail::WireCounters& wire =
+      world_->wire[static_cast<std::size_t>(target)];
+  WireStats stats;
+  stats.messages = wire.messages.load(std::memory_order_relaxed);
+  stats.bytes = wire.bytes.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace pblpar::mp

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mp/collectives.hpp"
@@ -20,19 +23,39 @@ struct RecvStatus {
   int tag = -1;
 };
 
+/// Snapshot of one rank's outbound wire traffic (messages sent and
+/// payload bytes shipped), surfaced per rank by Comm::wire_stats and in
+/// the cluster profile schema.
+struct WireStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
 namespace detail {
+
+/// Per-rank outbound counters, indexed by the *sending* rank so the
+/// relaxed increments never contend across ranks.
+struct alignas(64) WireCounters {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
 
 /// Shared state of one world: every rank's mailbox plus the abort flag.
 struct WorldState {
-  explicit WorldState(int size, double timeout_s) : size(size) {
+  explicit WorldState(int size, double timeout_s,
+                      std::size_t pipeline_segment_bytes = 0)
+      : size(size), pipeline_segment_bytes(pipeline_segment_bytes) {
     mailboxes.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r) {
       mailboxes.push_back(std::make_unique<Mailbox>(abort, timeout_s, r));
     }
+    wire = std::make_unique<WireCounters[]>(static_cast<std::size_t>(size));
   }
   int size;
+  std::size_t pipeline_segment_bytes;
   AbortState abort;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::unique_ptr<WireCounters[]> wire;
 };
 
 }  // namespace detail
@@ -59,6 +82,21 @@ class Comm {
     send_raw(dest, tag, type_hash_of<T>(), Codec<T>::encode(value));
   }
 
+  /// Move-of-ownership send: the vector's storage becomes the payload,
+  /// no bytes are copied.
+  template <class U>
+  void send(int dest, int tag, std::vector<U>&& values) {
+    util::require(tag >= 0, "Comm::send: user tags must be non-negative");
+    send_raw(dest, tag, type_hash_of<std::vector<U>>(),
+             Codec<std::vector<U>>::encode(std::move(values)));
+  }
+
+  void send(int dest, int tag, std::string&& text) {
+    util::require(tag >= 0, "Comm::send: user tags must be non-negative");
+    send_raw(dest, tag, type_hash_of<std::string>(),
+             Codec<std::string>::encode(std::move(text)));
+  }
+
   template <class T>
   T recv(int source = kAnySource, int tag = kAnyTag,
          RecvStatus* status = nullptr) {
@@ -72,6 +110,23 @@ class Comm {
       status->tag = message.tag;
     }
     return Codec<T>::decode(message.payload);
+  }
+
+  /// Zero-copy receive of a vector payload: the returned view owns the
+  /// message buffer and exposes the elements in place (no decode copy).
+  template <class U>
+  PayloadView<U> recv_view(int source = kAnySource, int tag = kAnyTag,
+                           RecvStatus* status = nullptr) {
+    RawMessage message = recv_raw(source, tag);
+    if (message.type_hash != type_hash_of<std::vector<U>>()) {
+      throw MpTypeError(
+          "Comm::recv_view: matched message has a different payload type");
+    }
+    if (status != nullptr) {
+      status->source = message.source;
+      status->tag = message.tag;
+    }
+    return PayloadView<U>(std::move(message.payload));
   }
 
   /// Combined shift: buffered send then blocking receive, so ring shifts
@@ -92,6 +147,11 @@ class Comm {
     detail::bcast(*this, value, root);
   }
 
+  /// Raw payload broadcast: root's buffer in, every rank's buffer out.
+  void bcast_raw(Buffer& payload, int root = 0) {
+    detail::bcast_raw(*this, payload, root);
+  }
+
   template <class T, class Op>
   T reduce(const T& value, Op op, int root = 0) {
     return detail::reduce(*this, value, op, root);
@@ -102,9 +162,27 @@ class Comm {
     return detail::allreduce(*this, value, op);
   }
 
+  /// In-place element-wise reduction of equal-length vectors, pipelined
+  /// in segments above the pipeline threshold. Root's vector holds the
+  /// result.
+  template <class U, class Op>
+  void reduce_elementwise(std::vector<U>& data, Op op, int root = 0) {
+    detail::reduce_elementwise(*this, data, op, root);
+  }
+
+  template <class U, class Op>
+  void allreduce_elementwise(std::vector<U>& data, Op op) {
+    detail::allreduce_elementwise(*this, data, op);
+  }
+
   template <class T>
   T scatter(const std::vector<T>& values, int root = 0) {
     return detail::scatter(*this, values, root);
+  }
+
+  /// Zero-copy scatter of pre-built payload blobs (one Buffer per rank).
+  Buffer scatter_raw(std::vector<Buffer> blobs, int root = 0) {
+    return detail::scatter_raw(*this, std::move(blobs), root);
   }
 
   template <class T>
@@ -112,9 +190,29 @@ class Comm {
     return detail::gather(*this, value, root);
   }
 
+  /// Zero-copy gather of payload blobs; non-root ranks return empty.
+  std::vector<Buffer> gather_raw(Buffer blob, int root = 0) {
+    return detail::gather_raw(*this, std::move(blob), root);
+  }
+
   template <class T>
   std::vector<T> allgather(const T& value) {
     return detail::allgather(*this, value);
+  }
+
+  /// Zero-copy allgather: move this rank's vector in, get a read-only
+  /// view of every rank's elements back. All views alias the one packed
+  /// broadcast frame — no per-rank decode copies.
+  template <class U>
+  std::vector<PayloadView<U>> allgather_view(std::vector<U>&& values) {
+    return detail::allgather_view(*this, std::move(values));
+  }
+
+  /// In-place ring allreduce for any element count (uneven segments) and
+  /// any trivially copyable element.
+  template <class U, class Op>
+  void ring_allreduce(std::vector<U>& data, Op op) {
+    detail::ring_allreduce(*this, data, op);
   }
 
   std::vector<double> ring_allreduce_sum(std::vector<double> data) {
@@ -123,8 +221,15 @@ class Comm {
 
   // --- raw transport (used by the shared collective algorithms) -----------------
 
-  void send_raw(int dest, int tag, std::size_t type_hash,
-                std::vector<std::byte> payload);
+  /// Segment size for pipelined tree collectives; 0 means "never
+  /// segment" (the host default — frames are refcounted in shared
+  /// memory, so forwarding a whole payload is free and splitting it
+  /// only adds assembly copies).
+  std::size_t pipeline_segment_bytes() const {
+    return world_->pipeline_segment_bytes;
+  }
+
+  void send_raw(int dest, int tag, std::size_t type_hash, Buffer payload);
   RawMessage recv_raw(int source, int tag);
 
   /// Non-throwing timed receive: true and *out filled when a match
@@ -135,6 +240,10 @@ class Comm {
   /// peers are silent.
   bool recv_raw_timed(int source, int tag, double timeout_s,
                       RawMessage* out);
+
+  /// Outbound traffic of `rank` so far (default: this rank). Counters
+  /// are world-wide, so the master can snapshot every rank's totals.
+  WireStats wire_stats(int rank = -1) const;
 
  private:
   detail::WorldState* world_;

@@ -1,12 +1,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <typeinfo>
 #include <vector>
+
+#include "mp/buffer.hpp"
 
 namespace pblpar::mp {
 
@@ -30,37 +34,46 @@ class MpDeadlockError : public MpError {
   using MpError::MpError;
 };
 
-/// A wire message: flat bytes plus the type identity of the payload so
-/// mismatched receives fail loudly instead of reinterpreting memory.
+/// A wire message: a refcounted payload buffer plus the type identity of
+/// the payload so mismatched receives fail loudly instead of
+/// reinterpreting memory. The payload is immutable once sent; moving a
+/// RawMessage moves ownership of the bytes (pointer swap above the
+/// inline threshold), so a message travels sender -> mailbox -> receiver
+/// without its payload ever being duplicated.
 struct RawMessage {
   int source = -1;
   int tag = 0;
   std::size_t type_hash = 0;
-  std::vector<std::byte> payload;
+  Buffer payload;
 };
 
 /// Serialization for message payloads. Supported types: trivially
 /// copyable values, std::string, and std::vector of trivially copyable
 /// elements — enough for every exercise in the course while keeping the
 /// wire format obvious to students reading the implementation.
+///
+/// Copy discipline: encode-from-lvalue and decode-to-value each perform
+/// exactly one counted payload copy; encode-from-rvalue adopts the
+/// container (zero copies), and view() reinterprets the received bytes
+/// in place (zero copies, valid while the backing Buffer lives).
 template <class T>
 struct Codec {
   static_assert(std::is_trivially_copyable_v<T>,
                 "TeachMPI payloads must be trivially copyable, std::string, "
                 "or std::vector of trivially copyable elements");
 
-  static std::vector<std::byte> encode(const T& value) {
-    std::vector<std::byte> bytes(sizeof(T));
-    std::memcpy(bytes.data(), &value, sizeof(T));
+  static Buffer encode(const T& value) {
+    Buffer bytes = Buffer::uninitialized(sizeof(T));
+    detail::copy_payload(bytes.mutable_data(), &value, sizeof(T));
     return bytes;
   }
 
-  static T decode(const std::vector<std::byte>& bytes) {
+  static T decode(ByteView bytes) {
     if (bytes.size() != sizeof(T)) {
       throw MpTypeError("TeachMPI: payload size mismatch for scalar type");
     }
     T value;
-    std::memcpy(&value, bytes.data(), sizeof(T));
+    detail::copy_payload(&value, bytes.data(), sizeof(T));
     return value;
   }
 };
@@ -70,37 +83,59 @@ struct Codec<std::vector<U>> {
   static_assert(std::is_trivially_copyable_v<U>,
                 "TeachMPI vector payload elements must be trivially copyable");
 
-  static std::vector<std::byte> encode(const std::vector<U>& values) {
-    std::vector<std::byte> bytes(values.size() * sizeof(U));
-    if (!values.empty()) {
-      std::memcpy(bytes.data(), values.data(), bytes.size());
-    }
+  static Buffer encode(const std::vector<U>& values) {
+    Buffer bytes = Buffer::uninitialized(values.size() * sizeof(U));
+    detail::copy_payload(bytes.mutable_data(), values.data(), bytes.size());
     return bytes;
   }
 
-  static std::vector<U> decode(const std::vector<std::byte>& bytes) {
+  /// Move-of-ownership encode: the vector's heap block becomes the
+  /// payload, no bytes are copied.
+  static Buffer encode(std::vector<U>&& values) {
+    return Buffer::adopt(std::move(values));
+  }
+
+  static std::vector<U> decode(ByteView bytes) {
+    std::vector<U> values(view(bytes).size());
+    detail::copy_payload(values.data(), bytes.data(), bytes.size());
+    return values;
+  }
+
+  /// Zero-copy typed view over the payload bytes. The backing buffer
+  /// must outlive the view.
+  static std::span<const U> view(ByteView bytes) {
     if (bytes.size() % sizeof(U) != 0) {
       throw MpTypeError("TeachMPI: payload size mismatch for vector type");
     }
-    std::vector<U> values(bytes.size() / sizeof(U));
-    if (!values.empty()) {
-      std::memcpy(values.data(), bytes.data(), bytes.size());
+    if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(U) != 0) {
+      // Whole-message payloads are always max_align_t aligned; only a
+      // hand-made unaligned slice can land here.
+      throw MpError("TeachMPI: payload view is misaligned for element type");
     }
-    return values;
+    return std::span<const U>(reinterpret_cast<const U*>(bytes.data()),
+                              bytes.size() / sizeof(U));
   }
 };
 
 template <>
 struct Codec<std::string> {
-  static std::vector<std::byte> encode(const std::string& text) {
-    std::vector<std::byte> bytes(text.size());
-    if (!text.empty()) {
-      std::memcpy(bytes.data(), text.data(), text.size());
-    }
+  static Buffer encode(const std::string& text) {
+    Buffer bytes = Buffer::uninitialized(text.size());
+    detail::copy_payload(bytes.mutable_data(), text.data(), text.size());
     return bytes;
   }
 
-  static std::string decode(const std::vector<std::byte>& bytes) {
+  static Buffer encode(std::string&& text) {
+    return Buffer::adopt(std::move(text));
+  }
+
+  static std::string decode(ByteView bytes) {
+    if (bytes.empty()) {
+      // bytes.data() may be null for an empty payload; std::string(ptr,
+      // 0) with a null ptr is undefined behaviour.
+      return std::string();
+    }
+    detail::note_payload_copy(bytes.size());
     return std::string(reinterpret_cast<const char*>(bytes.data()),
                        bytes.size());
   }
@@ -111,5 +146,31 @@ template <class T>
 std::size_t type_hash_of() {
   return typeid(T).hash_code();
 }
+
+/// A typed zero-copy window over a received vector payload: owns (a
+/// refcount on) the message buffer and exposes the elements in place.
+template <class U>
+class PayloadView {
+ public:
+  PayloadView() = default;
+  explicit PayloadView(Buffer buffer) : buffer_(std::move(buffer)) {
+    (void)values();  // validate size/alignment up front
+  }
+
+  // The span is recomputed from the owned buffer so inline-storage
+  // payloads stay valid across moves of the view.
+  std::span<const U> values() const {
+    return Codec<std::vector<U>>::view(buffer_.view());
+  }
+  std::size_t size() const { return buffer_.size() / sizeof(U); }
+  bool empty() const { return buffer_.empty(); }
+  const U& operator[](std::size_t i) const { return values()[i]; }
+  const U* begin() const { return values().data(); }
+  const U* end() const { return values().data() + size(); }
+  const Buffer& buffer() const { return buffer_; }
+
+ private:
+  Buffer buffer_;
+};
 
 }  // namespace pblpar::mp

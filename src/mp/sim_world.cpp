@@ -16,7 +16,7 @@ bool matches(const RawMessage& message, int source, int tag) {
 }  // namespace
 
 void SimComm::send_raw(int dest, int tag, std::size_t type_hash,
-                       std::vector<std::byte> payload) {
+                       Buffer payload) {
   util::require(dest >= 0 && dest < size(),
                 "SimComm::send: destination rank out of range");
 
@@ -39,8 +39,20 @@ void SimComm::send_raw(int dest, int tag, std::size_t type_hash,
       std::move(timed));
   world_->messages += 1;
   world_->payload_bytes += bytes;
+  world_->rank_messages[static_cast<std::size_t>(rank_)] += 1;
+  world_->rank_bytes[static_cast<std::size_t>(rank_)] += bytes;
   ctx_->notify_all(
       world_->inbox_conditions[static_cast<std::size_t>(dest)]);
+}
+
+WireStats SimComm::wire_stats(int rank) const {
+  const int target = rank < 0 ? rank_ : rank;
+  util::require(target >= 0 && target < size(),
+                "SimComm::wire_stats: rank out of range");
+  WireStats stats;
+  stats.messages = world_->rank_messages[static_cast<std::size_t>(target)];
+  stats.bytes = world_->rank_bytes[static_cast<std::size_t>(target)];
+  return stats;
 }
 
 RawMessage SimComm::recv_raw(int source, int tag) {
@@ -129,6 +141,8 @@ ClusterReport SimWorld::run(int num_ranks,
   state.size = num_ranks;
   state.spec = spec;
   state.inboxes.resize(static_cast<std::size_t>(num_ranks));
+  state.rank_messages.assign(static_cast<std::size_t>(num_ranks), 0);
+  state.rank_bytes.assign(static_cast<std::size_t>(num_ranks), 0);
   for (int r = 0; r < num_ranks; ++r) {
     state.inbox_mutexes.push_back(machine.make_mutex());
     state.inbox_conditions.push_back(machine.make_condition());
@@ -151,6 +165,8 @@ ClusterReport SimWorld::run(int num_ranks,
   });
   report.messages = state.messages;
   report.payload_bytes = state.payload_bytes;
+  report.rank_messages = std::move(state.rank_messages);
+  report.rank_bytes = std::move(state.rank_bytes);
   return report;
 }
 

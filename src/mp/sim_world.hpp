@@ -33,6 +33,12 @@ struct ClusterSpec {
   /// Per-message software overhead charged to the sender, microseconds.
   double send_overhead_us = 25.0;
 
+  /// Segment size for pipelined tree collectives on this network. The
+  /// simulated wire really does store-and-forward, so large payloads
+  /// stream in segments; 0 would disable segmentation (as the host
+  /// world does by default).
+  std::size_t pipeline_segment_bytes = detail::kPipelineSegmentBytes;
+
   /// Transfer time for a message of `bytes`, excluding latency, seconds.
   double transfer_seconds(std::size_t bytes) const {
     return send_overhead_us * 1e-6 +
@@ -45,6 +51,10 @@ struct ClusterReport {
   sim::ExecutionReport machine;
   std::uint64_t messages = 0;
   std::uint64_t payload_bytes = 0;
+  /// Outbound traffic per sending rank (indexed by rank; the totals
+  /// above are their sums).
+  std::vector<std::uint64_t> rank_messages;
+  std::vector<std::uint64_t> rank_bytes;
 };
 
 namespace detail {
@@ -64,6 +74,10 @@ struct SimWorldState {
   std::vector<sim::ConditionHandle> inbox_conditions;
   std::uint64_t messages = 0;
   std::uint64_t payload_bytes = 0;
+  // Rank execution is serialized by the simulator, so plain counters
+  // indexed by the sending rank are race-free.
+  std::vector<std::uint64_t> rank_messages;
+  std::vector<std::uint64_t> rank_bytes;
 };
 
 }  // namespace detail
@@ -91,6 +105,20 @@ class SimComm {
     send_raw(dest, tag, type_hash_of<T>(), Codec<T>::encode(value));
   }
 
+  /// Move-of-ownership send (zero payload copies), as on the host Comm.
+  template <class U>
+  void send(int dest, int tag, std::vector<U>&& values) {
+    util::require(tag >= 0, "SimComm::send: user tags must be non-negative");
+    send_raw(dest, tag, type_hash_of<std::vector<U>>(),
+             Codec<std::vector<U>>::encode(std::move(values)));
+  }
+
+  void send(int dest, int tag, std::string&& text) {
+    util::require(tag >= 0, "SimComm::send: user tags must be non-negative");
+    send_raw(dest, tag, type_hash_of<std::string>(),
+             Codec<std::string>::encode(std::move(text)));
+  }
+
   template <class T>
   T recv(int source = kAnySource, int tag = kAnyTag,
          RecvStatus* status = nullptr) {
@@ -104,6 +132,22 @@ class SimComm {
       status->tag = message.tag;
     }
     return Codec<T>::decode(message.payload);
+  }
+
+  /// Zero-copy receive of a vector payload (see Comm::recv_view).
+  template <class U>
+  PayloadView<U> recv_view(int source = kAnySource, int tag = kAnyTag,
+                           RecvStatus* status = nullptr) {
+    RawMessage message = recv_raw(source, tag);
+    if (message.type_hash != type_hash_of<std::vector<U>>()) {
+      throw MpTypeError(
+          "SimComm::recv_view: matched message has a different payload type");
+    }
+    if (status != nullptr) {
+      status->source = message.source;
+      status->tag = message.tag;
+    }
+    return PayloadView<U>(std::move(message.payload));
   }
 
   template <class T>
@@ -120,6 +164,10 @@ class SimComm {
     detail::bcast(*this, value, root);
   }
 
+  void bcast_raw(Buffer& payload, int root = 0) {
+    detail::bcast_raw(*this, payload, root);
+  }
+
   template <class T, class Op>
   T reduce(const T& value, Op op, int root = 0) {
     return detail::reduce(*this, value, op, root);
@@ -130,9 +178,23 @@ class SimComm {
     return detail::allreduce(*this, value, op);
   }
 
+  template <class U, class Op>
+  void reduce_elementwise(std::vector<U>& data, Op op, int root = 0) {
+    detail::reduce_elementwise(*this, data, op, root);
+  }
+
+  template <class U, class Op>
+  void allreduce_elementwise(std::vector<U>& data, Op op) {
+    detail::allreduce_elementwise(*this, data, op);
+  }
+
   template <class T>
   T scatter(const std::vector<T>& values, int root = 0) {
     return detail::scatter(*this, values, root);
+  }
+
+  Buffer scatter_raw(std::vector<Buffer> blobs, int root = 0) {
+    return detail::scatter_raw(*this, std::move(blobs), root);
   }
 
   template <class T>
@@ -140,9 +202,24 @@ class SimComm {
     return detail::gather(*this, value, root);
   }
 
+  std::vector<Buffer> gather_raw(Buffer blob, int root = 0) {
+    return detail::gather_raw(*this, std::move(blob), root);
+  }
+
   template <class T>
   std::vector<T> allgather(const T& value) {
     return detail::allgather(*this, value);
+  }
+
+  /// Zero-copy allgather of vector payloads (see Comm::allgather_view).
+  template <class U>
+  std::vector<PayloadView<U>> allgather_view(std::vector<U>&& values) {
+    return detail::allgather_view(*this, std::move(values));
+  }
+
+  template <class U, class Op>
+  void ring_allreduce(std::vector<U>& data, Op op) {
+    detail::ring_allreduce(*this, data, op);
   }
 
   std::vector<double> ring_allreduce_sum(std::vector<double> data) {
@@ -151,9 +228,17 @@ class SimComm {
 
   // --- raw transport (shared collective algorithms call these) ---------------
 
-  void send_raw(int dest, int tag, std::size_t type_hash,
-                std::vector<std::byte> payload);
+  /// Segment size for pipelined tree collectives, from the cluster spec.
+  std::size_t pipeline_segment_bytes() const {
+    return world_->spec.pipeline_segment_bytes;
+  }
+
+  void send_raw(int dest, int tag, std::size_t type_hash, Buffer payload);
   RawMessage recv_raw(int source, int tag);
+
+  /// Outbound traffic of `rank` so far (default: this rank), in virtual
+  /// time; mirrors Comm::wire_stats.
+  WireStats wire_stats(int rank = -1) const;
 
   /// Non-throwing timed receive in *virtual* time: true and *out filled
   /// when a match shows up within `timeout_s` virtual seconds, false

@@ -10,6 +10,14 @@ namespace pblpar::mp {
 struct WorldOptions {
   /// How long a receive may block before the world declares deadlock.
   double recv_timeout_s = 10.0;
+
+  /// Segment size for pipelined tree collectives. 0 (the default)
+  /// disables segmentation on the host world: a frame is a refcounted
+  /// pointer in shared memory, so forwarding the whole payload is free
+  /// and splitting it only adds assembly copies. Set a size (e.g.
+  /// 256 KiB) to exercise the segmented network protocol under real
+  /// threads.
+  std::size_t pipeline_segment_bytes = 0;
 };
 
 /// TeachMPI's MPI_Init/Finalize equivalent: run `rank_main` once per rank,

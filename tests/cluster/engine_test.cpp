@@ -27,8 +27,7 @@ std::vector<std::vector<std::byte>> index_tasks(int count) {
 /// Square the task index, charging `ops_per_task` of modelled work in
 /// four slices with heartbeat points between.
 TaskFn square_task(double ops_per_task) {
-  return [ops_per_task](TaskContext& ctx, int,
-                        const std::vector<std::byte>& payload) {
+  return [ops_per_task](TaskContext& ctx, int, mp::ByteView payload) {
     Reader reader(payload);
     const std::int32_t value = reader.i32();
     for (int s = 0; s < 4; ++s) {
@@ -41,10 +40,21 @@ TaskFn square_task(double ops_per_task) {
   };
 }
 
-void expect_squares(const std::vector<std::vector<std::byte>>& results) {
+void expect_squares(const std::vector<mp::Buffer>& results) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     Reader reader(results[i]);
     EXPECT_EQ(reader.i32(), static_cast<std::int32_t>(i * i)) << "task " << i;
+  }
+}
+
+void expect_identical_results(const std::vector<mp::Buffer>& a,
+                              const std::vector<mp::Buffer>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const mp::ByteView va = a[i];
+    const mp::ByteView vb = b[i];
+    ASSERT_EQ(va.size(), vb.size()) << "task " << i;
+    EXPECT_TRUE(std::equal(va.begin(), va.end(), vb.begin())) << "task " << i;
   }
 }
 
@@ -157,7 +167,7 @@ TEST(ClusterEngineTest, FaultInjectionIsDeterministic) {
   EXPECT_EQ(a.profile.event_log(), b.profile.event_log());
   EXPECT_EQ(a.profile.to_json(), b.profile.to_json());
   EXPECT_DOUBLE_EQ(a.report.machine.makespan_s, b.report.machine.makespan_s);
-  EXPECT_EQ(a.results, b.results);
+  expect_identical_results(a.results, b.results);
   expect_squares(a.results);
 }
 
@@ -176,7 +186,7 @@ TEST(ClusterEngineTest, ProfileRecordsScheduleAndEventLog) {
 }
 
 TEST(ClusterEngineTest, RunsOnTheHostWorldToo) {
-  std::vector<std::vector<std::byte>> results;
+  std::vector<mp::Buffer> results;
   ClusterProfile profile;
   mp::World::run(3, [&](mp::Comm& comm) {
     ClusterRunResult result = run_cluster_tasks(
@@ -286,7 +296,7 @@ TEST(ClusterEngineTest, JobDeadlineCancelsTheRemainderDeterministically) {
   const SimClusterRun again = run_once();
   EXPECT_EQ(run.profile.event_log(), again.profile.event_log());
   EXPECT_EQ(run.profile.to_json(), again.profile.to_json());
-  EXPECT_EQ(run.results, again.results);
+  expect_identical_results(run.results, again.results);
   EXPECT_EQ(run.incomplete_tasks, again.incomplete_tasks);
 }
 

@@ -1,0 +1,214 @@
+#include "mp/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mp/message.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+namespace {
+
+std::vector<std::byte> make_bytes(std::size_t count) {
+  std::vector<std::byte> bytes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bytes[i] = static_cast<std::byte>(i & 0xff);
+  }
+  return bytes;
+}
+
+TEST(BufferTest, DefaultIsEmpty) {
+  Buffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.data(), nullptr);
+  EXPECT_FALSE(buffer.is_inline());
+}
+
+TEST(BufferTest, SmallPayloadsLiveInline) {
+  const std::vector<std::byte> bytes = make_bytes(Buffer::kInlineCapacity);
+  Buffer buffer = Buffer::copy_of(bytes.data(), bytes.size());
+  EXPECT_TRUE(buffer.is_inline());
+  ASSERT_EQ(buffer.size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), buffer.data()));
+
+  // Moving an inline buffer relocates the bytes into the new object.
+  Buffer moved = std::move(buffer);
+  EXPECT_TRUE(moved.is_inline());
+  ASSERT_EQ(moved.size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), moved.data()));
+  EXPECT_TRUE(buffer.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(BufferTest, LargePayloadMoveIsAPointerSwap) {
+  const std::vector<std::byte> bytes =
+      make_bytes(Buffer::kInlineCapacity + 1);
+  Buffer buffer = Buffer::copy_of(bytes.data(), bytes.size());
+  EXPECT_FALSE(buffer.is_inline());
+  const std::byte* stable = buffer.data();
+  Buffer moved = std::move(buffer);
+  EXPECT_EQ(moved.data(), stable);
+  ASSERT_EQ(moved.size(), bytes.size());
+  EXPECT_TRUE(std::equal(bytes.begin(), bytes.end(), moved.data()));
+}
+
+TEST(BufferTest, CopiesShareLargeStorage) {
+  Buffer a = Buffer::uninitialized(1 << 12);
+  std::memset(a.mutable_data(), 0x5a, a.size());
+  Buffer b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(BufferTest, AdoptVectorAboveThresholdIsZeroCopy) {
+  std::vector<std::uint64_t> values(1024);
+  std::iota(values.begin(), values.end(), 0u);
+  const void* heap = values.data();
+  payload_copy_reset_stats();
+  Buffer buffer = Buffer::adopt(std::move(values));
+  EXPECT_EQ(static_cast<const void*>(buffer.data()), heap);
+  EXPECT_EQ(buffer.size(), 1024 * sizeof(std::uint64_t));
+  EXPECT_EQ(payload_copy_stats().copies, 0u);
+}
+
+TEST(BufferTest, AdoptStringAboveThresholdIsZeroCopy) {
+  std::string text(4096, 'q');
+  const void* heap = text.data();
+  Buffer buffer = Buffer::adopt(std::move(text));
+  EXPECT_EQ(static_cast<const void*>(buffer.data()), heap);
+  EXPECT_EQ(buffer.size(), 4096u);
+}
+
+TEST(BufferTest, AdoptEmptyAndTinyContainers) {
+  Buffer empty = Buffer::adopt(std::vector<double>{});
+  EXPECT_TRUE(empty.empty());
+  Buffer tiny = Buffer::adopt(std::vector<double>{1.0, 2.0});
+  EXPECT_TRUE(tiny.is_inline());
+  EXPECT_EQ(tiny.size(), 2 * sizeof(double));
+}
+
+TEST(BufferTest, SliceSharesStorageAndChecksBounds) {
+  Buffer whole = Buffer::uninitialized(1 << 12);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    whole.mutable_data()[i] = static_cast<std::byte>(i & 0xff);
+  }
+  Buffer part = whole.slice(256, 512);
+  EXPECT_EQ(part.size(), 512u);
+  EXPECT_EQ(part.data(), whole.data() + 256);  // shared, not copied
+  EXPECT_THROW((void)whole.slice(4000, 200), util::PreconditionError);
+  EXPECT_THROW((void)whole.slice(1 << 13, 1), util::PreconditionError);
+  Buffer nothing = whole.slice(128, 0);
+  EXPECT_TRUE(nothing.empty());
+}
+
+TEST(BufferTest, PoolRecyclesLargeBlocks) {
+  buffer_pool_trim();
+  buffer_pool_reset_stats();
+  const std::byte* first = nullptr;
+  {
+    Buffer buffer = Buffer::uninitialized(1 << 20);
+    first = buffer.data();
+  }
+  PoolStats stats = buffer_pool_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.recycled, 1u);
+  {
+    Buffer buffer = Buffer::uninitialized(1 << 20);
+    EXPECT_EQ(buffer.data(), first);  // the same block came back
+  }
+  stats = buffer_pool_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  buffer_pool_trim();
+}
+
+TEST(BufferTest, InlineBuffersBypassThePool) {
+  buffer_pool_trim();
+  buffer_pool_reset_stats();
+  { Buffer buffer = Buffer::uninitialized(16); }
+  const PoolStats stats = buffer_pool_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 0u);
+}
+
+TEST(CopyStatsTest, CopyOfCountsExactlyOneCopy) {
+  const std::vector<std::byte> bytes = make_bytes(1 << 16);
+  payload_copy_reset_stats();
+  Buffer buffer = Buffer::copy_of(bytes.data(), bytes.size());
+  const CopyStats stats = payload_copy_stats();
+  EXPECT_EQ(stats.copies, 1u);
+  EXPECT_EQ(stats.bytes, bytes.size());
+  (void)buffer;
+}
+
+TEST(CodecTest, ScalarRoundTrip) {
+  Buffer bytes = Codec<double>::encode(2.5);
+  EXPECT_EQ(bytes.size(), sizeof(double));
+  EXPECT_EQ(Codec<double>::decode(bytes), 2.5);
+  EXPECT_THROW((void)Codec<std::int32_t>::decode(bytes), MpTypeError);
+}
+
+TEST(CodecTest, VectorRvalueEncodeAdoptsWithoutCopy) {
+  std::vector<double> values(8192, 3.25);
+  const void* heap = values.data();
+  payload_copy_reset_stats();
+  Buffer bytes = Codec<std::vector<double>>::encode(std::move(values));
+  EXPECT_EQ(payload_copy_stats().copies, 0u);
+  EXPECT_EQ(static_cast<const void*>(bytes.data()), heap);
+  const std::span<const double> view =
+      Codec<std::vector<double>>::view(bytes);
+  ASSERT_EQ(view.size(), 8192u);
+  EXPECT_EQ(view.front(), 3.25);
+  EXPECT_EQ(payload_copy_stats().copies, 0u);  // view stays zero-copy
+}
+
+TEST(CodecTest, VectorViewRejectsRaggedAndMisalignedBytes) {
+  Buffer bytes = Codec<std::vector<double>>::encode(
+      std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_THROW((void)Codec<std::vector<std::int64_t>>::view(
+                   bytes.view().subspan(1).first(2 * sizeof(std::int64_t))),
+               MpError);  // size divides, but the start is misaligned
+  EXPECT_THROW((void)Codec<std::vector<double>>::view(
+                   bytes.view().first(sizeof(double) + 1)),
+               MpTypeError);
+}
+
+TEST(CodecTest, EmptyStringDecodeIsWellDefined) {
+  // Regression: an empty payload has data() == nullptr; handing that to
+  // std::string(ptr, 0) is UB. The decode must special-case it.
+  Buffer empty = Codec<std::string>::encode(std::string());
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(Codec<std::string>::decode(empty), std::string());
+  EXPECT_EQ(Codec<std::string>::decode(ByteView()), std::string());
+}
+
+TEST(PayloadViewTest, SurvivesMovesOfInlinePayloads) {
+  Buffer bytes =
+      Codec<std::vector<std::int32_t>>::encode(std::vector<std::int32_t>{
+          1, 2, 3, 4});  // 16 bytes: inline storage
+  PayloadView<std::int32_t> view(std::move(bytes));
+  PayloadView<std::int32_t> moved = std::move(view);
+  ASSERT_EQ(moved.size(), 4u);
+  EXPECT_EQ(moved[0], 1);
+  EXPECT_EQ(moved[3], 4);
+  std::int64_t sum = 0;
+  for (const std::int32_t v : moved) {
+    sum += v;
+  }
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(PayloadViewTest, ValidatesElementTypeUpFront) {
+  Buffer bytes = Codec<std::vector<std::byte>>::encode(
+      std::vector<std::byte>(7));  // 7 bytes can't be int32s
+  EXPECT_THROW(PayloadView<std::int32_t> view(std::move(bytes)),
+               MpTypeError);
+}
+
+}  // namespace
+}  // namespace pblpar::mp
