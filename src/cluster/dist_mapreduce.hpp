@@ -78,6 +78,44 @@ class DistJob {
       CommT& comm, const std::vector<std::pair<K1, V1>>& inputs,
       const ClusterOptions& options = {}, const FaultPlan* faults = nullptr,
       ClusterProfile* profile = nullptr) const {
+    if constexpr (!is_reliable_comm_v<CommT>) {
+      if (options.reliability.enabled) {
+        // Wrap once for the whole job — engine protocol, shuffle and
+        // replication collectives share one sequence state per link (the
+        // reliability envelope is not self-describing, so the layers
+        // cannot be wrapped piecemeal). run_cluster_tasks sees an
+        // already-wrapped comm and does not wrap again.
+        ReliableComm<CommT> reliable(comm, options.reliability);
+        try {
+          auto output = run_impl(reliable, inputs, options, faults, profile);
+          reliable.flush();
+          if (profile != nullptr && comm.rank() == 0) {
+            profile->retry = reliable.retry_stats();
+          }
+          return output;
+        } catch (...) {
+          // Even a cancelled/failed rank drains its unacked sends: a
+          // peer may still be blocked on a message chaos ate whose
+          // retransmit only we can provide.
+          reliable.flush();
+          if (profile != nullptr && comm.rank() == 0) {
+            profile->retry = reliable.retry_stats();
+          }
+          throw;
+        }
+      }
+    }
+    return run_impl(comm, inputs, options, faults, profile);
+  }
+
+ private:
+  using Bucket = std::vector<std::pair<K2, V2>>;
+
+  template <class CommT>
+  std::vector<std::pair<K2, VOut>> run_impl(
+      CommT& comm, const std::vector<std::pair<K1, V1>>& inputs,
+      const ClusterOptions& options, const FaultPlan* faults,
+      ClusterProfile* profile) const {
     using Traits = TransportTraits<CommT>;
     util::require(map_fn_ != nullptr, "DistJob::run: map function not set");
     util::require(reduce_fn_ != nullptr,
@@ -112,6 +150,21 @@ class DistJob {
     };
     ClusterRunResult engine_result =
         run_cluster_tasks(comm, tasks, task_fn, options, faults, profile);
+
+    // --- Cancellation barrier: a cancelled engine run has holes in its
+    // result set, so the shuffle below would decode garbage. Only armed
+    // runs pay for the extra broadcast (unarmed runs stay byte-identical
+    // on the wire); every rank then throws the same ClusterCancelled.
+    if (options.job_deadline_s > 0.0 || options.cancel.valid()) {
+      std::int32_t cancelled_flag =
+          engine_result.is_master && engine_result.job_cancelled ? 1 : 0;
+      comm.bcast(cancelled_flag, 0);
+      if (cancelled_flag != 0) {
+        throw ClusterCancelled(
+            "DistJob::run: job cancelled before the map phase completed "
+            "(deadline or cancel token)");
+      }
+    }
 
     // --- Shuffle plan: the master names the live ranks (dead workers
     // own no partitions); partition p belongs to live[p % live.size()].
@@ -212,9 +265,6 @@ class DistJob {
               [](const auto& a, const auto& b) { return a.first < b.first; });
     return output;
   }
-
- private:
-  using Bucket = std::vector<std::pair<K2, V2>>;
 
   std::int64_t task_width(std::int64_t records, int size) const {
     if (records_per_task_ > 0) {

@@ -61,6 +61,19 @@ std::string ClusterProfile::summary() const {
     os << ", " << stats.cancelled_tasks
        << " task(s) cancelled at the job deadline";
   }
+  if (stats.restored_tasks > 0) {
+    os << ", " << stats.restored_tasks
+       << " task(s) restored from a checkpoint";
+  }
+  if (stats.checkpoints > 0) {
+    os << ", " << stats.checkpoints << " checkpoint(s) taken";
+  }
+  if (retry.retransmits > 0 || retry.abandoned > 0 ||
+      retry.duplicates_dropped > 0) {
+    os << ", reliability: " << retry.retransmits << " retransmit(s), "
+       << retry.duplicates_dropped << " duplicate(s) dropped, "
+       << retry.abandoned << " abandoned";
+  }
   os << ", " << stats.heartbeats << " heartbeat(s); results complete at "
      << stats.completion_s * 1e3 << " ms, engine wound down at "
      << stats.makespan_s * 1e3 << " ms";
@@ -87,8 +100,19 @@ std::string ClusterProfile::to_json() const {
      << ",\"resurrections\":" << stats.resurrections
      << ",\"heartbeats\":" << stats.heartbeats
      << ",\"cancelled_tasks\":" << stats.cancelled_tasks
+     << ",\"checkpoints\":" << stats.checkpoints
+     << ",\"restored_tasks\":" << stats.restored_tasks
      << ",\"completion_s\":" << stats.completion_s
-     << ",\"makespan_s\":" << stats.makespan_s << "},\"wire\":{"
+     << ",\"makespan_s\":" << stats.makespan_s << "},\"retry\":{"
+     << "\"data_sent\":" << retry.data_sent
+     << ",\"fire_and_forget_sent\":" << retry.fire_and_forget_sent
+     << ",\"retransmits\":" << retry.retransmits
+     << ",\"abandoned\":" << retry.abandoned
+     << ",\"acks_sent\":" << retry.acks_sent
+     << ",\"acks_received\":" << retry.acks_received
+     << ",\"duplicates_dropped\":" << retry.duplicates_dropped
+     << ",\"out_of_order_stashed\":" << retry.out_of_order_stashed
+     << "},\"wire\":{"
      << "\"messages\":[";
   for (std::size_t i = 0; i < wire_messages.size(); ++i) {
     os << (i > 0 ? "," : "") << wire_messages[i];
@@ -120,6 +144,15 @@ SimClusterRun run_sim_cluster(int nodes,
                               const ClusterOptions& options,
                               const FaultPlan* faults, mp::ClusterSpec spec) {
   util::require(nodes >= 1, "run_sim_cluster: need at least one node");
+  // An armed transport-chaos plan in the fault plan is wired into the
+  // simulated cluster spec, so the whole rank body (engine protocol plus
+  // the collectives a driver runs after it) sees the same lossy wire.
+  if (faults != nullptr && faults->transport.armed()) {
+    util::require(!spec.chaos.armed(),
+                  "run_sim_cluster: transport chaos given both in the "
+                  "FaultPlan and the ClusterSpec — pick one");
+    spec.chaos = faults->transport;
+  }
   SimClusterRun run;
   try {
     run.report = mp::SimWorld::run(

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "cluster/fault.hpp"
+#include "cluster/reliable.hpp"
 #include "cluster/wire.hpp"
 #include "mp/comm.hpp"
 #include "mp/sim_world.hpp"
+#include "rt/cancel.hpp"
 #include "rt/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -29,6 +31,55 @@ class ClusterError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// A distributed job was cancelled (job deadline or CancelToken) before
+/// it completed; thrown by drivers whose output would otherwise be
+/// partial (the distributed MapReduce driver throws this on every rank,
+/// mirroring how mapreduce::Job::deadline(Abort) surfaces rt::Cancelled).
+class ClusterCancelled : public ClusterError {
+ public:
+  using ClusterError::ClusterError;
+};
+
+/// A serialized snapshot of the master's completed-task state: which
+/// tasks are done and their result bytes, encoded with the positional
+/// cluster wire format ([magic][version][task_count][done_count] then
+/// per completed task [task_id][result blob]). Produced periodically by
+/// a master with checkpointing armed; feed it back through
+/// ClusterOptions::restart_from (or restart_from_checkpoint) to resume a
+/// crashed master without re-running completed tasks.
+struct ClusterCheckpoint {
+  std::vector<std::byte> bytes;
+
+  bool empty() const { return bytes.empty(); }
+
+  /// Decoded header fields (0 on an empty checkpoint).
+  int task_count() const {
+    if (bytes.empty()) {
+      return 0;
+    }
+    Reader reader(bytes);
+    reader.u32();  // magic, validated on restore
+    reader.u32();  // version
+    return static_cast<int>(reader.u32());
+  }
+
+  int completed_tasks() const {
+    if (bytes.empty()) {
+      return 0;
+    }
+    Reader reader(bytes);
+    reader.u32();
+    reader.u32();
+    reader.u32();
+    return static_cast<int>(reader.u32());
+  }
+};
+
+namespace detail {
+constexpr std::uint32_t kCheckpointMagic = 0x5042434BU;  // "PBCK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace detail
 
 /// Tuning knobs of one engine run. Times are seconds on the transport's
 /// clock (virtual on SimComm, steady on Comm).
@@ -73,6 +124,33 @@ struct ClusterOptions {
   /// deadline are byte-identical to earlier engine versions on Sim.
   double job_deadline_s = 0.0;
 
+  /// Token-based cancel channel, polled by the master alongside the
+  /// deadline (event kind "job-cancel" instead of "job-deadline"); the
+  /// drain protocol is shared. Fire it from a task body, a watchdog, or
+  /// another thread via rt::CancelSource::cancel(). An invalid
+  /// (default) token never cancels, and workers only arm Cancel polling
+  /// when the token is valid or a deadline is set.
+  rt::CancelToken cancel;
+
+  /// Ack/retry/dedup sublayer tuning; reliability.enabled wraps the
+  /// engine's transport in ReliableComm so task dispatch, results and
+  /// heartbeats survive an armed mp::TransportChaos plan.
+  ReliabilityOptions reliability;
+
+  /// Master checkpointing: serialize the completed-task state every
+  /// this-many transport-clock seconds (plus once at wind-down) and
+  /// hand it to `on_checkpoint`. 0 disables; armed (on_checkpoint set)
+  /// requires a positive finite interval.
+  double checkpoint_interval_s = 0.0;
+  std::function<void(const ClusterCheckpoint&)> on_checkpoint;
+
+  /// Resume from a previous run's checkpoint: tasks recorded done are
+  /// restored (result bytes included) and never re-queued; the event
+  /// log records one "restore" event per restored task. The checkpoint
+  /// must describe the same task list (task_count is verified). Null =
+  /// fresh run.
+  const ClusterCheckpoint* restart_from = nullptr;
+
   double effective_tick_s() const {
     return tick_s > 0.0 ? tick_s : heartbeat_timeout_s / 4.0;
   }
@@ -101,13 +179,33 @@ struct ClusterOptions {
                   "(0 = no deadline)");
     util::require(max_live_attempts >= 1 && max_attempts_per_task >= 1,
                   "ClusterOptions: attempt limits must be >= 1");
+    reliability.validate();
+    util::require(std::isfinite(checkpoint_interval_s) &&
+                      checkpoint_interval_s >= 0.0,
+                  "ClusterOptions: checkpoint_interval_s must be finite and "
+                  ">= 0");
+    util::require(on_checkpoint == nullptr || checkpoint_interval_s > 0.0,
+                  "ClusterOptions: checkpointing is armed (on_checkpoint "
+                  "set) but checkpoint_interval_s is <= 0");
+    if (restart_from != nullptr && !restart_from->empty()) {
+      util::require(restart_from->bytes.size() >= 4 * sizeof(std::uint32_t),
+                    "ClusterOptions: restart_from checkpoint is truncated");
+      Reader reader(restart_from->bytes);
+      util::require(reader.u32() == detail::kCheckpointMagic,
+                    "ClusterOptions: restart_from is not a cluster "
+                    "checkpoint (bad magic)");
+      util::require(reader.u32() == detail::kCheckpointVersion,
+                    "ClusterOptions: restart_from checkpoint has an "
+                    "unsupported version");
+    }
   }
 };
 
 /// One master-side scheduling event, timestamped relative to engine
 /// start on the transport clock. Kinds: assign, spec-assign, done,
 /// dup-done, heartbeat, lost-result, requeue, task-timeout, worker-dead,
-/// worker-back, shutdown, all-done, job-deadline, cancel, cancel-drain.
+/// worker-back, shutdown, all-done, job-deadline, job-cancel, cancel,
+/// cancel-drain, checkpoint (claim = completed-task count), restore.
 struct ClusterEvent {
   double t_s = 0.0;
   int worker = -1;
@@ -129,6 +227,10 @@ struct ClusterStats {
   /// Tasks still incomplete when the engine wound down after a
   /// job-deadline cancellation (0 on uncancelled runs).
   int cancelled_tasks = 0;
+  /// Checkpoints the master serialized (including the wind-down one).
+  int checkpoints = 0;
+  /// Tasks restored from ClusterOptions::restart_from instead of run.
+  int restored_tasks = 0;
   /// When the last task result arrived (engine-relative seconds).
   double completion_s = 0.0;
   /// When the engine fully wound down (stragglers drained, shutdowns
@@ -151,6 +253,11 @@ struct ClusterProfile {
   /// traffic before the engine ran.
   std::vector<std::uint64_t> wire_messages;
   std::vector<std::uint64_t> wire_bytes;
+
+  /// Master-side reliability counters (retransmits, dedup hits, ...);
+  /// all zero when ClusterOptions::reliability is off. Deterministic on
+  /// the Sim transport.
+  RetryStats retry;
 
   /// Per-worker attempt timeline: tid = rank, chunk [task, task+1),
   /// claim_order = the attempt's claim id. Render with
@@ -271,6 +378,22 @@ struct TransportTraits<mp::SimComm> {
   }
 };
 
+/// The reliability wrapper keeps the wrapped transport's clock and
+/// charging model.
+template <class CommT>
+struct TransportTraits<ReliableComm<CommT>> {
+  static constexpr rt::TraceClock kClock = TransportTraits<CommT>::kClock;
+  static double now(ReliableComm<CommT>& comm) {
+    return TransportTraits<CommT>::now(comm.underlying());
+  }
+  static void charge_ops(ReliableComm<CommT>& comm, double ops) {
+    TransportTraits<CommT>::charge_ops(comm.underlying(), ops);
+  }
+  static void charge_seconds(ReliableComm<CommT>& comm, double seconds) {
+    TransportTraits<CommT>::charge_seconds(comm.underlying(), seconds);
+  }
+};
+
 namespace detail {
 
 /// Engine protocol tags, far above any user tag and distinct from the
@@ -305,7 +428,19 @@ void send_heartbeat(CommT& comm, int task_id, std::uint64_t claim) {
   Writer writer;
   writer.i32(task_id);
   writer.u64(claim);
-  comm.send_raw(0, kTagHeartbeat, engine_payload_hash(), writer.take());
+  // Heartbeats are periodic liveness hints: a lost one is replaced by
+  // the next, so on a reliable transport they ride fire-and-forget
+  // rather than consuming ack/retransmit budget.
+  if constexpr (requires {
+                  comm.send_raw_fire_and_forget(0, kTagHeartbeat,
+                                                engine_payload_hash(),
+                                                writer.take());
+                }) {
+    comm.send_raw_fire_and_forget(0, kTagHeartbeat, engine_payload_hash(),
+                                  writer.take());
+  } else {
+    comm.send_raw(0, kTagHeartbeat, engine_payload_hash(), writer.take());
+  }
 }
 
 template <class CommT>
@@ -380,12 +515,15 @@ class Master {
       recorder_ = std::make_unique<rt::TraceRecorder>(size, Traits::kClock);
       recorder_->register_loop(0, "cluster", n);
     }
+    restore_checkpoint();
 
     if (size == 1) {
       run_serial(task_fn);
     } else {
       for (int t = 0; t < n; ++t) {
-        queue_.push_back(t);
+        if (!task_states_[static_cast<std::size_t>(t)].done) {
+          queue_.push_back(t);
+        }
       }
       run_loop();
       // A worker written off as dead may really be alive — a straggler
@@ -411,6 +549,10 @@ class Master {
       stats_.cancelled_tasks =
           static_cast<int>(result.incomplete_tasks.size());
     }
+    // Wind-down checkpoint: capture every result that arrived (even on a
+    // cancelled run), so a master killed right after this run resumes
+    // with nothing lost.
+    maybe_checkpoint(now_rel(), /*force=*/true);
     finalize_profile();
     result.results = std::move(results_);
     result.dead_workers = dead_list();
@@ -459,18 +601,110 @@ class Master {
     }
   }
 
+  /// Resume from ClusterOptions::restart_from: mark recorded tasks done
+  /// (copying their result bytes out of the checkpoint) so they are
+  /// never queued. One "restore" event per task, at t=0.
+  void restore_checkpoint() {
+    if (options_.restart_from == nullptr || options_.restart_from->empty()) {
+      return;
+    }
+    Reader reader(options_.restart_from->bytes);
+    util::require(reader.u32() == kCheckpointMagic,
+                  "cluster master: restart_from is not a checkpoint");
+    util::require(reader.u32() == kCheckpointVersion,
+                  "cluster master: restart_from checkpoint version mismatch");
+    const int n = static_cast<int>(reader.u32());
+    util::require(n == static_cast<int>(tasks_.size()),
+                  "cluster master: restart_from checkpoint describes a "
+                  "different task list (task_count mismatch)");
+    const int done = static_cast<int>(reader.u32());
+    for (int i = 0; i < done; ++i) {
+      const int task = reader.i32();
+      const mp::ByteView blob = reader.blob_view();
+      util::require(task >= 0 && task < n,
+                    "cluster master: restart_from checkpoint has an "
+                    "out-of-range task id");
+      TaskState& ts = task_states_[static_cast<std::size_t>(task)];
+      util::require(!ts.done,
+                    "cluster master: restart_from checkpoint records task " +
+                        std::to_string(task) + " done twice");
+      ts.done = true;
+      results_[static_cast<std::size_t>(task)] =
+          mp::Buffer::copy_of(blob.data(), blob.size());
+      --remaining_;
+      ++stats_.restored_tasks;
+      event(0.0, -1, task, 0, "restore");
+    }
+    checkpointed_done_ = done;
+  }
+
+  int done_count() const {
+    return static_cast<int>(tasks_.size()) - remaining_;
+  }
+
+  ClusterCheckpoint make_checkpoint() const {
+    Writer writer;
+    writer.u32(kCheckpointMagic);
+    writer.u32(kCheckpointVersion);
+    writer.u32(static_cast<std::uint32_t>(tasks_.size()));
+    writer.u32(static_cast<std::uint32_t>(done_count()));
+    for (int t = 0; t < static_cast<int>(tasks_.size()); ++t) {
+      const TaskState& ts = task_states_[static_cast<std::size_t>(t)];
+      if (!ts.done) {
+        continue;
+      }
+      writer.i32(t);
+      const mp::Buffer& result = results_[static_cast<std::size_t>(t)];
+      writer.blob(result.view());
+    }
+    ClusterCheckpoint checkpoint;
+    checkpoint.bytes = writer.take();
+    return checkpoint;
+  }
+
+  /// Serialize completed-task state when the interval elapsed and new
+  /// results arrived since the last snapshot (`force` skips both checks
+  /// for the wind-down capture — but still never emits an empty
+  /// zero-progress checkpoint on an unarmed run).
+  void maybe_checkpoint(double now, bool force = false) {
+    if (options_.checkpoint_interval_s <= 0.0) {
+      return;
+    }
+    const int done = done_count();
+    if (done <= checkpointed_done_) {
+      return;  // nothing new to capture
+    }
+    if (!force && now - last_checkpoint_s_ < options_.checkpoint_interval_s) {
+      return;
+    }
+    last_checkpoint_s_ = now;
+    checkpointed_done_ = done;
+    ++stats_.checkpoints;
+    event(now, -1, -1, static_cast<std::uint64_t>(done), "checkpoint");
+    if (options_.on_checkpoint != nullptr) {
+      options_.on_checkpoint(make_checkpoint());
+    }
+  }
+
   void run_serial(const TaskFn& task_fn) {
     // Single-rank world: the master executes every task inline. The job
     // deadline is honoured between tasks — the inline task body has no
     // Cancel channel to poll.
     const int n = static_cast<int>(tasks_.size());
     for (int t = 0; t < n; ++t) {
-      if (options_.job_deadline_s > 0.0 &&
-          now_rel() >= options_.job_deadline_s) {
+      if (task_states_[static_cast<std::size_t>(t)].done) {
+        continue;  // restored from a checkpoint
+      }
+      const bool deadline_hit = options_.job_deadline_s > 0.0 &&
+                                now_rel() >= options_.job_deadline_s;
+      const bool token_hit = options_.cancel.cancel_requested();
+      if (deadline_hit || token_hit) {
         cancelled_ = true;
-        event(now_rel(), -1, -1, 0, "job-deadline");
+        event(now_rel(), -1, -1, 0,
+              deadline_hit ? "job-deadline" : "job-cancel");
         return;
       }
+      maybe_checkpoint(now_rel());
       const std::uint64_t claim = ++claim_seq_;
       const double begin_s = now_rel();
       event(begin_s, 0, t, claim, "assign");
@@ -502,6 +736,7 @@ class Master {
         dispatch(msg, now);
       }
       maybe_cancel(now);
+      maybe_checkpoint(now);
       check_timeouts(now);
       drive_idle(now);
       if (remaining_ == 0 && stats_.completion_s == 0.0 &&
@@ -516,16 +751,22 @@ class Master {
     }
   }
 
-  /// Fire the job deadline once: drop the queue, cancel busy workers,
-  /// shut down parked ones. From here on the loop only drains — no
-  /// assignment, no requeue, no all-dead error.
+  /// Fire the job cancellation once — deadline passed or CancelToken
+  /// tripped: drop the queue, cancel busy workers, shut down parked
+  /// ones. From here on the loop only drains — no assignment, no
+  /// requeue, no all-dead error.
   void maybe_cancel(double now) {
-    if (cancelled_ || options_.job_deadline_s <= 0.0 ||
-        now < options_.job_deadline_s || remaining_ == 0) {
+    if (cancelled_ || remaining_ == 0) {
+      return;
+    }
+    const bool deadline_hit =
+        options_.job_deadline_s > 0.0 && now >= options_.job_deadline_s;
+    const bool token_hit = options_.cancel.cancel_requested();
+    if (!deadline_hit && !token_hit) {
       return;
     }
     cancelled_ = true;
-    event(now, -1, -1, 0, "job-deadline");
+    event(now, -1, -1, 0, deadline_hit ? "job-deadline" : "job-cancel");
     for (const int task : queue_) {
       task_states_[static_cast<std::size_t>(task)].queued = false;
     }
@@ -890,6 +1131,8 @@ class Master {
   int remaining_ = 0;
   double start_s_ = 0.0;
   bool cancelled_ = false;
+  double last_checkpoint_s_ = 0.0;
+  int checkpointed_done_ = 0;
 };
 
 /// Worker side: pull work, execute, report, heartbeat. Returns true if
@@ -904,8 +1147,10 @@ bool run_worker(CommT& comm, const TaskFn& task_fn,
   const int rank = comm.rank();
   // Polling the Cancel channel costs a scheduler yield per progress()
   // call on the Sim transport, so it is armed only when the run can
-  // actually be cancelled — deadline-free runs stay byte-identical.
-  const bool cancellable = options.job_deadline_s > 0.0;
+  // actually be cancelled (a deadline is set or a CancelToken is
+  // connected) — uncancellable runs stay byte-identical.
+  const bool cancellable =
+      options.job_deadline_s > 0.0 || options.cancel.valid();
   const CrashFault* crash = faults ? faults->crash_for(rank) : nullptr;
   const double slowdown = faults ? faults->slowdown_for(rank) : 1.0;
   const bool jitter = faults != nullptr && faults->delay_jitter_s > 0.0;
@@ -1029,6 +1274,28 @@ ClusterRunResult run_cluster_tasks(
   options.validate();
   if (faults != nullptr) {
     faults->validate();
+  }
+  // Reliability wrapper: when the ack/retry sublayer is requested and the
+  // caller handed us a bare transport, wrap it once and recurse — the
+  // constexpr guard keeps an already-wrapped comm (e.g. from the
+  // distributed MapReduce driver, which wraps for the whole job so the
+  // collectives after the engine share the same sequence state) from
+  // being wrapped twice.
+  if constexpr (!is_reliable_comm_v<CommT>) {
+    if (options.reliability.enabled) {
+      ReliableComm<CommT> reliable(comm, options.reliability);
+      ClusterRunResult result = run_cluster_tasks(reliable, tasks, task_fn,
+                                                  options, faults, profile);
+      if (!result.crashed) {
+        // Drain unacked sends before the wrapper dies; a crashed worker
+        // is fail-stop and must not linger retransmitting.
+        reliable.flush();
+      }
+      if (profile != nullptr && comm.rank() == 0) {
+        profile->retry = reliable.retry_stats();
+      }
+      return result;
+    }
   }
   if (comm.rank() == 0) {
     detail::Master<CommT> master(comm, tasks, options, profile);

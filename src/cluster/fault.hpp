@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "mp/chaos.hpp"
 #include "util/error.hpp"
 
 namespace pblpar::cluster {
@@ -52,6 +53,14 @@ struct FaultPlan {
   double delay_jitter_s = 0.0;
   std::uint64_t seed = 1;
 
+  /// Wire-level chaos (seeded drop / delay / duplicate / reorder per
+  /// link). run_sim_cluster copies an armed plan into the ClusterSpec so
+  /// the whole run — engine protocol and any collectives after it —
+  /// sees the same lossy wire. Pair it with
+  /// ClusterOptions::reliability.enabled, or dropped protocol messages
+  /// surface as lost results and dead workers.
+  mp::TransportChaos transport;
+
   /// Reject malformed plans loudly at engine entry instead of letting
   /// them silently never fire (negative ranks match no worker) or fire
   /// ambiguously (crash_for returns the first of two CrashFaults on the
@@ -88,6 +97,7 @@ struct FaultPlan {
     }
     util::require(std::isfinite(delay_jitter_s) && delay_jitter_s >= 0.0,
                   "FaultPlan: delay_jitter_s must be finite and >= 0");
+    transport.validate();
   }
 
   /// The crash scheduled for `rank`, or nullptr.

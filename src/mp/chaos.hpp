@@ -1,0 +1,186 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pblpar::mp {
+
+/// Per-link failure model: each probability is rolled independently per
+/// message at the mailbox push boundary. The mp transport counterpart of
+/// rt::ChaosPlan — same seeded-xoshiro discipline, so a plan replays
+/// bit-identically on the Sim world and statistically identically on the
+/// host world.
+struct LinkChaos {
+  /// Probability the message silently disappears (never pushed).
+  double drop = 0.0;
+
+  /// Probability the message is pushed twice (wire-level ghost copy; the
+  /// duplicate is not charged to the sender's transfer budget on Sim).
+  double duplicate = 0.0;
+
+  /// Probability the message is held back and released only after the
+  /// *next* message on the same link is pushed — a one-deep reorder, the
+  /// minimal violation of per-link FIFO. A held message with no
+  /// successor behaves like a drop until more traffic flows.
+  double reorder = 0.0;
+
+  /// Probability the message is delayed by uniform(0, delay_s) before
+  /// delivery: the host sender sleeps, the Sim arrival time shifts.
+  double delay_probability = 0.0;
+  double delay_s = 0.0;
+
+  bool empty() const {
+    return drop <= 0.0 && duplicate <= 0.0 && reorder <= 0.0 &&
+           delay_probability <= 0.0;
+  }
+};
+
+/// Scopes a LinkChaos to a (source, dest) pair; -1 is a wildcard. The
+/// first matching rule wins, falling back to TransportChaos::all.
+struct ChaosLinkRule {
+  int source = -1;
+  int dest = -1;
+  LinkChaos link;
+};
+
+/// What chaos decided for one message: rolled from the link's seeded
+/// stream by detail::draw_chaos, applied by the transport that owns the
+/// push (host mailbox or Sim inbox).
+struct ChaosDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  double delay_s = 0.0;  // 0 = no delay
+};
+
+/// Seeded drop/delay/duplicate/reorder plan for a whole world. Injected
+/// at the Mailbox push boundary of mp::World and the inbox push of
+/// SimWorld; per-rank injection counters surface in Comm::wire_stats.
+/// An empty plan (the default) is never consulted — the unarmed send
+/// path is untouched.
+struct TransportChaos {
+  /// Default model for every link.
+  LinkChaos all;
+
+  /// Per-link overrides; first match wins (source/dest of -1 match any).
+  std::vector<ChaosLinkRule> links;
+
+  /// Seed for the per-link xoshiro streams (each link (s, d) gets an
+  /// independent stream derived from this, so adding traffic on one
+  /// link never perturbs another link's draws).
+  std::uint64_t seed = 1;
+
+  bool armed() const {
+    if (!all.empty()) {
+      return true;
+    }
+    for (const ChaosLinkRule& rule : links) {
+      if (!rule.link.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The model governing messages from `source` to `dest`.
+  const LinkChaos& link_for(int source, int dest) const {
+    for (const ChaosLinkRule& rule : links) {
+      if ((rule.source < 0 || rule.source == source) &&
+          (rule.dest < 0 || rule.dest == dest)) {
+        return rule.link;
+      }
+    }
+    return all;
+  }
+
+  /// Fail loudly on a degenerate plan: probabilities must be finite and
+  /// in [0, 1], drop strictly below 1 (a link that drops everything is a
+  /// severed cable, not chaos), delays finite and non-negative, and a
+  /// positive delay probability needs a positive delay.
+  void validate() const;
+};
+
+namespace detail {
+
+/// Roll every armed die for one message. The number of draws per message
+/// depends only on the link's configuration (dropped messages still roll
+/// the remaining dice), so injection decisions for the Nth message on a
+/// link are a pure function of (plan, N) — the property the Sim replay
+/// tests pin down.
+inline ChaosDecision draw_chaos(const LinkChaos& link, util::Rng& rng) {
+  ChaosDecision decision;
+  if (link.drop > 0.0) {
+    decision.drop = rng.bernoulli(link.drop);
+  }
+  if (link.duplicate > 0.0) {
+    decision.duplicate = rng.bernoulli(link.duplicate);
+  }
+  if (link.reorder > 0.0) {
+    decision.reorder = rng.bernoulli(link.reorder);
+  }
+  if (link.delay_probability > 0.0 && rng.bernoulli(link.delay_probability)) {
+    decision.delay_s = rng.uniform(0.0, link.delay_s);
+  }
+  return decision;
+}
+
+/// Independent stream for link (source, dest) of a world of `size` ranks.
+inline util::Rng chaos_link_rng(std::uint64_t seed, int size, int source,
+                                int dest) {
+  util::SplitMix64 mix(seed ^ 0xC4A05ADB0D7F3D5FULL);
+  const std::uint64_t base = mix.next();
+  const std::uint64_t index =
+      static_cast<std::uint64_t>(source) * static_cast<std::uint64_t>(size) +
+      static_cast<std::uint64_t>(dest);
+  util::SplitMix64 link_mix(base + 0x9E3779B97F4A7C15ULL * (index + 1));
+  return util::Rng(link_mix.next());
+}
+
+inline void validate_link(const LinkChaos& link, const char* scope) {
+  const auto probability_ok = [](double p) {
+    return std::isfinite(p) && p >= 0.0 && p <= 1.0;
+  };
+  util::require(probability_ok(link.drop),
+                std::string("TransportChaos::validate: ") + scope +
+                    " drop probability must be finite and in [0, 1]");
+  util::require(link.drop < 1.0,
+                std::string("TransportChaos::validate: ") + scope +
+                    " drop probability of 1 severs the link entirely; "
+                    "model a dead peer with cluster::CrashFault instead");
+  util::require(probability_ok(link.duplicate),
+                std::string("TransportChaos::validate: ") + scope +
+                    " duplicate probability must be finite and in [0, 1]");
+  util::require(probability_ok(link.reorder),
+                std::string("TransportChaos::validate: ") + scope +
+                    " reorder probability must be finite and in [0, 1]");
+  util::require(probability_ok(link.delay_probability),
+                std::string("TransportChaos::validate: ") + scope +
+                    " delay probability must be finite and in [0, 1]");
+  util::require(std::isfinite(link.delay_s) && link.delay_s >= 0.0,
+                std::string("TransportChaos::validate: ") + scope +
+                    " delay must be finite and non-negative");
+  util::require(link.delay_probability <= 0.0 || link.delay_s > 0.0,
+                std::string("TransportChaos::validate: ") + scope +
+                    " delay probability is armed but the delay is zero");
+}
+
+}  // namespace detail
+
+inline void TransportChaos::validate() const {
+  detail::validate_link(all, "all-links");
+  for (const ChaosLinkRule& rule : links) {
+    util::require(rule.source >= -1,
+                  "TransportChaos::validate: link rule source must be a rank "
+                  "or -1 (any)");
+    util::require(rule.dest >= -1,
+                  "TransportChaos::validate: link rule dest must be a rank "
+                  "or -1 (any)");
+    detail::validate_link(rule.link, "per-link");
+  }
+}
+
+}  // namespace pblpar::mp

@@ -1,5 +1,8 @@
 #include "mp/comm.hpp"
 
+#include <chrono>
+#include <thread>
+
 namespace pblpar::mp {
 
 void Comm::send_raw(int dest, int tag, std::size_t type_hash,
@@ -14,7 +17,55 @@ void Comm::send_raw(int dest, int tag, std::size_t type_hash,
   message.tag = tag;
   message.type_hash = type_hash;
   message.payload = std::move(payload);
-  world_->mailboxes[static_cast<std::size_t>(dest)]->push(std::move(message));
+
+  Mailbox& mailbox = *world_->mailboxes[static_cast<std::size_t>(dest)];
+  if (world_->chaos_links.empty()) {
+    mailbox.push(std::move(message));
+    return;
+  }
+  // Chaos is armed for this world. Link (rank_, dest) is only touched by
+  // this rank's thread, so the stream and hold slot need no locks.
+  detail::ChaosLinkState& link =
+      world_->chaos_links[static_cast<std::size_t>(rank_) *
+                              static_cast<std::size_t>(size()) +
+                          static_cast<std::size_t>(dest)];
+  if (link.model == nullptr) {
+    mailbox.push(std::move(message));
+    return;
+  }
+  const ChaosDecision decision = detail::draw_chaos(*link.model, link.rng);
+  if (decision.drop) {
+    wire.chaos_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;  // a held message, if any, stays held for the next send
+  }
+  if (decision.reorder && !link.held.has_value()) {
+    // Hold this message back; it is released after the *next* message on
+    // this link goes out, swapping their delivery order.
+    wire.chaos_reordered.fetch_add(1, std::memory_order_relaxed);
+    link.held = std::move(message);
+    return;
+  }
+  if (decision.delay_s > 0.0) {
+    wire.chaos_delayed.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(decision.delay_s));
+  }
+  if (decision.duplicate) {
+    wire.chaos_duplicated.fetch_add(1, std::memory_order_relaxed);
+    RawMessage ghost;
+    ghost.source = message.source;
+    ghost.tag = message.tag;
+    ghost.type_hash = message.type_hash;
+    ghost.payload = message.payload;  // refcounted share, no byte copy
+    mailbox.push(std::move(message));
+    mailbox.push(std::move(ghost));
+  } else {
+    mailbox.push(std::move(message));
+  }
+  if (link.held.has_value()) {
+    mailbox.push(std::move(*link.held));
+    link.held.reset();
+  }
 }
 
 RawMessage Comm::recv_raw(int source, int tag) {
@@ -41,6 +92,12 @@ WireStats Comm::wire_stats(int rank) const {
   WireStats stats;
   stats.messages = wire.messages.load(std::memory_order_relaxed);
   stats.bytes = wire.bytes.load(std::memory_order_relaxed);
+  stats.chaos_dropped = wire.chaos_dropped.load(std::memory_order_relaxed);
+  stats.chaos_duplicated =
+      wire.chaos_duplicated.load(std::memory_order_relaxed);
+  stats.chaos_delayed = wire.chaos_delayed.load(std::memory_order_relaxed);
+  stats.chaos_reordered =
+      wire.chaos_reordered.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -3,13 +3,16 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "mp/chaos.hpp"
 #include "mp/collectives.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/message.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace pblpar::mp {
 
@@ -25,10 +28,16 @@ struct RecvStatus {
 
 /// Snapshot of one rank's outbound wire traffic (messages sent and
 /// payload bytes shipped), surfaced per rank by Comm::wire_stats and in
-/// the cluster profile schema.
+/// the cluster profile schema. The chaos_* counters record what an armed
+/// TransportChaos plan injected on this rank's outbound links; all zero
+/// when chaos is off.
 struct WireStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t chaos_dropped = 0;
+  std::uint64_t chaos_duplicated = 0;
+  std::uint64_t chaos_delayed = 0;
+  std::uint64_t chaos_reordered = 0;
 };
 
 namespace detail {
@@ -38,24 +47,61 @@ namespace detail {
 struct alignas(64) WireCounters {
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> chaos_dropped{0};
+  std::atomic<std::uint64_t> chaos_duplicated{0};
+  std::atomic<std::uint64_t> chaos_delayed{0};
+  std::atomic<std::uint64_t> chaos_reordered{0};
+};
+
+/// Chaos state of one directed link (source, dest): its seeded stream and
+/// the hold-one-back reorder slot. The link (s, d) is only ever touched
+/// by sending rank s's thread, so no synchronization is needed.
+struct ChaosLinkState {
+  const LinkChaos* model = nullptr;  // null = link unarmed, zero overhead
+  util::Rng rng{1};
+  std::optional<RawMessage> held;
 };
 
 /// Shared state of one world: every rank's mailbox plus the abort flag.
 struct WorldState {
   explicit WorldState(int size, double timeout_s,
-                      std::size_t pipeline_segment_bytes = 0)
-      : size(size), pipeline_segment_bytes(pipeline_segment_bytes) {
+                      std::size_t pipeline_segment_bytes = 0,
+                      TransportChaos chaos_plan = {})
+      : size(size),
+        pipeline_segment_bytes(pipeline_segment_bytes),
+        chaos(std::move(chaos_plan)) {
     mailboxes.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r) {
       mailboxes.push_back(std::make_unique<Mailbox>(abort, timeout_s, r));
     }
     wire = std::make_unique<WireCounters[]>(static_cast<std::size_t>(size));
+    if (chaos.armed()) {
+      chaos.validate();
+      chaos_links.resize(static_cast<std::size_t>(size) *
+                         static_cast<std::size_t>(size));
+      for (int s = 0; s < size; ++s) {
+        for (int d = 0; d < size; ++d) {
+          ChaosLinkState& link =
+              chaos_links[static_cast<std::size_t>(s) *
+                              static_cast<std::size_t>(size) +
+                          static_cast<std::size_t>(d)];
+          const LinkChaos& model = chaos.link_for(s, d);
+          if (!model.empty()) {
+            link.model = &model;
+            link.rng = chaos_link_rng(chaos.seed, size, s, d);
+          }
+        }
+      }
+    }
   }
   int size;
   std::size_t pipeline_segment_bytes;
+  TransportChaos chaos;
   AbortState abort;
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::unique_ptr<WireCounters[]> wire;
+  /// size*size link states, row-major by source; empty when unarmed.
+  std::vector<ChaosLinkState> chaos_links;
 };
 
 }  // namespace detail

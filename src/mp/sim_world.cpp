@@ -21,7 +21,8 @@ void SimComm::send_raw(int dest, int tag, std::size_t type_hash,
                 "SimComm::send: destination rank out of range");
 
   // The sender pays the software overhead plus the time to push the
-  // bytes onto the wire.
+  // bytes onto the wire (even when chaos then eats the message: the
+  // sender cannot know the wire lost it).
   const std::size_t bytes = payload.size();
   ctx_->compute(ctx_->spec().us_to_ops(
       world_->spec.transfer_seconds(bytes) * 1e6));
@@ -33,14 +34,62 @@ void SimComm::send_raw(int dest, int tag, std::size_t type_hash,
   timed.message.payload = std::move(payload);
   timed.arrival_s = ctx_->now() + world_->spec.net_latency_us * 1e-6;
 
-  sim::ScopedLock lock(
-      *ctx_, world_->inbox_mutexes[static_cast<std::size_t>(dest)]);
-  world_->inboxes[static_cast<std::size_t>(dest)].push_back(
-      std::move(timed));
+  const auto sender = static_cast<std::size_t>(rank_);
   world_->messages += 1;
   world_->payload_bytes += bytes;
-  world_->rank_messages[static_cast<std::size_t>(rank_)] += 1;
-  world_->rank_bytes[static_cast<std::size_t>(rank_)] += bytes;
+  world_->rank_messages[sender] += 1;
+  world_->rank_bytes[sender] += bytes;
+
+  detail::SimChaosLink* link = nullptr;
+  if (!world_->chaos_links.empty()) {
+    detail::SimChaosLink& candidate =
+        world_->chaos_links[sender * static_cast<std::size_t>(size()) +
+                            static_cast<std::size_t>(dest)];
+    if (candidate.model != nullptr) {
+      link = &candidate;
+    }
+  }
+
+  detail::TimedMessage ghost;
+  bool have_ghost = false;
+  if (link != nullptr) {
+    const ChaosDecision decision =
+        detail::draw_chaos(*link->model, link->rng);
+    if (decision.drop) {
+      world_->rank_chaos_dropped[sender] += 1;
+      return;  // a held message, if any, stays held for the next send
+    }
+    if (decision.reorder && !link->held.has_value()) {
+      world_->rank_chaos_reordered[sender] += 1;
+      link->held = std::move(timed);
+      return;
+    }
+    if (decision.delay_s > 0.0) {
+      world_->rank_chaos_delayed[sender] += 1;
+      timed.arrival_s += decision.delay_s;
+    }
+    if (decision.duplicate) {
+      world_->rank_chaos_duplicated[sender] += 1;
+      ghost.message.source = timed.message.source;
+      ghost.message.tag = timed.message.tag;
+      ghost.message.type_hash = timed.message.type_hash;
+      ghost.message.payload = timed.message.payload;  // refcounted share
+      ghost.arrival_s = timed.arrival_s;
+      have_ghost = true;
+    }
+  }
+
+  sim::ScopedLock lock(
+      *ctx_, world_->inbox_mutexes[static_cast<std::size_t>(dest)]);
+  auto& inbox = world_->inboxes[static_cast<std::size_t>(dest)];
+  inbox.push_back(std::move(timed));
+  if (have_ghost) {
+    inbox.push_back(std::move(ghost));
+  }
+  if (link != nullptr && link->held.has_value()) {
+    inbox.push_back(std::move(*link->held));
+    link->held.reset();
+  }
   ctx_->notify_all(
       world_->inbox_conditions[static_cast<std::size_t>(dest)]);
 }
@@ -49,9 +98,14 @@ WireStats SimComm::wire_stats(int rank) const {
   const int target = rank < 0 ? rank_ : rank;
   util::require(target >= 0 && target < size(),
                 "SimComm::wire_stats: rank out of range");
+  const auto index = static_cast<std::size_t>(target);
   WireStats stats;
-  stats.messages = world_->rank_messages[static_cast<std::size_t>(target)];
-  stats.bytes = world_->rank_bytes[static_cast<std::size_t>(target)];
+  stats.messages = world_->rank_messages[index];
+  stats.bytes = world_->rank_bytes[index];
+  stats.chaos_dropped = world_->rank_chaos_dropped[index];
+  stats.chaos_duplicated = world_->rank_chaos_duplicated[index];
+  stats.chaos_delayed = world_->rank_chaos_delayed[index];
+  stats.chaos_reordered = world_->rank_chaos_reordered[index];
   return stats;
 }
 
@@ -143,9 +197,32 @@ ClusterReport SimWorld::run(int num_ranks,
   state.inboxes.resize(static_cast<std::size_t>(num_ranks));
   state.rank_messages.assign(static_cast<std::size_t>(num_ranks), 0);
   state.rank_bytes.assign(static_cast<std::size_t>(num_ranks), 0);
+  state.rank_chaos_dropped.assign(static_cast<std::size_t>(num_ranks), 0);
+  state.rank_chaos_duplicated.assign(static_cast<std::size_t>(num_ranks), 0);
+  state.rank_chaos_delayed.assign(static_cast<std::size_t>(num_ranks), 0);
+  state.rank_chaos_reordered.assign(static_cast<std::size_t>(num_ranks), 0);
   for (int r = 0; r < num_ranks; ++r) {
     state.inbox_mutexes.push_back(machine.make_mutex());
     state.inbox_conditions.push_back(machine.make_condition());
+  }
+  if (state.spec.chaos.armed()) {
+    state.spec.chaos.validate();
+    state.chaos_links.resize(static_cast<std::size_t>(num_ranks) *
+                             static_cast<std::size_t>(num_ranks));
+    for (int s = 0; s < num_ranks; ++s) {
+      for (int d = 0; d < num_ranks; ++d) {
+        detail::SimChaosLink& link =
+            state.chaos_links[static_cast<std::size_t>(s) *
+                                  static_cast<std::size_t>(num_ranks) +
+                              static_cast<std::size_t>(d)];
+        const LinkChaos& model = state.spec.chaos.link_for(s, d);
+        if (!model.empty()) {
+          link.model = &model;
+          link.rng = detail::chaos_link_rng(state.spec.chaos.seed,
+                                            num_ranks, s, d);
+        }
+      }
+    }
   }
 
   ClusterReport report;

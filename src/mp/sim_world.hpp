@@ -4,12 +4,15 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "mp/chaos.hpp"
 #include "mp/collectives.hpp"
 #include "mp/comm.hpp"  // kAnySource/kAnyTag/RecvStatus shared with the host world
 #include "mp/message.hpp"
 #include "sim/machine.hpp"
+#include "util/rng.hpp"
 
 namespace pblpar::mp {
 
@@ -39,6 +42,14 @@ struct ClusterSpec {
   /// world does by default).
   std::size_t pipeline_segment_bytes = detail::kPipelineSegmentBytes;
 
+  /// Seeded transport-fault injection (drop / delay / duplicate /
+  /// reorder per link), applied as messages enter the destination inbox.
+  /// Empty (the default) leaves the wire perfect. Because every draw
+  /// comes from a per-link xoshiro stream and the simulator serializes
+  /// rank execution, a chaotic Sim run replays bit-for-bit from the same
+  /// seed.
+  TransportChaos chaos;
+
   /// Transfer time for a message of `bytes`, excluding latency, seconds.
   double transfer_seconds(std::size_t bytes) const {
     return send_overhead_us * 1e-6 +
@@ -66,6 +77,15 @@ struct TimedMessage {
   double arrival_s = 0.0;
 };
 
+/// Chaos state of one directed simulated link: seeded stream plus the
+/// hold-one-back reorder slot (the held message keeps its original
+/// arrival time, so a release after later traffic lands it out of order).
+struct SimChaosLink {
+  const LinkChaos* model = nullptr;  // null = link unarmed
+  util::Rng rng{1};
+  std::optional<TimedMessage> held;
+};
+
 struct SimWorldState {
   int size = 0;
   ClusterSpec spec;
@@ -78,6 +98,12 @@ struct SimWorldState {
   // indexed by the sending rank are race-free.
   std::vector<std::uint64_t> rank_messages;
   std::vector<std::uint64_t> rank_bytes;
+  std::vector<std::uint64_t> rank_chaos_dropped;
+  std::vector<std::uint64_t> rank_chaos_duplicated;
+  std::vector<std::uint64_t> rank_chaos_delayed;
+  std::vector<std::uint64_t> rank_chaos_reordered;
+  /// size*size link states, row-major by source; empty when unarmed.
+  std::vector<SimChaosLink> chaos_links;
 };
 
 }  // namespace detail

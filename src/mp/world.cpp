@@ -16,7 +16,8 @@ void World::run(int num_ranks, const std::function<void(Comm&)>& rank_main,
                 "World::run: receive timeout must be positive");
 
   detail::WorldState state(num_ranks, options.recv_timeout_s,
-                           options.pipeline_segment_bytes);
+                           options.pipeline_segment_bytes,
+                           std::move(options.chaos));
   std::vector<std::exception_ptr> errors(
       static_cast<std::size_t>(num_ranks));
 

@@ -18,6 +18,12 @@ struct WorldOptions {
   /// 256 KiB) to exercise the segmented network protocol under real
   /// threads.
   std::size_t pipeline_segment_bytes = 0;
+
+  /// Seeded transport-fault injection (drop / delay / duplicate /
+  /// reorder per link), applied at the mailbox push boundary. Empty (the
+  /// default) leaves the send path untouched. Validated loudly at world
+  /// start when armed.
+  TransportChaos chaos;
 };
 
 /// TeachMPI's MPI_Init/Finalize equivalent: run `rank_main` once per rank,

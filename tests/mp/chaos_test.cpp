@@ -1,0 +1,296 @@
+#include "mp/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "mp/sim_world.hpp"
+#include "mp/world.hpp"
+#include "util/error.hpp"
+
+namespace pblpar::mp {
+namespace {
+
+ClusterSpec fast_net() {
+  ClusterSpec spec;
+  spec.net_latency_us = 0.0;
+  spec.net_bandwidth_mb_s = 1e9;
+  spec.send_overhead_us = 0.0;
+  spec.node.fork_cost_us = 0.0;
+  spec.node.join_cost_us = 0.0;
+  spec.node.mutex_acquire_cost_us = 0.0;
+  return spec;
+}
+
+TEST(TransportChaosTest, EmptyPlanIsUnarmed) {
+  TransportChaos chaos;
+  EXPECT_FALSE(chaos.armed());
+  chaos.links.push_back(ChaosLinkRule{0, 1, LinkChaos{}});
+  EXPECT_FALSE(chaos.armed());  // an empty per-link rule arms nothing
+  chaos.all.drop = 0.1;
+  EXPECT_TRUE(chaos.armed());
+}
+
+TEST(TransportChaosTest, FirstMatchingLinkRuleWins) {
+  TransportChaos chaos;
+  chaos.all.drop = 0.5;
+  chaos.links.push_back(ChaosLinkRule{1, 0, LinkChaos{.drop = 0.1}});
+  chaos.links.push_back(ChaosLinkRule{1, -1, LinkChaos{.drop = 0.2}});
+  EXPECT_DOUBLE_EQ(chaos.link_for(1, 0).drop, 0.1);
+  EXPECT_DOUBLE_EQ(chaos.link_for(1, 2).drop, 0.2);
+  EXPECT_DOUBLE_EQ(chaos.link_for(0, 1).drop, 0.5);
+}
+
+TEST(TransportChaosTest, ValidateRejectsDegeneratePlans) {
+  {
+    TransportChaos chaos;
+    chaos.all.drop = 1.0;  // severed cable, not chaos
+    EXPECT_THROW(chaos.validate(), util::PreconditionError);
+  }
+  {
+    TransportChaos chaos;
+    chaos.all.duplicate = -0.1;
+    EXPECT_THROW(chaos.validate(), util::PreconditionError);
+  }
+  {
+    TransportChaos chaos;
+    chaos.all.reorder = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(chaos.validate(), util::PreconditionError);
+  }
+  {
+    TransportChaos chaos;
+    chaos.all.delay_probability = 0.5;  // armed, but delay_s stays 0
+    EXPECT_THROW(chaos.validate(), util::PreconditionError);
+  }
+  {
+    TransportChaos chaos;
+    chaos.all.delay_probability = 0.5;
+    chaos.all.delay_s = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(chaos.validate(), util::PreconditionError);
+  }
+  {
+    TransportChaos chaos;
+    chaos.links.push_back(ChaosLinkRule{-2, 0, LinkChaos{.drop = 0.1}});
+    EXPECT_THROW(chaos.validate(), util::PreconditionError);
+  }
+}
+
+TEST(TransportChaosTest, WorldRunRejectsInvalidPlanLoudly) {
+  WorldOptions options;
+  options.chaos.all.drop = 1.0;
+  EXPECT_THROW(World::run(2, [](Comm&) {}, options),
+               util::PreconditionError);
+}
+
+TEST(TransportChaosTest, SimRunRejectsInvalidPlanLoudly) {
+  ClusterSpec spec = fast_net();
+  spec.chaos.all.delay_probability = 2.0;
+  spec.chaos.all.delay_s = 0.1;
+  EXPECT_THROW(SimWorld::run(2, [](SimComm&) {}, spec),
+               util::PreconditionError);
+}
+
+TEST(TransportChaosTest, SimDropCountsAndDeliversTheRest) {
+  constexpr int kSends = 200;
+  ClusterSpec spec = fast_net();
+  spec.chaos.seed = 7;
+  spec.chaos.links.push_back(
+      ChaosLinkRule{1, 0, LinkChaos{.drop = 0.3}});
+
+  std::uint64_t dropped = 0;
+  int received = 0;
+  SimWorld::run(
+      2,
+      [&](SimComm& comm) {
+        if (comm.rank() == 1) {
+          for (int i = 0; i < kSends; ++i) {
+            comm.send(0, 5, i);
+          }
+        } else {
+          // Drain until the wire stays silent for a while (virtual time
+          // is cheap); drops must never block the receiver forever.
+          RawMessage msg;
+          while (comm.recv_raw_timed(1, 5, 1.0, &msg)) {
+            ++received;
+          }
+          dropped = comm.wire_stats(1).chaos_dropped;
+        }
+      },
+      spec);
+
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(received + static_cast<int>(dropped), kSends);
+}
+
+TEST(TransportChaosTest, SimDuplicateDeliversGhostCopies) {
+  constexpr int kSends = 100;
+  ClusterSpec spec = fast_net();
+  spec.chaos.seed = 11;
+  spec.chaos.links.push_back(
+      ChaosLinkRule{1, 0, LinkChaos{.duplicate = 0.5}});
+
+  std::uint64_t duplicated = 0;
+  int received = 0;
+  SimWorld::run(
+      2,
+      [&](SimComm& comm) {
+        if (comm.rank() == 1) {
+          for (int i = 0; i < kSends; ++i) {
+            comm.send(0, 5, i);
+          }
+        } else {
+          RawMessage msg;
+          while (comm.recv_raw_timed(1, 5, 1.0, &msg)) {
+            ++received;
+          }
+          const WireStats stats = comm.wire_stats(1);
+          duplicated = stats.chaos_duplicated;
+          // Logical send counters are pre-chaos: ghosts are not sends.
+          EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(kSends));
+        }
+      },
+      spec);
+
+  EXPECT_GT(duplicated, 0u);
+  EXPECT_EQ(received, kSends + static_cast<int>(duplicated));
+}
+
+TEST(TransportChaosTest, SimReorderSwapsAdjacentMessages) {
+  ClusterSpec spec = fast_net();
+  spec.chaos.links.push_back(
+      ChaosLinkRule{1, 0, LinkChaos{.reorder = 1.0}});
+
+  std::vector<int> order;
+  SimWorld::run(
+      2,
+      [&](SimComm& comm) {
+        if (comm.rank() == 1) {
+          comm.send(0, 5, 1);
+          comm.send(0, 5, 2);
+        } else {
+          order.push_back(comm.recv<int>(1, 5));
+          order.push_back(comm.recv<int>(1, 5));
+          EXPECT_EQ(comm.wire_stats(1).chaos_reordered, 1u);
+        }
+      },
+      spec);
+  // Message 1 was held back and released by message 2's push.
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(TransportChaosTest, SimDelayShiftsArrivalIntoVirtualFuture) {
+  ClusterSpec spec = fast_net();
+  spec.chaos.links.push_back(ChaosLinkRule{
+      1, 0, LinkChaos{.delay_probability = 1.0, .delay_s = 0.5}});
+
+  SimWorld::run(
+      2,
+      [&](SimComm& comm) {
+        if (comm.rank() == 1) {
+          comm.send(0, 5, 42);
+        } else {
+          const double before = comm.context().now();
+          EXPECT_EQ(comm.recv<int>(1, 5), 42);
+          const double waited = comm.context().now() - before;
+          EXPECT_GT(waited, 0.0);
+          EXPECT_LE(waited, 0.6);
+          EXPECT_EQ(comm.wire_stats(1).chaos_delayed, 1u);
+        }
+      },
+      spec);
+}
+
+/// The determinism contract: a chaotic Sim run is a pure function of
+/// (workload, spec, seed) — counters AND delivered contents replay
+/// bit-for-bit.
+TEST(TransportChaosTest, SimChaosReplaysBitForBitFromTheSameSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    ClusterSpec spec = fast_net();
+    spec.chaos.seed = seed;
+    spec.chaos.all.drop = 0.15;
+    spec.chaos.all.duplicate = 0.15;
+    spec.chaos.all.reorder = 0.1;
+    std::vector<std::uint64_t> fingerprint;
+    std::vector<int> received;
+    SimWorld::run(
+        3,
+        [&](SimComm& comm) {
+          if (comm.rank() != 0) {
+            for (int i = 0; i < 50; ++i) {
+              comm.send(0, 5, comm.rank() * 1000 + i);
+            }
+          } else {
+            RawMessage msg;
+            while (comm.recv_raw_timed(kAnySource, 5, 1.0, &msg)) {
+              received.push_back(Codec<int>::decode(msg.payload));
+            }
+            for (int r = 1; r < 3; ++r) {
+              const WireStats stats = comm.wire_stats(r);
+              fingerprint.push_back(stats.chaos_dropped);
+              fingerprint.push_back(stats.chaos_duplicated);
+              fingerprint.push_back(stats.chaos_reordered);
+            }
+          }
+        },
+        spec);
+    fingerprint.push_back(static_cast<std::uint64_t>(received.size()));
+    for (const int value : received) {
+      fingerprint.push_back(static_cast<std::uint64_t>(value));
+    }
+    return fingerprint;
+  };
+
+  const std::vector<std::uint64_t> a = run_once(21);
+  const std::vector<std::uint64_t> b = run_once(21);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a[0] + a[1] + a[2] + a[3] + a[4] + a[5], 0u)
+      << "plan never fired; the replay assertion is vacuous";
+  // A different seed draws a different trajectory (overwhelmingly).
+  EXPECT_NE(run_once(22), a);
+}
+
+/// Host-world smoke: chaos injects at the mailbox push and the counters
+/// surface; exact trajectories are not asserted (threads race), only
+/// conservation.
+TEST(TransportChaosTest, HostWorldDuplicateAndDropConservation) {
+  constexpr int kSends = 300;
+  WorldOptions options;
+  options.chaos.seed = 5;
+  options.chaos.links.push_back(
+      ChaosLinkRule{1, 0, LinkChaos{.drop = 0.2, .duplicate = 0.2}});
+
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  int received = 0;
+  World::run(
+      2,
+      [&](Comm& comm) {
+        if (comm.rank() == 1) {
+          for (int i = 0; i < kSends; ++i) {
+            comm.send(0, 5, i);
+          }
+        } else {
+          RawMessage msg;
+          while (comm.recv_raw_timed(1, 5, 0.5, &msg)) {
+            ++received;
+          }
+          const WireStats stats = comm.wire_stats(1);
+          dropped = stats.chaos_dropped;
+          duplicated = stats.chaos_duplicated;
+        }
+      },
+      options);
+
+  // Conservation at the push boundary: every logical send either landed
+  // in the mailbox (plus a ghost when duplicated) or was dropped.
+  // Reorder is unarmed, so no message can be stuck in the held slot.
+  EXPECT_GT(dropped + duplicated, 0u);
+  EXPECT_EQ(received, kSends - static_cast<int>(dropped) +
+                          static_cast<int>(duplicated));
+}
+
+}  // namespace
+}  // namespace pblpar::mp
